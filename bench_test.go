@@ -1,0 +1,209 @@
+// Package bsisa's root benchmarks regenerate each of the paper's tables and
+// figures under `go test -bench` (one target per table/figure, per
+// DESIGN.md's experiment index), plus component microbenchmarks for the
+// compiler, enlarger, emulator and timing model. Benchmarks run the harness
+// at a reduced scale so `go test -bench=. -benchmem` stays tractable; the
+// bsbench command reproduces the full-scale numbers.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/harness"
+	"bsisa/internal/isa"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+const benchScale = 0.05
+
+var (
+	benchOnce sync.Once
+	benchH    *harness.Harness
+	benchErr  error
+)
+
+func benchHarness(b *testing.B) *harness.Harness {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchH, benchErr = harness.New(harness.Options{Scale: benchScale, Parallel: true})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchH
+}
+
+// BenchmarkTable1 regenerates the instruction class/latency table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := harness.Table1(); len(tbl.Rows) != 8 {
+			b.Fatal("table 1 wrong shape")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the benchmark inventory with measured dynamic
+// operation counts.
+func BenchmarkTable2(b *testing.B) {
+	h := benchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFigure(b *testing.B, f func(*harness.Harness) error) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Memoized results would make iterations after the first free;
+		// clear them so ns/op reflects real emulation + timing simulation.
+		h.ClearResults()
+		if err := f(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the headline cycles comparison (real
+// predictor, large icache).
+func BenchmarkFigure3(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.Figure3(); return err })
+}
+
+// BenchmarkFigure4 regenerates the perfect-branch-prediction comparison.
+func BenchmarkFigure4(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.Figure4(); return err })
+}
+
+// BenchmarkFigure5 regenerates the retired-block-size comparison.
+func BenchmarkFigure5(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.Figure5(); return err })
+}
+
+// BenchmarkFigure6 regenerates the conventional-ISA icache sensitivity sweep.
+func BenchmarkFigure6(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.Figure6(); return err })
+}
+
+// BenchmarkFigure7 regenerates the block-structured icache sensitivity sweep.
+func BenchmarkFigure7(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.Figure7(); return err })
+}
+
+// BenchmarkAblateBlockSize sweeps the atomic block size cap (ablation A1).
+func BenchmarkAblateBlockSize(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.AblateBlockSize(); return err })
+}
+
+// BenchmarkAblateFaults sweeps the per-block fault budget (ablation A2).
+func BenchmarkAblateFaults(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.AblateFaults(); return err })
+}
+
+// BenchmarkAblateSuperblock compares enlargement against superblock
+// formation (ablation A3).
+func BenchmarkAblateSuperblock(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.AblateSuperblock(); return err })
+}
+
+// BenchmarkAblateHistory sweeps predictor history length (ablation A4).
+func BenchmarkAblateHistory(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.AblateHistory(); return err })
+}
+
+// BenchmarkAblateMinBias evaluates the §6 bias-threshold heuristic
+// (ablation A5).
+func BenchmarkAblateMinBias(b *testing.B) {
+	benchFigure(b, func(h *harness.Harness) error { _, err := h.AblateMinBias(); return err })
+}
+
+// ---- component microbenchmarks ----
+
+func liSource() string {
+	p, _ := workload.ProfileByName("li", 0.05)
+	return workload.Source(p)
+}
+
+// BenchmarkCompileConventional measures full compilation throughput for the
+// conventional backend.
+func BenchmarkCompileConventional(b *testing.B) {
+	src := liSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compile.Compile(src, "li", compile.DefaultOptions(isa.Conventional)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileBlockStructured measures the block-structured backend.
+func BenchmarkCompileBlockStructured(b *testing.B) {
+	src := liSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compile.Compile(src, "li", compile.DefaultOptions(isa.BlockStructured)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnlarge measures the block enlargement pass itself.
+func BenchmarkEnlarge(b *testing.B) {
+	src := liSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prog, err := compile.Compile(src, "li", compile.DefaultOptions(isa.BlockStructured))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulator measures functional emulation throughput (ops/sec via
+// b.ReportMetric).
+func BenchmarkEmulator(b *testing.B) {
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		res, err := emu.New(prog, emu.Config{}).Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.Stats.Ops
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkTimingSim measures the full emulate+time pipeline.
+func BenchmarkTimingSim(b *testing.B) {
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		res, _, err := uarch.RunProgram(prog, uarch.Config{}, emu.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.Ops
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}

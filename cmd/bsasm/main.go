@@ -1,0 +1,53 @@
+// bsasm assembles a text listing (bsdis format) into an executable
+// container — the inverse of bsdis. Together they make program images fully
+// round-trippable: disassemble, hand-edit, reassemble, simulate.
+//
+// Usage:
+//
+//	bsasm [-o out.bso] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bsisa/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "output container path (default input with .bso suffix)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bsasm [-o out.bso] prog.s")
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+	text, err := os.ReadFile(input)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Assemble(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	data, err := isa.Encode(prog)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(input, ".s") + ".bso"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bsasm: wrote %s (%d blocks, %d ops)\n",
+		path, prog.NumLiveBlocks(), prog.StaticOps())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// bsbench regenerates every table and figure of the paper's evaluation, plus
+// the ablations DESIGN.md defines, at the reproduction's reference scale.
+//
+// Usage:
+//
+//	bsbench [-scale F] [-exp name[,name...]] [-v]
+//
+// Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 mispredicts
+// ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
+// all (default: the paper's tables and figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bsisa/internal/harness"
+	"bsisa/internal/stats"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload dynamic-size scale factor")
+	exps := flag.String("exp", "paper", "comma-separated experiments, 'paper', or 'all'")
+	verbose := flag.Bool("v", false, "progress output")
+	flag.Parse()
+
+	opts := harness.Options{Scale: *scale, Parallel: true}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	start := time.Now()
+	h, err := harness.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	paper := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+	extra := []string{"mispredicts", "ablate-size", "ablate-faults", "ablate-superblock",
+		"ablate-history", "ablate-minbias", "ablate-tracecache", "ablate-ifconvert", "ablate-inline", "ablate-hotlayout", "ablate-multiblock"}
+
+	var names []string
+	switch *exps {
+	case "paper":
+		names = paper
+	case "all":
+		names = append(append([]string{}, paper...), extra...)
+	default:
+		names = strings.Split(*exps, ",")
+	}
+
+	for _, name := range names {
+		tbl, err := run(h, strings.TrimSpace(name))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(tbl.Render())
+	}
+	fmt.Fprintf(os.Stderr, "bsbench: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+}
+
+func run(h *harness.Harness, name string) (*stats.Table, error) {
+	switch name {
+	case "table1":
+		return harness.Table1(), nil
+	case "table2":
+		return h.Table2()
+	case "fig3":
+		return h.Figure3()
+	case "fig4":
+		return h.Figure4()
+	case "fig5":
+		return h.Figure5()
+	case "fig6":
+		return h.Figure6()
+	case "fig7":
+		return h.Figure7()
+	case "mispredicts":
+		return h.Mispredicts()
+	case "ablate-size":
+		return h.AblateBlockSize()
+	case "ablate-faults":
+		return h.AblateFaults()
+	case "ablate-superblock":
+		return h.AblateSuperblock()
+	case "ablate-history":
+		return h.AblateHistory()
+	case "ablate-minbias":
+		return h.AblateMinBias()
+	case "ablate-tracecache":
+		return h.AblateTraceCache()
+	case "ablate-ifconvert":
+		return h.AblateIfConvert()
+	case "ablate-inline":
+		return h.AblateInline()
+	case "ablate-hotlayout":
+		return h.AblateProfileLayout()
+	case "ablate-multiblock":
+		return h.AblateMultiBlock()
+	default:
+		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-*)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsbench:", err)
+	os.Exit(1)
+}

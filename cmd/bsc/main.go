@@ -1,0 +1,102 @@
+// bsc is the MiniC compiler driver: it compiles MiniC source to a
+// conventional-ISA or block-structured-ISA executable container, optionally
+// applying the block enlargement optimization, and can print the assembly
+// listing.
+//
+// Usage:
+//
+//	bsc [flags] input.mc
+//
+//	-target conv|bsa    target ISA (default bsa)
+//	-enlarge            apply block enlargement (bsa only)
+//	-max-ops N          enlargement block size cap (default 16)
+//	-max-faults N       enlargement fault cap (default 2)
+//	-o file             output container (default input with .bso suffix)
+//	-S                  print the assembly listing instead of writing output
+//	-O                  enable middle-end optimizations (default true)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/isa"
+)
+
+func main() {
+	target := flag.String("target", "bsa", "target ISA: conv or bsa")
+	enlarge := flag.Bool("enlarge", false, "apply block enlargement (bsa only)")
+	maxOps := flag.Int("max-ops", 16, "enlargement: max operations per atomic block")
+	maxFaults := flag.Int("max-faults", 2, "enlargement: max fault operations per block")
+	out := flag.String("o", "", "output container path")
+	asm := flag.Bool("S", false, "print assembly listing instead of writing a container")
+	optimize := flag.Bool("O", true, "enable middle-end optimizations")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bsc [flags] input.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+	src, err := os.ReadFile(input)
+	if err != nil {
+		fatal(err)
+	}
+
+	var kind isa.Kind
+	switch *target {
+	case "conv":
+		kind = isa.Conventional
+	case "bsa":
+		kind = isa.BlockStructured
+	default:
+		fatal(fmt.Errorf("unknown target %q (want conv or bsa)", *target))
+	}
+
+	opts := compile.Options{Kind: kind, Optimize: *optimize}
+	prog, err := compile.Compile(string(src), input, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *enlarge {
+		if kind != isa.BlockStructured {
+			fatal(fmt.Errorf("-enlarge requires -target bsa"))
+		}
+		st, err := core.Enlarge(prog, core.Params{MaxOps: *maxOps, MaxFaults: *maxFaults})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bsc: enlargement: %d forks, %d merges, code %.2fx\n",
+			st.Forks, st.UncondMerges, st.CodeGrowth())
+	}
+
+	if *asm {
+		fmt.Print(isa.Disassemble(prog))
+		return
+	}
+
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(input, ".mc") + ".bso"
+	}
+	data, err := isa.Encode(prog)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bsc: wrote %s (%d blocks, %d ops, %d bytes of code)\n",
+		path, prog.NumLiveBlocks(), prog.StaticOps(), prog.CodeBytes())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+// bsdis disassembles an executable container to a text listing.
+//
+// Usage:
+//
+//	bsdis prog.bso
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bsisa/internal/isa"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bsdis prog.bso")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	prog.Layout()
+	fmt.Print(isa.Disassemble(prog))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsdis:", err)
+	os.Exit(1)
+}

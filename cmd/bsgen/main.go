@@ -1,0 +1,41 @@
+// bsgen prints the MiniC source of a synthetic SPECint95-profile benchmark
+// (the workload package's Table-2 stand-ins).
+//
+// Usage:
+//
+//	bsgen [-scale F] [-list] benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bsisa/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dynamic-size scale factor")
+	list := flag.Bool("list", false, "list benchmark names and parameters")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-14s %6s %6s %6s %6s %6s\n",
+			"name", "input", "funcs", "conds", "bias%", "calls", "iters")
+		for _, p := range workload.Profiles(*scale) {
+			fmt.Printf("%-10s %-14s %6d %6d %6d %6d %6d\n",
+				p.Name, p.Input, p.Funcs, p.CondsPerFunc, p.BiasPercent, p.CallDepth, p.OuterIters)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bsgen [-scale F] [-list] benchmark")
+		os.Exit(2)
+	}
+	p, ok := workload.ProfileByName(flag.Arg(0), *scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bsgen: unknown benchmark %q (try -list)\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Print(workload.Source(p))
+}

@@ -1,0 +1,117 @@
+// bsim runs an executable container on the functional emulator and,
+// optionally, through the cycle-level timing model of the paper's 16-wide
+// dynamically scheduled processor.
+//
+// Usage:
+//
+//	bsim [flags] prog.bso
+//
+//	-asm             input is an assembly listing (bsdis format), not a container
+//	-timing          run the timing model and report cycles/IPC
+//	-icache N        icache size in bytes (0 = perfect)
+//	-perfect-bp      perfect branch prediction
+//	-max-ops N       emulation budget
+//	-q               suppress program output values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/uarch"
+)
+
+func main() {
+	asm := flag.Bool("asm", false, "input is an assembly listing (bsdis format)")
+	timing := flag.Bool("timing", false, "run the cycle-level timing model")
+	icache := flag.Int("icache", 0, "icache size in bytes (0 = perfect)")
+	perfectBP := flag.Bool("perfect-bp", false, "perfect branch prediction")
+	maxOps := flag.Int64("max-ops", 0, "emulation operation budget (0 = default)")
+	quiet := flag.Bool("q", false, "suppress program output values")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bsim [flags] prog.bso")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var prog *isa.Program
+	if *asm {
+		prog, err = isa.Assemble(string(data))
+	} else {
+		prog, err = isa.Decode(data)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	prog.Layout()
+	if err := prog.Validate(); err != nil {
+		fatal(err)
+	}
+
+	emuCfg := emu.Config{MaxOps: *maxOps}
+	if !*timing {
+		res, err := emu.New(prog, emuCfg).Run(nil)
+		if err != nil {
+			fatal(err)
+		}
+		report(prog, res, quiet)
+		return
+	}
+
+	cfg := uarch.Config{
+		ICache:    cache.Config{SizeBytes: *icache, Ways: 4},
+		PerfectBP: *perfectBP,
+	}
+	tres, eres, err := uarch.RunProgram(prog, cfg, emuCfg)
+	if err != nil {
+		fatal(err)
+	}
+	report(prog, eres, quiet)
+	fmt.Printf("cycles:            %d\n", tres.Cycles)
+	fmt.Printf("IPC:               %.3f\n", tres.IPC())
+	fmt.Printf("avg retired block: %.2f ops\n", tres.AvgBlockSize())
+	fmt.Printf("mispredicts:       %d trap, %d fault, %d misfetch\n",
+		tres.TrapMispredicts, tres.FaultMispredicts, tres.Misfetches)
+	fmt.Printf("icache:            %d accesses, %d misses (%.2f%%)\n",
+		tres.ICache.Accesses, tres.ICache.Misses, 100*tres.ICache.MissRate())
+	fmt.Printf("dcache:            %d accesses, %d misses (%.2f%%)\n",
+		tres.DCache.Accesses, tres.DCache.Misses, 100*tres.DCache.MissRate())
+	fmt.Printf("fetch stalls:      %d icache, %d window, %d recovery\n",
+		tres.FetchStallICache, tres.FetchStallWindow, tres.RecoveryStall)
+}
+
+func report(prog *isa.Program, res *emu.Result, quiet *bool) {
+	if !*quiet {
+		for _, v := range res.Output {
+			fmt.Printf("out: %d\n", v)
+		}
+	}
+	fmt.Printf("isa:               %s\n", prog.Kind)
+	fmt.Printf("return value:      %d\n", res.ReturnValue)
+	fmt.Printf("ops committed:     %d\n", res.Stats.Ops)
+	fmt.Printf("blocks committed:  %d\n", res.Stats.Blocks)
+	fmt.Printf("avg block size:    %.2f ops\n", res.Stats.AvgBlockSize())
+	fmt.Printf("branches:          %d (%.1f%% taken)\n", res.Stats.Branches,
+		100*float64(res.Stats.Taken)/float64(max64(res.Stats.Branches, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsim:", err)
+	os.Exit(1)
+}

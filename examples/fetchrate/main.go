@@ -1,0 +1,68 @@
+// Fetchrate: reproduce the paper's central mechanism on one workload — the
+// processor fetches one block per cycle, so the average atomic block size IS
+// the fetch bandwidth. Sweep the block enlargement limits (max operations
+// and max faults per block) and watch retired block size and IPC move
+// together, exactly the Figure 5 → Figure 3 causal chain.
+//
+//	go run ./examples/fetchrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+func main() {
+	// The m88ksim profile: highly predictable branches, the paper's best
+	// case for enlargement.
+	prof, _ := workload.ProfileByName("m88ksim", 0.1)
+	src := workload.Source(prof)
+
+	fmt.Printf("workload: synthetic %s profile\n\n", prof.Name)
+	fmt.Printf("%-28s %10s %10s %10s %10s\n",
+		"configuration", "blocksize", "cycles", "IPC", "code x")
+
+	conv, err := compile.Compile(src, prof.Name, compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("conventional ISA", conv, 1.0)
+
+	type cfg struct {
+		name   string
+		params core.Params
+	}
+	for _, c := range []cfg{
+		{"bsa: no enlargement", core.Params{MaxOps: 1, MaxFaults: -1}},
+		{"bsa: merges only (0 faults)", core.Params{MaxFaults: -1}},
+		{"bsa: 1 fault, 16 ops", core.Params{MaxFaults: 1}},
+		{"bsa: 2 faults, 16 ops (paper)", core.Params{}},
+		{"bsa: 2 faults, 32 ops", core.Params{MaxOps: 32}},
+	} {
+		prog, err := compile.Compile(src, prof.Name, compile.DefaultOptions(isa.BlockStructured))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := core.Enlarge(prog, c.params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(c.name, prog, st.CodeGrowth())
+	}
+}
+
+func show(name string, prog *isa.Program, growth float64) {
+	res, _, err := uarch.RunProgram(prog, uarch.Config{}, emu.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %10.2f %10d %10.3f %9.2fx\n",
+		name, res.AvgBlockSize(), res.Cycles, res.IPC(), growth)
+}

@@ -1,0 +1,77 @@
+// Futurework: the paper's §6 proposals, composed. Starting from the plain
+// block-structured build, stack up (1) if-conversion (predicated execution
+// removes branches and fattens basic blocks), (2) inlining (removes the
+// call/return boundaries that stop enlargement — rule 3), and (3)
+// profile-guided hot-block layout (reclaims icache space lost to
+// duplication), and watch retired block size and cycles respond.
+//
+//	go run ./examples/futurework
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+func main() {
+	prof, _ := workload.ProfileByName("m88ksim", 0.1)
+	src := workload.Source(prof)
+	fmt.Printf("workload: synthetic %s profile (predictable branches)\n\n", prof.Name)
+	fmt.Printf("%-40s %10s %10s %8s %8s\n", "configuration", "cycles", "blocksize", "IPC", "code")
+
+	type step struct {
+		name      string
+		opts      compile.Options
+		enlarge   bool
+		hotLayout bool
+	}
+	bsaOpts := compile.DefaultOptions(isa.BlockStructured)
+	ifc := bsaOpts
+	ifc.IfConvert = true
+	ifcInl := ifc
+	ifcInl.Inline = true
+
+	steps := []step{
+		{"bsa, no enlargement", bsaOpts, false, false},
+		{"bsa + enlargement (the paper)", bsaOpts, true, false},
+		{"  + if-conversion (S6)", ifc, true, false},
+		{"  + inlining (S6)", ifcInl, true, false},
+		{"  + hot-block layout (S6)", ifcInl, true, true},
+	}
+	cfg := uarch.Config{ICache: cache.Config{SizeBytes: 8 * 1024, Ways: 4}}
+	for _, st := range steps {
+		prog, err := compile.Compile(src, prof.Name, st.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.enlarge {
+			if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if st.hotLayout {
+			counts, err := core.CollectBlockCounts(prog, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			core.ProfileLayout(prog, counts)
+		}
+		res, _, err := uarch.RunProgram(prog, cfg, emu.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %10d %10.2f %8.3f %7db\n",
+			st.name, res.Cycles, res.AvgBlockSize(), res.IPC(), prog.CodeBytes())
+	}
+	fmt.Println("\nEach S6 proposal attacks a different limiter: branches that fork")
+	fmt.Println("variants (if-conversion), call boundaries (inlining), and icache")
+	fmt.Println("pressure from duplication (layout).")
+}

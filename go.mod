@@ -1,0 +1,3 @@
+module bsisa
+
+go 1.24

@@ -1,0 +1,120 @@
+package main
+
+// End-to-end integration tests of the command-line tools: build the real
+// binaries and drive the compile → enlarge → simulate → disassemble flow a
+// user would run.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestToolchainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bsc := buildTool(t, dir, "bsc")
+	bsim := buildTool(t, dir, "bsim")
+	bsdis := buildTool(t, dir, "bsdis")
+
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(`
+var acc;
+func twice(x) { return x * 2; }
+func main() {
+	var i;
+	for (i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { acc = acc + twice(i); } else { acc = acc - 1; }
+	}
+	out(acc);
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compile both ISAs; enlarge the block-structured one.
+	convObj := filepath.Join(dir, "conv.bso")
+	bsaObj := filepath.Join(dir, "bsa.bso")
+	for _, args := range [][]string{
+		{"-target", "conv", "-o", convObj, src},
+		{"-target", "bsa", "-enlarge", "-o", bsaObj, src},
+	} {
+		out, err := exec.Command(bsc, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("bsc %v: %v\n%s", args, err, out)
+		}
+	}
+
+	// Both must produce the same program output (acc = 0+0-1+4-1+8-1+12-1+16-1 = 35).
+	var results []string
+	for _, obj := range []string{convObj, bsaObj} {
+		out, err := exec.Command(bsim, "-timing", "-icache", "4096", obj).CombinedOutput()
+		if err != nil {
+			t.Fatalf("bsim %s: %v\n%s", obj, err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "out: 35") {
+			t.Fatalf("bsim %s: expected 'out: 35' in\n%s", obj, text)
+		}
+		for _, want := range []string{"cycles:", "IPC:", "icache:", "mispredicts:"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("bsim output missing %q", want)
+			}
+		}
+		results = append(results, text)
+	}
+	if !strings.Contains(results[0], "conventional") || !strings.Contains(results[1], "block-structured") {
+		t.Error("bsim did not report ISA kinds")
+	}
+
+	// Disassembly of the enlarged object mentions traps and faults.
+	out, err := exec.Command(bsdis, bsaObj).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bsdis: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "trap") {
+		t.Error("disassembly has no traps")
+	}
+	if !strings.Contains(string(out), "func main") {
+		t.Error("disassembly has no main")
+	}
+}
+
+func TestBsgenListsBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bsgen := buildTool(t, dir, "bsgen")
+	out, err := exec.Command(bsgen, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bsgen -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("bsgen -list missing %s", name)
+		}
+	}
+	src, err := exec.Command(bsgen, "-scale", "0.01", "li").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bsgen li: %v", err)
+	}
+	if !strings.Contains(string(src), "func main()") {
+		t.Error("bsgen li did not emit a program")
+	}
+}

@@ -1,0 +1,148 @@
+// Package cache models set-associative caches with LRU replacement for the
+// processor's instruction and data caches. The paper's configuration: the L1
+// icache size is the experimental variable (its Figures 6 and 7 sweep it),
+// the L1 dcache is 16 KB, and the L2 is perfect with a six-cycle access
+// time.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes int // total capacity; 0 means a perfect cache
+	Ways      int // associativity (default 4)
+	LineBytes int // line size (default 64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ways == 0 {
+		c.Ways = 4
+	}
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	return c
+}
+
+// Stats counts cache traffic in lines.
+type Stats struct {
+	Accesses int64 // line accesses
+	Misses   int64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative LRU cache. A zero SizeBytes configures a
+// perfect cache (every access hits).
+type Cache struct {
+	cfg     Config
+	perfect bool
+	sets    int
+	lines   []line // sets*ways
+	clock   uint64
+	stats   Stats
+}
+
+type line struct {
+	valid   bool
+	tag     uint32
+	lastUse uint64
+}
+
+// New builds a cache. SizeBytes must be a multiple of Ways*LineBytes and the
+// resulting set count a power of two.
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SizeBytes == 0 {
+		return &Cache{cfg: cfg, perfect: true}, nil
+	}
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %dB/%d-way/%dB lines yields non-power-of-two set count %d",
+			cfg.SizeBytes, cfg.Ways, cfg.LineBytes, sets)
+	}
+	return &Cache{cfg: cfg, sets: sets, lines: make([]line, sets*cfg.Ways)}, nil
+}
+
+// MustNew is New, panicking on configuration errors (for tables of fixed
+// experiment configurations).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access touches the line containing addr, returning whether it hit, and
+// fills it on miss.
+func (c *Cache) Access(addr uint32) bool {
+	c.stats.Accesses++
+	if c.perfect {
+		return true
+	}
+	c.clock++
+	lineAddr := addr / uint32(c.cfg.LineBytes)
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr / uint32(c.sets)
+	base := set * c.cfg.Ways
+	victim := base
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.clock
+			return true
+		}
+		if !l.valid {
+			victim = base + i
+		} else if c.lines[victim].valid && l.lastUse < c.lines[victim].lastUse {
+			victim = base + i
+		}
+	}
+	c.stats.Misses++
+	l := &c.lines[victim]
+	l.valid = true
+	l.tag = tag
+	l.lastUse = c.clock
+	return false
+}
+
+// AccessRange touches every line overlapping [addr, addr+size), returning
+// the number of missing lines. The fetch path uses this for multi-line
+// blocks (consecutive lines; the block-structured ISA's point is precisely
+// that it never needs non-consecutive lines in one cycle).
+func (c *Cache) AccessRange(addr, size uint32) int {
+	if size == 0 {
+		size = 1
+	}
+	first := addr / uint32(c.cfg.LineBytes)
+	last := (addr + size - 1) / uint32(c.cfg.LineBytes)
+	misses := 0
+	for l := first; l <= last; l++ {
+		if !c.Access(l * uint32(c.cfg.LineBytes)) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Stats returns traffic counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Perfect reports whether the cache always hits.
+func (c *Cache) Perfect() bool { return c.perfect }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissesThenHits(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64})
+	if c.Access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0) || !c.Access(32) {
+		t.Error("same line should hit")
+	}
+	if c.Access(64) {
+		t.Error("next line should miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 4 accesses 2 misses", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2 ways, 64B lines, 2 sets -> 256 bytes.
+	c := MustNew(Config{SizeBytes: 256, Ways: 2, LineBytes: 64})
+	// Three lines mapping to set 0: line addresses 0, 128, 256.
+	c.Access(0)
+	c.Access(128)
+	c.Access(0)   // 0 now MRU
+	c.Access(256) // evicts 128 (LRU)
+	if !c.Access(0) {
+		t.Error("0 should still be resident")
+	}
+	if c.Access(128) {
+		t.Error("128 should have been evicted")
+	}
+}
+
+func TestPerfectCacheNeverMisses(t *testing.T) {
+	c := MustNew(Config{})
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if !c.Access(uint32(r.Intn(1 << 30))) {
+			t.Fatal("perfect cache missed")
+		}
+	}
+	if c.Stats().Misses != 0 {
+		t.Error("perfect cache recorded misses")
+	}
+	if !c.Perfect() {
+		t.Error("Perfect() = false")
+	}
+}
+
+func TestAccessRangeCountsLines(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 4096, Ways: 4, LineBytes: 64})
+	// 100 bytes starting at 60 spans lines 0,1,2 (60..159).
+	if got := c.AccessRange(60, 100); got != 3 {
+		t.Errorf("cold range misses = %d, want 3", got)
+	}
+	if got := c.AccessRange(60, 100); got != 0 {
+		t.Errorf("warm range misses = %d, want 0", got)
+	}
+	if got := c.AccessRange(8192, 0); got != 1 {
+		t.Errorf("zero-size cold range should touch one line, missed %d", got)
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	if _, err := New(Config{SizeBytes: 1000, Ways: 3, LineBytes: 64}); err == nil {
+		t.Error("non-power-of-two sets should be rejected")
+	}
+	if _, err := New(Config{SizeBytes: 64, Ways: 4, LineBytes: 64}); err == nil {
+		t.Error("zero sets should be rejected")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64})
+	c.Access(0)
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Error("stats not reset")
+	}
+	if c.Access(0) {
+		t.Error("contents not reset")
+	}
+}
+
+// Property: a cache with capacity for N distinct lines never misses on
+// re-access within a working set of N lines mapped to distinct sets.
+func TestQuickWorkingSetFits(t *testing.T) {
+	f := func(seed int64) bool {
+		c := MustNew(Config{SizeBytes: 4096, Ways: 4, LineBytes: 64}) // 16 sets
+		r := rand.New(rand.NewSource(seed))
+		// 8 random distinct lines.
+		lines := map[uint32]bool{}
+		for len(lines) < 8 {
+			lines[uint32(r.Intn(16))*64] = true // all in distinct sets, 1 way each
+		}
+		var order []uint32
+		for l := range lines {
+			order = append(order, l)
+		}
+		for _, l := range order {
+			c.Access(l)
+		}
+		for _, l := range order {
+			if !c.Access(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: miss count never exceeds access count, and both are monotone.
+func TestQuickStatsSane(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		c := MustNew(Config{SizeBytes: 512, Ways: 2, LineBytes: 32})
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n); i++ {
+			c.Access(uint32(r.Intn(1 << 16)))
+		}
+		st := c.Stats()
+		return st.Misses <= st.Accesses && st.Accesses == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package compile
+
+import (
+	"fmt"
+	"testing"
+
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// TestOptimizerPreservesSemantics differentially tests the middle-end
+// pipeline: for random programs, optimized and unoptimized builds of both
+// backends must produce identical output.
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	seeds := 100
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(500); seed < 500+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		var want []int64
+		for _, kind := range []isa.Kind{isa.Conventional, isa.BlockStructured} {
+			for _, optimize := range []bool{false, true} {
+				prog, err := Compile(src, "diff", Options{Kind: kind, Optimize: optimize})
+				if err != nil {
+					t.Fatalf("seed %d %s opt=%v: %v\n%s", seed, kind, optimize, err, src)
+				}
+				res, err := emu.New(prog, emu.Config{MaxOps: 80_000_000}).Run(nil)
+				if err != nil {
+					t.Fatalf("seed %d %s opt=%v: %v\n%s", seed, kind, optimize, err, src)
+				}
+				got := append(res.Output, res.ReturnValue)
+				if want == nil {
+					want = got
+					continue
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("seed %d %s opt=%v disagrees:\nwant %v\ngot  %v\nsource:\n%s",
+						seed, kind, optimize, want, got, src)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizerNeverGrowsCode: optimization must not increase static
+// operation counts on generated programs.
+func TestOptimizerNeverGrowsCode(t *testing.T) {
+	for seed := int64(700); seed < 715; seed++ {
+		src := testgen.Program(seed)
+		unopt, err := Compile(src, "u", Options{Kind: isa.Conventional, Optimize: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Compile(src, "o", Options{Kind: isa.Conventional, Optimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.StaticOps() > unopt.StaticOps() {
+			t.Errorf("seed %d: optimizer grew code %d -> %d ops",
+				seed, unopt.StaticOps(), opt.StaticOps())
+		}
+	}
+}
+
+// TestGeneratedProgramsEncodeRoundTrip: random compiled programs survive the
+// container round trip and still run identically.
+func TestGeneratedProgramsEncodeRoundTrip(t *testing.T) {
+	for seed := int64(900); seed < 910; seed++ {
+		src := testgen.Program(seed)
+		prog, err := Compile(src, "rt", DefaultOptions(isa.BlockStructured))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res1, err := emu.New(prog, emu.Config{}).Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := isa.Encode(prog)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		decoded, err := isa.Decode(data)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		decoded.Layout()
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("seed %d: decoded invalid: %v", seed, err)
+		}
+		res2, err := emu.New(decoded, emu.Config{}).Run(nil)
+		if err != nil {
+			t.Fatalf("seed %d: run decoded: %v", seed, err)
+		}
+		if fmt.Sprint(res1.Output) != fmt.Sprint(res2.Output) {
+			t.Fatalf("seed %d: round trip changed behavior", seed)
+		}
+	}
+}

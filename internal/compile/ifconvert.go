@@ -1,0 +1,213 @@
+package compile
+
+import (
+	"sort"
+
+	"bsisa/internal/ir"
+)
+
+// IfConvert applies if-conversion (predicated execution, the paper's first
+// §6 proposal): conditional diamonds and triangles whose arms are small and
+// speculation-safe are flattened into straight-line code using conditional
+// moves. This eliminates hard-to-predict branches and creates larger basic
+// blocks, which in turn lets the block enlargement optimization build larger
+// atomic blocks — exactly the interaction §6 predicts. maxArm bounds the
+// instruction count per converted arm (0 means 8).
+//
+// An arm is speculation-safe when every instruction is pure arithmetic
+// (constants, copies, add/sub/mul, logic, shifts, comparisons): loads could
+// fault on speculated addresses, divides on speculated zero divisors, and
+// stores/calls/out have effects, so arms containing them are left alone.
+func IfConvert(m *ir.Module, maxArm int) int {
+	if maxArm <= 0 {
+		maxArm = 8
+	}
+	converted := 0
+	for _, f := range m.Funcs {
+		for changed := true; changed; {
+			changed = false
+			f.ComputePreds()
+			for _, b := range f.Blocks {
+				if convertOne(f, b, maxArm) {
+					converted++
+					changed = true
+					f.ComputePreds()
+				}
+			}
+		}
+		// Drop the now-unreachable arm blocks.
+		simplifyCFG(f)
+	}
+	return converted
+}
+
+// speculable reports whether an instruction may execute unconditionally.
+func speculable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.Const, ir.Copy, ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor,
+		ir.Shl, ir.Shr, ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT,
+		ir.CmpGE, ir.Neg, ir.Not, ir.CmovNZ:
+		return true
+	}
+	return false
+}
+
+// armOf returns the arm's body when the block qualifies: single predecessor,
+// only speculation-safe instructions, ends in an unconditional jump.
+func armOf(b *ir.Block, maxArm int) ([]ir.Instr, *ir.Block, bool) {
+	if len(b.Preds) != 1 {
+		return nil, nil, false
+	}
+	t := b.Term()
+	if t == nil || t.Op != ir.Jmp {
+		return nil, nil, false
+	}
+	body := b.Instrs[:len(b.Instrs)-1]
+	if len(body) > maxArm {
+		return nil, nil, false
+	}
+	for i := range body {
+		if !speculable(&body[i]) {
+			return nil, nil, false
+		}
+	}
+	return body, b.Succs[0], true
+}
+
+// convertOne tries to if-convert the branch ending block b. Returns whether
+// it converted.
+func convertOne(f *ir.Func, b *ir.Block, maxArm int) bool {
+	term := b.Term()
+	if term == nil || term.Op != ir.Br {
+		return false
+	}
+	tBlk, fBlk := b.Succs[0], b.Succs[1]
+	if tBlk == fBlk || tBlk == b || fBlk == b {
+		return false
+	}
+	cond := term.A
+
+	var tBody, fBody []ir.Instr
+	var join *ir.Block
+	switch {
+	case func() bool { // diamond: both arms join at the same block
+		tb, tj, tok := armOf(tBlk, maxArm)
+		fb, fj, fok := armOf(fBlk, maxArm)
+		if tok && fok && tj == fj && tj != tBlk && tj != fBlk {
+			tBody, fBody, join = tb, fb, tj
+			return true
+		}
+		return false
+	}():
+	case func() bool { // triangle: taken arm falls into the other successor
+		tb, tj, tok := armOf(tBlk, maxArm)
+		if tok && tj == fBlk {
+			tBody, fBody, join = tb, nil, fBlk
+			return true
+		}
+		return false
+	}():
+	case func() bool { // inverted triangle: fall-through arm joins the taken side
+		fb, fj, fok := armOf(fBlk, maxArm)
+		if fok && fj == tBlk {
+			tBody, fBody, join = nil, fb, tBlk
+			return true
+		}
+		return false
+	}():
+	default:
+		return false
+	}
+
+	// Remove the branch; keep the condition in a register no merge writes.
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	condCopy := f.NewReg()
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.Copy, Dst: condCopy, A: cond, B: ir.NoReg})
+
+	// Append each arm with its definitions renamed to fresh temps, tracking
+	// the final temp for each original destination.
+	appendArm := func(body []ir.Instr) map[ir.Reg]ir.Reg {
+		rename := map[ir.Reg]ir.Reg{}
+		for _, in := range body {
+			ni := in
+			if ni.Args != nil {
+				ni.Args = append([]ir.Reg(nil), ni.Args...)
+			}
+			sub := func(r ir.Reg) ir.Reg {
+				if nr, ok := rename[r]; ok && r != ir.NoReg {
+					return nr
+				}
+				return r
+			}
+			ni.A = sub(ni.A)
+			ni.B = sub(ni.B)
+			if ni.Op == ir.CmovNZ {
+				// Dst is also a source; the renamed read is handled by the
+				// pre-copy below.
+				if prev, ok := rename[ni.Dst]; ok {
+					// Seed the fresh destination with the arm's prior value.
+					fresh := f.NewReg()
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ir.Copy, Dst: fresh, A: prev, B: ir.NoReg})
+					rename[ni.Dst] = fresh
+				} else {
+					fresh := f.NewReg()
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ir.Copy, Dst: fresh, A: ni.Dst, B: ir.NoReg})
+					rename[ni.Dst] = fresh
+				}
+				ni.Dst = rename[ni.Dst]
+				b.Instrs = append(b.Instrs, ni)
+				continue
+			}
+			if d := ni.Def(); d != ir.NoReg {
+				fresh := f.NewReg()
+				rename[d] = fresh
+				ni.Dst = fresh
+			}
+			b.Instrs = append(b.Instrs, ni)
+		}
+		return rename
+	}
+	tFinal := appendArm(tBody)
+	fFinal := appendArm(fBody)
+
+	// Merge: r takes the taken arm's value when cond != 0, the fall-through
+	// arm's value when cond == 0, and keeps its old value otherwise.
+	var notCond ir.Reg = ir.NoReg
+	ensureNot := func() ir.Reg {
+		if notCond == ir.NoReg {
+			notCond = f.NewReg()
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.Not, Dst: notCond, A: condCopy, B: ir.NoReg})
+		}
+		return notCond
+	}
+	// Deterministic merge order: map iteration order must not leak into the
+	// emitted program (compilation is reproducible by design).
+	var regs []ir.Reg
+	for r := range tFinal {
+		regs = append(regs, r)
+	}
+	for r := range fFinal {
+		if _, both := tFinal[r]; !both {
+			regs = append(regs, r)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		tv, inT := tFinal[r]
+		fv, inF := fFinal[r]
+		switch {
+		case inT && inF:
+			b.Instrs = append(b.Instrs,
+				ir.Instr{Op: ir.CmovNZ, Dst: r, A: tv, B: condCopy},
+				ir.Instr{Op: ir.CmovNZ, Dst: r, A: fv, B: ensureNot()})
+		case inT:
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.CmovNZ, Dst: r, A: tv, B: condCopy})
+		default:
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.CmovNZ, Dst: r, A: fv, B: ensureNot()})
+		}
+	}
+
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.Jmp, A: ir.NoReg, B: ir.NoReg, Dst: ir.NoReg})
+	b.Succs = []*ir.Block{join}
+	return true
+}

@@ -1,0 +1,146 @@
+package compile
+
+import "bsisa/internal/ir"
+
+// Inline performs function inlining (the paper's §6 third proposal:
+// "inlining can increase the fetch bandwidth used by eliminating procedure
+// calls and returns, allowing the block enlargement optimization to combine
+// blocks that previously could not be combined" — rule 3 stops enlargement
+// at every call boundary).
+//
+// The pass is deliberately conservative: only small leaf functions (no calls
+// of their own) are inlined, and library functions are never inlined — the
+// paper's premise is that library code cannot be recompiled, and inlining is
+// recompilation. maxCallee bounds the callee's instruction count (0 means
+// 24). Returns the number of call sites inlined.
+func Inline(m *ir.Module, maxCallee int) int {
+	if maxCallee <= 0 {
+		maxCallee = 24
+	}
+	candidates := map[string]*ir.Func{}
+	for _, f := range m.Funcs {
+		if f.Library || f.Name == "main" {
+			continue
+		}
+		n, hasCall := 0, false
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.Call {
+					hasCall = true
+				}
+			}
+		}
+		if !hasCall && n <= maxCallee {
+			candidates[f.Name] = f
+		}
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+	inlined := 0
+	for _, f := range m.Funcs {
+		// A candidate never contains calls, so inlining into candidates is
+		// impossible and iteration order cannot cascade.
+		for {
+			site := findCallSite(f, candidates)
+			if site == nil {
+				break
+			}
+			inlineAt(f, site.block, site.index, candidates[site.callee])
+			inlined++
+		}
+		f.Renumber()
+		f.ComputePreds()
+	}
+	return inlined
+}
+
+type callSite struct {
+	block  *ir.Block
+	index  int
+	callee string
+}
+
+func findCallSite(f *ir.Func, candidates map[string]*ir.Func) *callSite {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Call && candidates[in.Sym] != nil && in.Sym != f.Name {
+				return &callSite{block: b, index: i, callee: in.Sym}
+			}
+		}
+	}
+	return nil
+}
+
+// inlineAt splices a clone of callee into f, replacing the call at
+// block.Instrs[index].
+func inlineAt(f *ir.Func, block *ir.Block, index int, callee *ir.Func) {
+	call := block.Instrs[index]
+
+	// Clone the callee with renamed registers and shifted frame offsets.
+	regBase := f.NextReg
+	f.NextReg += callee.NextReg
+	frameShift := int64(f.FrameWords) * 8
+	f.FrameWords += callee.FrameWords
+
+	cloneReg := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return ir.NoReg
+		}
+		return r + regBase
+	}
+
+	// The continuation block receives the instructions after the call.
+	cont := f.NewBlock()
+	cont.Instrs = append(cont.Instrs, block.Instrs[index+1:]...)
+	cont.Succs = block.Succs
+
+	clones := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		clones[cb] = f.NewBlock()
+	}
+	for _, cb := range callee.Blocks {
+		nb := clones[cb]
+		for _, in := range cb.Instrs {
+			ni := in
+			ni.Dst = cloneReg(ni.Dst)
+			ni.A = cloneReg(ni.A)
+			ni.B = cloneReg(ni.B)
+			if in.Args != nil {
+				ni.Args = make([]ir.Reg, len(in.Args))
+				for k, a := range in.Args {
+					ni.Args[k] = cloneReg(a)
+				}
+			}
+			if ni.Op == ir.FrameAddr {
+				ni.Imm += frameShift
+			}
+			if ni.Op == ir.Ret {
+				// Return becomes: copy the result, jump to the continuation.
+				if call.Dst != ir.NoReg {
+					nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.Copy, Dst: call.Dst, A: ni.A, B: ir.NoReg})
+				}
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.Jmp, A: ir.NoReg, B: ir.NoReg, Dst: ir.NoReg})
+				nb.Succs = append(nb.Succs, cont)
+				continue
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+		for _, s := range cb.Succs {
+			nb.Succs = append(nb.Succs, clones[s])
+		}
+	}
+
+	// The call block now binds arguments and jumps into the clone.
+	block.Instrs = block.Instrs[:index]
+	for k, a := range call.Args {
+		if k < len(callee.Params) {
+			block.Instrs = append(block.Instrs,
+				ir.Instr{Op: ir.Copy, Dst: cloneReg(callee.Params[k]), A: a, B: ir.NoReg})
+		}
+	}
+	block.Instrs = append(block.Instrs, ir.Instr{Op: ir.Jmp, A: ir.NoReg, B: ir.NoReg, Dst: ir.NoReg})
+	block.Succs = []*ir.Block{clones[callee.Entry]}
+}

@@ -1,0 +1,141 @@
+package compile
+
+import (
+	"fmt"
+	"testing"
+
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+func countOpcode(p *isa.Program, opc isa.Opcode) int {
+	n := 0
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		for i := range b.Ops {
+			if b.Ops[i].Opcode == opc {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+const inlineSrc = `
+func sq(x) { return x * x; }
+library func libsq(x) { return x * x; }
+func main() {
+	var i; var s = 0;
+	for (i = 0; i < 30; i = i + 1) {
+		s = s + sq(i) - libsq(i & 7);
+	}
+	out(s);
+}`
+
+func TestInlineRemovesCalls(t *testing.T) {
+	plain, err := Compile(inlineSrc, "p", Options{Kind: isa.Conventional, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inl, err := Compile(inlineSrc, "i", Options{Kind: isa.Conventional, Optimize: true, Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOpcode(inl, isa.CALL) >= countOpcode(plain, isa.CALL) {
+		t.Errorf("inlining removed no calls: %d vs %d",
+			countOpcode(inl, isa.CALL), countOpcode(plain, isa.CALL))
+	}
+	// Library calls must remain (library code is not recompilable).
+	// Both builds call _start->main and main->libsq: at least the libsq
+	// call survives inside the loop.
+	if countOpcode(inl, isa.CALL) < 2 {
+		t.Errorf("library call was inlined: %d calls left", countOpcode(inl, isa.CALL))
+	}
+	r1, err := emu.New(plain, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := emu.New(inl, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r1.Output) != fmt.Sprint(r2.Output) {
+		t.Fatalf("inlining changed output: %v vs %v", r1.Output, r2.Output)
+	}
+}
+
+func TestInlineHandlesLocalArrays(t *testing.T) {
+	src := `
+func sum3(x) {
+	var b[3];
+	b[0] = x; b[1] = x + 1; b[2] = x + 2;
+	return b[0] + b[1] + b[2];
+}
+func main() {
+	var a[2];
+	a[0] = 5;
+	out(sum3(a[0]));
+	out(a[0]);
+}`
+	// sum3 contains loads/stores but no calls; with a generous budget it
+	// inlines, and its frame slots must not collide with main's array.
+	inl, err := Compile(src, "fa", Options{Kind: isa.Conventional, Optimize: true, Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.New(inl, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Output) != "[18 5]" {
+		t.Fatalf("output %v, want [18 5]", res.Output)
+	}
+}
+
+func TestInlineDifferential(t *testing.T) {
+	seeds := 80
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(6000); seed < 6000+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		var want []int64
+		for _, inline := range []bool{false, true} {
+			prog, err := Compile(src, "inl", Options{Kind: isa.BlockStructured, Optimize: true, Inline: inline})
+			if err != nil {
+				t.Fatalf("seed %d inline=%v: %v\n%s", seed, inline, err, src)
+			}
+			res, err := emu.New(prog, emu.Config{MaxOps: 200_000_000}).Run(nil)
+			if err != nil {
+				t.Fatalf("seed %d inline=%v: %v\n%s", seed, inline, err, src)
+			}
+			got := append(res.Output, res.ReturnValue)
+			if want == nil {
+				want = got
+			} else if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("seed %d: inlining changed behavior\nwant %v\ngot  %v\n%s",
+					seed, want, got, src)
+			}
+		}
+	}
+}
+
+func TestInlineRecursiveUntouched(t *testing.T) {
+	src := `
+func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+func main() { out(fib(10)); }`
+	inl, err := Compile(src, "rec", Options{Kind: isa.Conventional, Optimize: true, Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.New(inl, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 55 {
+		t.Fatalf("fib broken: %v", res.Output)
+	}
+}

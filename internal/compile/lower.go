@@ -1,0 +1,511 @@
+// Package compile implements the MiniC middle and back ends: lowering the
+// AST to the three-address IR, a classic optimization pipeline (constant
+// folding, copy propagation, dead code elimination, CFG simplification),
+// linear-scan register allocation, and code generation for both the
+// conventional load/store ISA and the block-structured ISA. The same middle
+// end feeds both backends, mirroring the paper's setup where the
+// conventional-ISA compiler is "a variant of the block-structured ISA
+// compiler that was retargeted", eliminating compiler bias between the ISAs.
+package compile
+
+import (
+	"fmt"
+
+	"bsisa/internal/ir"
+	"bsisa/internal/lang"
+)
+
+// lowerer lowers one function.
+type lowerer struct {
+	info *lang.Info
+	mod  *ir.Module
+	fn   *ir.Func
+	decl *lang.FuncDecl
+	cur  *ir.Block
+	// homes maps each local/param symbol to its virtual register (scalars)
+	// or frame byte offset (arrays).
+	regHome   map[*lang.Symbol]ir.Reg
+	frameHome map[*lang.Symbol]int64
+	loops     []loopCtx
+}
+
+type loopCtx struct {
+	brk, cont *ir.Block
+}
+
+// Lower converts a checked MiniC file into an IR module.
+func Lower(file *lang.File, info *lang.Info, name string) (*ir.Module, error) {
+	mod := &ir.Module{Name: name}
+	for _, g := range file.Globals {
+		words := g.Size
+		if words == 0 {
+			words = 1
+		}
+		mod.Globals = append(mod.Globals, ir.Global{Name: g.Name, Words: int32(words)})
+	}
+	for _, fd := range file.Funcs {
+		lw := &lowerer{
+			info:      info,
+			mod:       mod,
+			decl:      fd,
+			regHome:   map[*lang.Symbol]ir.Reg{},
+			frameHome: map[*lang.Symbol]int64{},
+		}
+		fn, err := lw.lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		mod.Funcs = append(mod.Funcs, fn)
+	}
+	if err := mod.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: lowering produced invalid IR: %w", err)
+	}
+	return mod, nil
+}
+
+func (lw *lowerer) lowerFunc(fd *lang.FuncDecl) (*ir.Func, error) {
+	fn := &ir.Func{Name: fd.Name, Library: fd.Library}
+	lw.fn = fn
+	fn.Entry = fn.NewBlock()
+	lw.cur = fn.Entry
+
+	// Parameters get virtual registers; codegen moves them out of the
+	// argument registers at entry.
+	for range fd.Params {
+		fn.Params = append(fn.Params, fn.NewReg())
+	}
+	// Bind parameter symbols. Parameter symbols are identified by Kind and
+	// Index; find them through the declaration's body references is
+	// unnecessary — sema assigned Index = position.
+	// We bind lazily in symbolHome.
+
+	lw.lowerBlockStmt(fd.Body)
+
+	// Fall off the end: return 0.
+	if lw.cur != nil {
+		zero := lw.emitConst(0)
+		lw.emit(ir.Instr{Op: ir.Ret, A: zero, Dst: ir.NoReg, B: ir.NoReg})
+		lw.cur = nil
+	}
+	// Every block must have a terminator (unreachable blocks created after
+	// return/break get a ret).
+	for _, b := range fn.Blocks {
+		if b.Term() == nil {
+			z := fn.NewReg()
+			b.Instrs = append(b.Instrs,
+				ir.Instr{Op: ir.Const, Dst: z, A: ir.NoReg, B: ir.NoReg},
+				ir.Instr{Op: ir.Ret, A: z, Dst: ir.NoReg, B: ir.NoReg})
+		}
+	}
+	fn.ComputePreds()
+	return fn, nil
+}
+
+// emit appends an instruction to the current block.
+func (lw *lowerer) emit(in ir.Instr) {
+	lw.cur.Instrs = append(lw.cur.Instrs, in)
+}
+
+func (lw *lowerer) emitConst(v int64) ir.Reg {
+	r := lw.fn.NewReg()
+	lw.emit(ir.Instr{Op: ir.Const, Dst: r, Imm: v, A: ir.NoReg, B: ir.NoReg})
+	return r
+}
+
+// setTerm ends the current block with a terminator and successor list.
+func (lw *lowerer) setTerm(in ir.Instr, succs ...*ir.Block) {
+	lw.emit(in)
+	lw.cur.Succs = append([]*ir.Block(nil), succs...)
+}
+
+func (lw *lowerer) jump(to *ir.Block) {
+	lw.setTerm(ir.Instr{Op: ir.Jmp, A: ir.NoReg, Dst: ir.NoReg, B: ir.NoReg}, to)
+}
+
+func (lw *lowerer) branch(cond ir.Reg, t, f *ir.Block) {
+	lw.setTerm(ir.Instr{Op: ir.Br, A: cond, Dst: ir.NoReg, B: ir.NoReg}, t, f)
+}
+
+// symbolHome returns the virtual register holding a scalar symbol, creating
+// it on first use.
+func (lw *lowerer) symbolHome(sym *lang.Symbol) ir.Reg {
+	if r, ok := lw.regHome[sym]; ok {
+		return r
+	}
+	var r ir.Reg
+	if sym.Kind == lang.SymParam {
+		r = lw.fn.Params[sym.Index]
+	} else {
+		r = lw.fn.NewReg()
+	}
+	lw.regHome[sym] = r
+	return r
+}
+
+// arrayFrameOffset returns the frame byte offset of a local array, allocating
+// it on first use.
+func (lw *lowerer) arrayFrameOffset(sym *lang.Symbol) int64 {
+	if off, ok := lw.frameHome[sym]; ok {
+		return off
+	}
+	off := int64(lw.fn.FrameWords) * 8
+	lw.fn.FrameWords += int32(sym.Words)
+	lw.frameHome[sym] = off
+	return off
+}
+
+func (lw *lowerer) lowerBlockStmt(b *lang.BlockStmt) {
+	for _, s := range b.Stmts {
+		if lw.cur == nil {
+			// Statements after return/break/continue are unreachable;
+			// lower them into a fresh orphan block to keep diagnostics
+			// simple. simplifycfg removes it.
+			lw.cur = lw.fn.NewBlock()
+		}
+		lw.lowerStmt(s)
+	}
+}
+
+func (lw *lowerer) lowerStmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		lw.lowerBlockStmt(st)
+	case *lang.DeclStmt:
+		sym := lw.info.Refs[st]
+		if sym.Kind == lang.SymLocalArray {
+			lw.arrayFrameOffset(sym)
+			return
+		}
+		home := lw.symbolHome(sym)
+		if st.Init != nil {
+			v := lw.lowerExpr(st.Init)
+			lw.emit(ir.Instr{Op: ir.Copy, Dst: home, A: v, B: ir.NoReg})
+		} else {
+			lw.emit(ir.Instr{Op: ir.Const, Dst: home, Imm: 0, A: ir.NoReg, B: ir.NoReg})
+		}
+	case *lang.AssignStmt:
+		sym := lw.info.Refs[st]
+		if st.Index == nil {
+			v := lw.lowerExpr(st.Value)
+			if sym.Kind == lang.SymGlobalScalar {
+				base := lw.fn.NewReg()
+				lw.emit(ir.Instr{Op: ir.GlobalAddr, Dst: base, Sym: sym.Name, A: ir.NoReg, B: ir.NoReg})
+				lw.emit(ir.Instr{Op: ir.Store, A: base, B: v, Dst: ir.NoReg})
+				return
+			}
+			lw.emit(ir.Instr{Op: ir.Copy, Dst: lw.symbolHome(sym), A: v, B: ir.NoReg})
+			return
+		}
+		addr, off := lw.lowerElemAddr(sym, st.Index)
+		v := lw.lowerExpr(st.Value)
+		lw.emit(ir.Instr{Op: ir.Store, A: addr, B: v, Imm: off, Dst: ir.NoReg})
+	case *lang.IfStmt:
+		thenB := lw.fn.NewBlock()
+		exitB := lw.fn.NewBlock()
+		elseB := exitB
+		if st.Else != nil {
+			elseB = lw.fn.NewBlock()
+		}
+		cond := lw.lowerExpr(st.Cond)
+		lw.branch(cond, thenB, elseB)
+		lw.cur = thenB
+		lw.lowerBlockStmt(st.Then)
+		if lw.cur != nil {
+			lw.jump(exitB)
+		}
+		if st.Else != nil {
+			lw.cur = elseB
+			lw.lowerStmt(st.Else)
+			if lw.cur != nil {
+				lw.jump(exitB)
+			}
+		}
+		lw.cur = exitB
+	case *lang.WhileStmt:
+		header := lw.fn.NewBlock()
+		body := lw.fn.NewBlock()
+		exit := lw.fn.NewBlock()
+		lw.jump(header)
+		lw.cur = header
+		cond := lw.lowerExpr(st.Cond)
+		lw.branch(cond, body, exit)
+		lw.loops = append(lw.loops, loopCtx{brk: exit, cont: header})
+		lw.cur = body
+		lw.lowerBlockStmt(st.Body)
+		if lw.cur != nil {
+			lw.jump(header)
+		}
+		lw.loops = lw.loops[:len(lw.loops)-1]
+		lw.cur = exit
+	case *lang.ForStmt:
+		if st.Init != nil {
+			lw.lowerStmt(st.Init)
+		}
+		header := lw.fn.NewBlock()
+		body := lw.fn.NewBlock()
+		post := lw.fn.NewBlock()
+		exit := lw.fn.NewBlock()
+		lw.jump(header)
+		lw.cur = header
+		if st.Cond != nil {
+			cond := lw.lowerExpr(st.Cond)
+			lw.branch(cond, body, exit)
+		} else {
+			lw.jump(body)
+		}
+		lw.loops = append(lw.loops, loopCtx{brk: exit, cont: post})
+		lw.cur = body
+		lw.lowerBlockStmt(st.Body)
+		if lw.cur != nil {
+			lw.jump(post)
+		}
+		lw.loops = lw.loops[:len(lw.loops)-1]
+		lw.cur = post
+		if st.Post != nil {
+			lw.lowerStmt(st.Post)
+		}
+		lw.jump(header)
+		lw.cur = exit
+	case *lang.SwitchStmt:
+		lw.lowerSwitch(st)
+	case *lang.ReturnStmt:
+		var v ir.Reg
+		if st.Value != nil {
+			v = lw.lowerExpr(st.Value)
+		} else {
+			v = lw.emitConst(0)
+		}
+		lw.setTerm(ir.Instr{Op: ir.Ret, A: v, Dst: ir.NoReg, B: ir.NoReg})
+		lw.cur = nil
+	case *lang.BreakStmt:
+		lw.jump(lw.loops[len(lw.loops)-1].brk)
+		lw.cur = nil
+	case *lang.ContinueStmt:
+		lw.jump(lw.loops[len(lw.loops)-1].cont)
+		lw.cur = nil
+	case *lang.ExprStmt:
+		call := st.X.(*lang.CallExpr)
+		lw.lowerCall(call, false)
+	default:
+		panic(fmt.Sprintf("compile: unknown statement %T", s))
+	}
+}
+
+// lowerSwitch lowers a switch statement. Dense case sets become an ir.Switch
+// jump-table terminator (codegen emits a rodata table and an indirect jump);
+// sparse sets fall back to an equality chain.
+func (lw *lowerer) lowerSwitch(st *lang.SwitchStmt) {
+	x := lw.lowerExpr(st.X)
+	exit := lw.fn.NewBlock()
+
+	defaultB := exit
+	if st.Default != nil {
+		defaultB = lw.fn.NewBlock()
+	}
+
+	// Case blocks, and the value -> block map.
+	valTo := map[int64]*ir.Block{}
+	caseBlocks := make([]*ir.Block, len(st.Cases))
+	lo, hi := int64(1<<62), int64(-(1 << 62))
+	nvals := 0
+	for i, cs := range st.Cases {
+		caseBlocks[i] = lw.fn.NewBlock()
+		for _, v := range cs.Vals {
+			valTo[v] = caseBlocks[i]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			nvals++
+		}
+	}
+
+	span := hi - lo + 1
+	dense := nvals >= 3 && span <= 128 && span <= int64(nvals)*3+8 &&
+		lo >= -30000 && hi <= 30000
+	if dense {
+		// Jump table: Succs = [entries for lo..hi..., default].
+		var succs []*ir.Block
+		for v := lo; v <= hi; v++ {
+			if b, ok := valTo[v]; ok {
+				succs = append(succs, b)
+			} else {
+				succs = append(succs, defaultB)
+			}
+		}
+		succs = append(succs, defaultB)
+		lw.setTerm(ir.Instr{Op: ir.Switch, A: x, Imm: lo, Dst: ir.NoReg, B: ir.NoReg}, succs...)
+	} else {
+		// Equality chain.
+		for i, cs := range st.Cases {
+			for _, v := range cs.Vals {
+				c := lw.fn.NewReg()
+				vv := lw.emitConst(v)
+				lw.emit(ir.Instr{Op: ir.CmpEQ, Dst: c, A: x, B: vv})
+				next := lw.fn.NewBlock()
+				lw.branch(c, caseBlocks[i], next)
+				lw.cur = next
+			}
+		}
+		lw.jump(defaultB)
+	}
+
+	for i, cs := range st.Cases {
+		lw.cur = caseBlocks[i]
+		lw.lowerBlockStmt(cs.Body)
+		if lw.cur != nil {
+			lw.jump(exit)
+		}
+	}
+	if st.Default != nil {
+		lw.cur = defaultB
+		lw.lowerBlockStmt(st.Default)
+		if lw.cur != nil {
+			lw.jump(exit)
+		}
+	}
+	lw.cur = exit
+}
+
+// lowerElemAddr computes the address register and byte displacement for an
+// array element access. Constant indices fold into the displacement.
+func (lw *lowerer) lowerElemAddr(sym *lang.Symbol, index lang.Expr) (ir.Reg, int64) {
+	base := lw.fn.NewReg()
+	if sym.Kind == lang.SymGlobalArray || sym.Kind == lang.SymGlobalScalar {
+		lw.emit(ir.Instr{Op: ir.GlobalAddr, Dst: base, Sym: sym.Name, A: ir.NoReg, B: ir.NoReg})
+	} else {
+		lw.emit(ir.Instr{Op: ir.FrameAddr, Dst: base, Imm: lw.arrayFrameOffset(sym), A: ir.NoReg, B: ir.NoReg})
+	}
+	if n, ok := index.(*lang.NumLit); ok {
+		return base, n.Val * 8
+	}
+	idx := lw.lowerExpr(index)
+	sh := lw.fn.NewReg()
+	three := lw.emitConst(3)
+	lw.emit(ir.Instr{Op: ir.Shl, Dst: sh, A: idx, B: three})
+	addr := lw.fn.NewReg()
+	lw.emit(ir.Instr{Op: ir.Add, Dst: addr, A: base, B: sh})
+	return addr, 0
+}
+
+var binOpMap = map[lang.TokKind]ir.Opc{
+	lang.TokPlus: ir.Add, lang.TokMinus: ir.Sub, lang.TokStar: ir.Mul,
+	lang.TokSlash: ir.Div, lang.TokPct: ir.Rem, lang.TokAnd: ir.And,
+	lang.TokOr: ir.Or, lang.TokXor: ir.Xor, lang.TokShl: ir.Shl,
+	lang.TokShr: ir.Shr, lang.TokEq: ir.CmpEQ, lang.TokNe: ir.CmpNE,
+	lang.TokLt: ir.CmpLT, lang.TokLe: ir.CmpLE, lang.TokGt: ir.CmpGT,
+	lang.TokGe: ir.CmpGE,
+}
+
+func (lw *lowerer) lowerExpr(e lang.Expr) ir.Reg {
+	switch ex := e.(type) {
+	case *lang.NumLit:
+		return lw.emitConst(ex.Val)
+	case *lang.Ident:
+		sym := lw.info.Refs[ex]
+		if sym.Kind == lang.SymGlobalScalar {
+			base := lw.fn.NewReg()
+			lw.emit(ir.Instr{Op: ir.GlobalAddr, Dst: base, Sym: sym.Name, A: ir.NoReg, B: ir.NoReg})
+			dst := lw.fn.NewReg()
+			lw.emit(ir.Instr{Op: ir.Load, Dst: dst, A: base, B: ir.NoReg})
+			return dst
+		}
+		return lw.symbolHome(sym)
+	case *lang.IndexExpr:
+		sym := lw.info.Refs[ex]
+		addr, off := lw.lowerElemAddr(sym, ex.Index)
+		dst := lw.fn.NewReg()
+		lw.emit(ir.Instr{Op: ir.Load, Dst: dst, A: addr, Imm: off, B: ir.NoReg})
+		return dst
+	case *lang.CallExpr:
+		return lw.lowerCall(ex, true)
+	case *lang.UnaryExpr:
+		x := lw.lowerExpr(ex.X)
+		dst := lw.fn.NewReg()
+		switch ex.Op {
+		case lang.TokMinus:
+			lw.emit(ir.Instr{Op: ir.Neg, Dst: dst, A: x, B: ir.NoReg})
+		case lang.TokNot:
+			lw.emit(ir.Instr{Op: ir.Not, Dst: dst, A: x, B: ir.NoReg})
+		case lang.TokTilde:
+			m1 := lw.emitConst(-1)
+			lw.emit(ir.Instr{Op: ir.Xor, Dst: dst, A: x, B: m1})
+		default:
+			panic("compile: bad unary op")
+		}
+		return dst
+	case *lang.BinaryExpr:
+		if ex.Op == lang.TokAndAnd || ex.Op == lang.TokOrOr {
+			return lw.lowerShortCircuit(ex)
+		}
+		l := lw.lowerExpr(ex.L)
+		r := lw.lowerExpr(ex.R)
+		dst := lw.fn.NewReg()
+		opc, ok := binOpMap[ex.Op]
+		if !ok {
+			panic(fmt.Sprintf("compile: bad binary op %s", ex.Op))
+		}
+		lw.emit(ir.Instr{Op: opc, Dst: dst, A: l, B: r})
+		return dst
+	default:
+		panic(fmt.Sprintf("compile: unknown expression %T", e))
+	}
+}
+
+// lowerShortCircuit lowers && and || with control flow. The result register
+// is 0 or 1. Writing a multi-def result register across blocks is legal in
+// this non-SSA IR.
+func (lw *lowerer) lowerShortCircuit(ex *lang.BinaryExpr) ir.Reg {
+	result := lw.fn.NewReg()
+	rhs := lw.fn.NewBlock()
+	short := lw.fn.NewBlock()
+	exit := lw.fn.NewBlock()
+
+	l := lw.lowerExpr(ex.L)
+	if ex.Op == lang.TokAndAnd {
+		// l false -> result 0; else evaluate r.
+		lw.branch(l, rhs, short)
+	} else {
+		// l true -> result 1; else evaluate r.
+		lw.branch(l, short, rhs)
+	}
+
+	lw.cur = short
+	var shortVal int64
+	if ex.Op == lang.TokOrOr {
+		shortVal = 1
+	}
+	lw.emit(ir.Instr{Op: ir.Const, Dst: result, Imm: shortVal, A: ir.NoReg, B: ir.NoReg})
+	lw.jump(exit)
+
+	lw.cur = rhs
+	r := lw.lowerExpr(ex.R)
+	// Normalize to 0/1.
+	z := lw.emitConst(0)
+	lw.emit(ir.Instr{Op: ir.CmpNE, Dst: result, A: r, B: z})
+	lw.jump(exit)
+
+	lw.cur = exit
+	return result
+}
+
+// lowerCall lowers a call; wantValue selects whether the result register is
+// materialized.
+func (lw *lowerer) lowerCall(call *lang.CallExpr, wantValue bool) ir.Reg {
+	var args []ir.Reg
+	for _, a := range call.Args {
+		args = append(args, lw.lowerExpr(a))
+	}
+	if lw.info.Builtin[call] {
+		lw.emit(ir.Instr{Op: ir.Out, A: args[0], Dst: ir.NoReg, B: ir.NoReg})
+		return ir.NoReg
+	}
+	dst := ir.NoReg
+	if wantValue {
+		dst = lw.fn.NewReg()
+	}
+	lw.emit(ir.Instr{Op: ir.Call, Dst: dst, Sym: call.Name, Args: args, A: ir.NoReg, B: ir.NoReg})
+	return dst
+}

@@ -1,0 +1,193 @@
+package compile
+
+import (
+	"fmt"
+	"testing"
+
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+const switchSrc = `
+var hist[8];
+func class(v) {
+	switch (v & 7) {
+	case 0 { return 100; }
+	case 1, 2 { return 200; }
+	case 3 { return 300; }
+	case 5 { return 500; }
+	default { return 999; }
+	}
+	return -1;
+}
+func sparse(v) {
+	switch (v) {
+	case 1 { return 10; }
+	case 1000 { return 20; }
+	case -500 { return 30; }
+	}
+	return 40;
+}
+func main() {
+	var i;
+	for (i = 0; i < 16; i = i + 1) { out(class(i)); }
+	out(sparse(1)); out(sparse(1000)); out(sparse(-500)); out(sparse(7));
+}`
+
+// switchWant is what class/sparse should produce.
+func switchWant() []int64 {
+	var want []int64
+	table := map[int64]int64{0: 100, 1: 200, 2: 200, 3: 300, 5: 500}
+	for i := int64(0); i < 16; i++ {
+		if v, ok := table[i&7]; ok {
+			want = append(want, v)
+		} else {
+			want = append(want, 999)
+		}
+	}
+	return append(want, 10, 20, 30, 40)
+}
+
+func TestSwitchBothISAs(t *testing.T) {
+	want := fmt.Sprint(switchWant())
+	for _, kind := range []isa.Kind{isa.Conventional, isa.BlockStructured} {
+		for _, optimize := range []bool{false, true} {
+			prog, err := Compile(switchSrc, "sw", Options{Kind: kind, Optimize: optimize})
+			if err != nil {
+				t.Fatalf("%s opt=%v: %v", kind, optimize, err)
+			}
+			res, err := emu.New(prog, emu.Config{}).Run(nil)
+			if err != nil {
+				t.Fatalf("%s opt=%v: %v\n%s", kind, optimize, err, isa.Disassemble(prog))
+			}
+			if got := fmt.Sprint(res.Output); got != want {
+				t.Fatalf("%s opt=%v:\ngot  %s\nwant %s", kind, optimize, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseSwitchUsesJumpTable(t *testing.T) {
+	prog, err := Compile(switchSrc, "sw", DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOpcode(prog, isa.JR) == 0 {
+		t.Error("dense switch should compile to an indirect jump")
+	}
+	if len(prog.Rodata) == 0 {
+		t.Error("dense switch should emit a rodata jump table")
+	}
+	// Every rodata entry is a valid block ID.
+	for i, w := range prog.Rodata {
+		if prog.Block(isa.BlockID(w)) == nil {
+			t.Errorf("rodata[%d] = %d is not a block", i, w)
+		}
+	}
+}
+
+func TestSparseSwitchAvoidsJumpTable(t *testing.T) {
+	src := `
+func f(v) {
+	switch (v) {
+	case 1 { return 1; }
+	case 1000000 { return 2; }
+	}
+	return 3;
+}
+func main() { out(f(1)); out(f(1000000)); out(f(5)); }`
+	prog, err := Compile(src, "sp", DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOpcode(prog, isa.JR) != 0 {
+		t.Error("sparse switch should use an equality chain, not a jump table")
+	}
+	res, err := emu.New(prog, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Output) != "[1 2 3]" {
+		t.Fatalf("output %v", res.Output)
+	}
+}
+
+func TestSwitchEnlargementRules(t *testing.T) {
+	prog, err := Compile(switchSrc, "sw", DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record the jump-table targets before enlargement.
+	before := append([]int64(nil), prog.Rodata...)
+	if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	// Rule 3: table targets survive enlargement (they may grow in place but
+	// never fork away).
+	for i, w := range prog.Rodata {
+		if prog.Block(isa.BlockID(w)) == nil {
+			t.Errorf("enlargement killed jump-table target rodata[%d]=%d", i, w)
+		}
+		if w != before[i] {
+			t.Errorf("enlargement rewrote rodata[%d]: %d -> %d", i, before[i], w)
+		}
+	}
+	res, err := emu.New(prog, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(res.Output); got != fmt.Sprint(switchWant()) {
+		t.Fatalf("enlarged switch output wrong:\n%s", got)
+	}
+}
+
+func TestSwitchConstantFolds(t *testing.T) {
+	src := `
+func main() {
+	switch (3) {
+	case 1 { out(1); }
+	case 3 { out(3); }
+	case 4 { out(4); }
+	default { out(9); }
+	}
+}`
+	prog, err := Compile(src, "cf", DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOpcode(prog, isa.JR) != 0 || countOpcode(prog, isa.BR) != 0 {
+		t.Errorf("constant switch should fold away all control: %d JR, %d BR",
+			countOpcode(prog, isa.JR), countOpcode(prog, isa.BR))
+	}
+	res, err := emu.New(prog, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Output) != "[3]" {
+		t.Fatalf("output %v", res.Output)
+	}
+}
+
+func TestSwitchRoundTripsContainer(t *testing.T) {
+	prog, err := Compile(switchSrc, "rt", DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := isa.Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := isa.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Layout()
+	res, err := emu.New(dec, emu.Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Output) != fmt.Sprint(switchWant()) {
+		t.Fatal("decoded switch program misbehaves")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+// Differential testing: generate random MiniC programs (a generator
+// independent of internal/workload's benchmark profiles) and require that
+// the conventional executable, the block-structured executable, and
+// enlarged executables under several parameterizations all produce identical
+// output and return values. This exercises the full stack — front end,
+// optimizer, register allocator, both backends, the enlarger's five rules,
+// and the emulator's atomic commit/fault-retry semantics — against itself.
+
+import (
+	"fmt"
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// runOutputs compiles and runs a program, returning its output stream.
+func runOutputs(t *testing.T, src, label string, kind isa.Kind, params *Params) []int64 {
+	t.Helper()
+	prog, err := compile.Compile(src, label, compile.DefaultOptions(kind))
+	if err != nil {
+		t.Fatalf("%s: compile: %v\nsource:\n%s", label, err, src)
+	}
+	if params != nil {
+		if _, err := Enlarge(prog, *params); err != nil {
+			t.Fatalf("%s: enlarge: %v\nsource:\n%s", label, err, src)
+		}
+	}
+	res, err := emu.New(prog, emu.Config{MaxOps: 80_000_000}).Run(nil)
+	if err != nil {
+		t.Fatalf("%s: run: %v\nsource:\n%s\n%s", label, err, src, isa.Disassemble(prog))
+	}
+	return append(res.Output, res.ReturnValue)
+}
+
+// TestDifferentialRandomPrograms is the cross-ISA differential fuzz test.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 150 // one-off deep runs used 800+
+	if testing.Short() {
+		seeds = 10
+	}
+	paramSets := []Params{
+		{},                         // paper defaults
+		{MaxOps: 8},                // tight blocks
+		{MaxOps: 32, MaxFaults: 1}, // wide, single fault
+		{MaxFaults: -1},            // merges only
+		{MaxOps: 24, MaxFaults: 3}, // beyond-paper budget
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		want := runOutputs(t, src, fmt.Sprintf("seed%d/conv", seed), isa.Conventional, nil)
+		got := runOutputs(t, src, fmt.Sprintf("seed%d/bsa", seed), isa.BlockStructured, nil)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("seed %d: BSA disagrees with conventional\nconv: %v\nbsa:  %v\nsource:\n%s",
+				seed, want, got, src)
+		}
+		p := paramSets[seed%int64(len(paramSets))]
+		got = runOutputs(t, src, fmt.Sprintf("seed%d/enlarged", seed), isa.BlockStructured, &p)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("seed %d: enlarged (%+v) disagrees\nconv:     %v\nenlarged: %v\nsource:\n%s",
+				seed, p, want, got, src)
+		}
+	}
+}
+
+// TestDifferentialSuperblockRandomPrograms repeats the differential check
+// for the static-prediction (superblock) enlarger, which needs a profile.
+func TestDifferentialSuperblockRandomPrograms(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(100); seed < 100+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		want := runOutputs(t, src, "conv", isa.Conventional, nil)
+
+		prog, err := compile.Compile(src, "bsa", compile.DefaultOptions(isa.BlockStructured))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prof, err := CollectProfile(prog, 80_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+		if _, err := Enlarge(prog, Params{Static: true, Profile: prof}); err != nil {
+			t.Fatalf("seed %d: superblock enlarge: %v\nsource:\n%s", seed, err, src)
+		}
+		res, err := emu.New(prog, emu.Config{MaxOps: 80_000_000}).Run(nil)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\nsource:\n%s", seed, err, src)
+		}
+		got := append(res.Output, res.ReturnValue)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("seed %d: superblock disagrees\nconv:       %v\nsuperblock: %v\nsource:\n%s",
+				seed, want, got, src)
+		}
+	}
+}

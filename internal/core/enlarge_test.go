@@ -1,0 +1,448 @@
+package core
+
+import (
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+// compileBSA compiles MiniC to an unenlarged block-structured program.
+func compileBSA(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := compile.Compile(src, "t", compile.DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *isa.Program) *emu.Result {
+	t.Helper()
+	res, err := emu.New(p, emu.Config{MaxOps: 100_000_000}).Run(nil)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, isa.Disassemble(p))
+	}
+	return res
+}
+
+// checkEnlargePreservesSemantics compiles src, runs it, enlarges, runs again,
+// and requires identical output. Returns the enlarged program and stats.
+func checkEnlargePreservesSemantics(t *testing.T, src string, params Params) (*isa.Program, *Stats) {
+	t.Helper()
+	p := compileBSA(t, src)
+	before := runProg(t, p)
+	stats, err := Enlarge(p, params)
+	if err != nil {
+		t.Fatalf("enlarge: %v", err)
+	}
+	after := runProg(t, p)
+	if len(before.Output) != len(after.Output) {
+		t.Fatalf("output length changed: %d -> %d", len(before.Output), len(after.Output))
+	}
+	for i := range before.Output {
+		if before.Output[i] != after.Output[i] {
+			t.Fatalf("output[%d] changed: %d -> %d", i, before.Output[i], after.Output[i])
+		}
+	}
+	if before.ReturnValue != after.ReturnValue {
+		t.Fatalf("return value changed: %d -> %d", before.ReturnValue, after.ReturnValue)
+	}
+	return p, stats
+}
+
+const branchy = `
+var data[64];
+func classify(x) {
+	if (x % 3 == 0) {
+		if (x % 2 == 0) { return 6; }
+		return 3;
+	}
+	if (x % 2 == 0) { return 2; }
+	return 1;
+}
+func main() {
+	var i;
+	for (i = 0; i < 64; i = i + 1) { data[i] = classify(i); }
+	var sum = 0;
+	for (i = 0; i < 64; i = i + 1) { sum = sum + data[i]; }
+	out(sum);
+}
+`
+
+func TestEnlargePreservesSemanticsBranchy(t *testing.T) {
+	p, stats := checkEnlargePreservesSemantics(t, branchy, Params{})
+	if stats.Forks == 0 {
+		t.Error("expected conditional forks in branchy code")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnlargePreservesSemanticsLoops(t *testing.T) {
+	checkEnlargePreservesSemantics(t, `
+func main() {
+	var i; var j; var acc = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		for (j = 0; j < 10; j = j + 1) {
+			if ((i + j) % 2 == 0) { acc = acc + i * j; } else { acc = acc - 1; }
+		}
+	}
+	out(acc);
+}`, Params{})
+}
+
+func TestEnlargePreservesSemanticsCalls(t *testing.T) {
+	checkEnlargePreservesSemantics(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { out(fib(14)); }`, Params{})
+}
+
+func TestEnlargeGrowsBlocks(t *testing.T) {
+	p := compileBSA(t, branchy)
+	staticBefore := p.StaticOps()
+	blocksBefore := p.NumLiveBlocks()
+	var maxBefore int
+	for _, b := range p.Blocks {
+		if b != nil && len(b.Ops) > maxBefore {
+			maxBefore = len(b.Ops)
+		}
+	}
+	stats, err := Enlarge(p, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static code must grow (duplication) and ops-per-block must rise.
+	if stats.BytesAfter <= stats.BytesBefore {
+		t.Errorf("code did not grow: %d -> %d bytes", stats.BytesBefore, stats.BytesAfter)
+	}
+	avgBefore := float64(staticBefore) / float64(blocksBefore)
+	avgAfter := float64(p.StaticOps()) / float64(p.NumLiveBlocks())
+	if avgAfter <= avgBefore {
+		t.Errorf("static ops/block did not grow: %.2f -> %.2f", avgBefore, avgAfter)
+	}
+	if stats.CodeGrowth() <= 1 {
+		t.Errorf("CodeGrowth = %f", stats.CodeGrowth())
+	}
+}
+
+func TestEnlargeRespectsMaxOps(t *testing.T) {
+	for _, maxOps := range []int{8, 16, 32} {
+		// Compile with a matching pre-enlargement split cap: enlargement
+		// cannot shrink blocks that already exceed its limit.
+		opts := compile.DefaultOptions(isa.BlockStructured)
+		opts.MaxBlockOps = maxOps
+		p, err := compile.Compile(branchy, "t", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Enlarge(p, Params{MaxOps: maxOps}); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range p.Blocks {
+			if b != nil && len(b.Ops) > maxOps {
+				t.Errorf("maxOps=%d: B%d has %d ops", maxOps, b.ID, len(b.Ops))
+			}
+		}
+	}
+}
+
+func TestEnlargeRespectsMaxFaults(t *testing.T) {
+	p := compileBSA(t, branchy)
+	if _, err := Enlarge(p, Params{MaxOps: 64, MaxFaults: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		if b.NumFaults() > 2 {
+			t.Errorf("B%d has %d faults", b.ID, b.NumFaults())
+		}
+		if len(b.Succs) > 8 {
+			t.Errorf("B%d has %d successors", b.ID, len(b.Succs))
+		}
+	}
+}
+
+func TestEnlargeMaxFaultsDisabled(t *testing.T) {
+	// MaxFaults -1: only unconditional merging; no faults may appear.
+	p, stats := checkEnlargePreservesSemantics(t, branchy, Params{MaxFaults: -1})
+	for _, b := range p.Blocks {
+		if b != nil && b.NumFaults() != 0 {
+			t.Errorf("B%d has faults with fault-free enlargement", b.ID)
+		}
+	}
+	if stats.Forks != 0 {
+		t.Errorf("forks = %d with faults disabled", stats.Forks)
+	}
+}
+
+func TestEnlargeNeverTouchesLibraryBlocks(t *testing.T) {
+	src := `
+library func lib(x) {
+	if (x > 2) { return x * 2; }
+	return x + 1;
+}
+func main() {
+	var i; var s = 0;
+	for (i = 0; i < 8; i = i + 1) { s = s + lib(i); }
+	out(s);
+}`
+	p := compileBSA(t, src)
+	libFn := p.FuncByName("lib")
+	var libOps, libBlocks int
+	for _, b := range p.Blocks {
+		if b != nil && b.Func == libFn.ID {
+			libBlocks++
+			libOps += len(b.Ops)
+		}
+	}
+	p2, _ := checkEnlargePreservesSemantics(t, src, Params{})
+	libFn2 := p2.FuncByName("lib")
+	var libOps2, libBlocks2 int
+	for _, b := range p2.Blocks {
+		if b != nil && b.Func == libFn2.ID {
+			libBlocks2++
+			libOps2 += len(b.Ops)
+			if b.NumFaults() > 0 {
+				t.Errorf("library block B%d gained faults", b.ID)
+			}
+		}
+	}
+	if libOps2 != libOps || libBlocks2 != libBlocks {
+		t.Errorf("library function changed: %d blocks/%d ops -> %d blocks/%d ops",
+			libBlocks, libOps, libBlocks2, libOps2)
+	}
+}
+
+func TestEnlargeDoesNotMergeLoopIterations(t *testing.T) {
+	// A tight self-loop: the latch must not absorb the header across the
+	// back edge (rule 4).
+	src := `
+func main() {
+	var i = 0;
+	while (i < 100) { i = i + 1; }
+	out(i);
+}`
+	p, _ := checkEnlargePreservesSemantics(t, src, Params{})
+	// No block may contain two copies of the loop-increment operations:
+	// check no block exceeds the combined header+body size, which would
+	// indicate iteration merging. The loop body+header is small; a merged
+	// double iteration would contain two traps' worth of faults on the
+	// same condition register chain. Simpler invariant: every block's
+	// fault count stays 0 or 1 here (one fork level at most, since the
+	// only conditional is the loop header whose taken side is the body,
+	// whose outgoing edge is the back edge).
+	for _, b := range p.Blocks {
+		if b != nil && b.NumFaults() > 1 {
+			t.Errorf("B%d has %d faults; loop iterations likely merged", b.ID, b.NumFaults())
+		}
+	}
+}
+
+func TestEnlargeRejectsConventional(t *testing.T) {
+	p, err := compile.Compile(`func main() { out(1); }`, "t", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enlarge(p, Params{}); err == nil {
+		t.Error("enlarging a conventional program should fail")
+	}
+}
+
+func TestEnlargeFaultPolarity(t *testing.T) {
+	// A block merged with its taken successor faults when the condition is
+	// zero, and vice versa.
+	p, _ := checkEnlargePreservesSemantics(t, branchy, Params{})
+	forked := 0
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		for i := range b.Ops {
+			if b.Ops[i].Opcode != isa.FAULT {
+				continue
+			}
+			forked++
+			tgt := p.Block(b.Ops[i].Target)
+			if tgt == nil {
+				t.Fatalf("B%d fault targets missing block", b.ID)
+			}
+		}
+	}
+	if forked == 0 {
+		t.Error("no faults found after enlargement of branchy code")
+	}
+}
+
+func TestEnlargeDynamicBlockSizeGrows(t *testing.T) {
+	p := compileBSA(t, branchy)
+	resBefore := runProg(t, p)
+	if _, err := Enlarge(p, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	resAfter := runProg(t, p)
+	if resAfter.Stats.AvgBlockSize() <= resBefore.Stats.AvgBlockSize() {
+		t.Errorf("dynamic avg block size did not grow: %.2f -> %.2f",
+			resBefore.Stats.AvgBlockSize(), resAfter.Stats.AvgBlockSize())
+	}
+}
+
+func TestSuperblockEnlargement(t *testing.T) {
+	p := compileBSA(t, branchy)
+	prof, err := CollectProfile(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) == 0 {
+		t.Fatal("empty profile")
+	}
+	before := runProg(t, p)
+	stats, err := Enlarge(p, Params{Static: true, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := runProg(t, p)
+	for i := range before.Output {
+		if before.Output[i] != after.Output[i] {
+			t.Fatalf("superblock output changed at %d", i)
+		}
+	}
+	if stats.Forks == 0 {
+		t.Error("superblock formation did nothing")
+	}
+	if stats.AsymForks != stats.Forks {
+		t.Errorf("superblock forks must all be asymmetric: %d of %d", stats.AsymForks, stats.Forks)
+	}
+}
+
+func TestSuperblockRequiresProfile(t *testing.T) {
+	p := compileBSA(t, branchy)
+	if _, err := Enlarge(p, Params{Static: true}); err == nil {
+		t.Error("static mode without profile should fail")
+	}
+}
+
+func TestMinBiasSkipsUnbiasedBranches(t *testing.T) {
+	// A perfectly unbiased branch (alternating) must not fork under
+	// MinBias 0.9; a heavily biased one must.
+	src := `
+func main() {
+	var i; var a = 0; var b = 0;
+	for (i = 0; i < 100; i = i + 1) {
+		if (i % 2 == 0) { a = a + 1; } else { b = b + 1; } // unbiased
+		if (i < 95) { a = a + 2; }                          // biased
+	}
+	out(a); out(b);
+}`
+	p := compileBSA(t, src)
+	prof, err := CollectProfile(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAll := compileBSA(t, src)
+	statsAll, err := Enlarge(pAll, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBias := compileBSA(t, src)
+	statsBias, err := Enlarge(pBias, Params{Profile: prof, MinBias: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsBias.Forks >= statsAll.Forks {
+		t.Errorf("MinBias did not reduce forks: %d vs %d", statsBias.Forks, statsAll.Forks)
+	}
+	if statsBias.BytesAfter >= statsAll.BytesAfter {
+		t.Errorf("MinBias did not reduce code growth: %d vs %d", statsBias.BytesAfter, statsAll.BytesAfter)
+	}
+}
+
+func TestBranchProfileBias(t *testing.T) {
+	cases := []struct {
+		p    BranchProfile
+		want float64
+	}{
+		{BranchProfile{0, 0}, 0},
+		{BranchProfile{10, 0}, 1},
+		{BranchProfile{5, 5}, 0.5},
+		{BranchProfile{1, 3}, 0.75},
+	}
+	for _, c := range cases {
+		if got := c.p.Bias(); got != c.want {
+			t.Errorf("Bias(%+v) = %f, want %f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestEnlargeIdempotentSecondPass(t *testing.T) {
+	p := compileBSA(t, branchy)
+	if _, err := Enlarge(p, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	opsAfterFirst := p.StaticOps()
+	// A second pass may find a little more work (new blocks re-examined),
+	// but must preserve semantics and invariants.
+	if _, err := Enlarge(p, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	res := runProg(t, p)
+	if len(res.Output) != 1 {
+		t.Fatalf("unexpected output %v", res.Output)
+	}
+	if p.StaticOps() < opsAfterFirst/2 {
+		t.Error("second pass destroyed code")
+	}
+}
+
+func TestProfileLayoutPacksHotBlocks(t *testing.T) {
+	p := compileBSA(t, branchy)
+	if _, err := Enlarge(p, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := CollectBlockCounts(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ProfileLayout(p, counts)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Within each function, every executed block must precede every
+	// never-executed block.
+	perFunc := map[isa.FuncID][]*isa.Block{}
+	for _, b := range p.Blocks {
+		if b != nil {
+			perFunc[b.Func] = append(perFunc[b.Func], b)
+		}
+	}
+	for fid, blocks := range perFunc {
+		seenCold := false
+		// Sort by address.
+		for i := 1; i < len(blocks); i++ {
+			for j := i; j > 0 && blocks[j].Addr < blocks[j-1].Addr; j-- {
+				blocks[j], blocks[j-1] = blocks[j-1], blocks[j]
+			}
+		}
+		for _, b := range blocks {
+			hot := counts[b.ID] > 0
+			if hot && seenCold {
+				t.Fatalf("func %d: hot block B%d placed after cold blocks", fid, b.ID)
+			}
+			if !hot {
+				seenCold = true
+			}
+		}
+	}
+	// Semantics unaffected by relayout.
+	res := runProg(t, p)
+	if len(res.Output) != 1 {
+		t.Fatalf("bad output %v", res.Output)
+	}
+}

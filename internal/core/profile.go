@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+// CollectProfile runs the program functionally and records each block's trap
+// outcomes. Run it on the pre-enlargement program: profiles are keyed by
+// original block ID (the enlarger consults them through each block's chain
+// provenance). The paper's superblock baseline uses such a profile as its
+// static branch predictor; the MinBias heuristic (§6) uses it to skip
+// unbiased branches.
+func CollectProfile(p *isa.Program, maxOps int64) (Profile, error) {
+	prof := Profile{}
+	_, err := emu.New(p, emu.Config{MaxOps: maxOps}).Run(func(ev *emu.BlockEvent) error {
+		if t := ev.Block.Terminator(); t != nil && (t.Opcode == isa.TRAP || t.Opcode == isa.BR) {
+			bp := prof[ev.Block.ID]
+			if ev.Taken {
+				bp.Taken++
+			} else {
+				bp.NotTaken++
+			}
+			prof[ev.Block.ID] = bp
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// BlockCounts records per-block execution counts, for profile-guided layout.
+type BlockCounts map[isa.BlockID]int64
+
+// CollectBlockCounts functionally runs the program and counts committed
+// executions per block.
+func CollectBlockCounts(p *isa.Program, maxOps int64) (BlockCounts, error) {
+	counts := BlockCounts{}
+	_, err := emu.New(p, emu.Config{MaxOps: maxOps}).Run(func(ev *emu.BlockEvent) error {
+		counts[ev.Block.ID]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// ProfileLayout lays the program out with hot blocks packed first within
+// each function (the paper's §6 profiling proposal applied to placement:
+// block enlargement duplicates code, and packing the variants that actually
+// execute onto few icache lines reclaims some of the duplication cost).
+func ProfileLayout(p *isa.Program, counts BlockCounts) {
+	p.LayoutOrdered(func(b *isa.Block) int64 {
+		// Negative count so hotter blocks rank earlier.
+		return -counts[b.ID]
+	})
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// checkFiveRules asserts the paper's §4.2 termination rules as structural
+// invariants of an enlarged program.
+func checkFiveRules(t *testing.T, p *isa.Program, params Params) {
+	t.Helper()
+	params = params.withDefaults()
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		// Rule 1: block size <= issue width. Pre-enlargement codegen splits
+		// at 16, so MaxOps below 16 cannot be asserted against pre-split
+		// blocks; assert against the larger of the two.
+		cap16 := params.MaxOps
+		if cap16 < compile.DefaultMaxBlockOps {
+			cap16 = compile.DefaultMaxBlockOps
+		}
+		if len(b.Ops) > cap16 {
+			t.Errorf("rule 1 violated: B%d has %d ops (cap %d)", b.ID, len(b.Ops), cap16)
+		}
+		// Rule 2: fault and successor bounds.
+		if b.NumFaults() > params.MaxFaults {
+			t.Errorf("rule 2 violated: B%d has %d faults", b.ID, b.NumFaults())
+		}
+		if len(b.Succs) > params.MaxSuccs {
+			t.Errorf("rule 2 violated: B%d has %d successors", b.ID, len(b.Succs))
+		}
+		// Rule 3: blocks ending in call/return keep single/no successors
+		// (never merged across those edges, never forked into their
+		// continuations).
+		if term := b.Terminator(); term != nil {
+			switch term.Opcode {
+			case isa.CALL:
+				if len(b.Succs) != 1 {
+					t.Errorf("rule 3 violated: call block B%d has %d successors", b.ID, len(b.Succs))
+				}
+			case isa.RET:
+				if len(b.Succs) != 0 {
+					t.Errorf("rule 3 violated: ret block B%d has successors", b.ID)
+				}
+			}
+		}
+		// Rule 5: library blocks contain no faults (never combined).
+		if b.Library && b.NumFaults() > 0 {
+			t.Errorf("rule 5 violated: library block B%d has faults", b.ID)
+		}
+		// Fault targets exist and belong to the same function.
+		for i := range b.Ops {
+			if b.Ops[i].Opcode == isa.FAULT {
+				tgt := p.Block(b.Ops[i].Target)
+				if tgt == nil {
+					t.Errorf("B%d fault targets missing block", b.ID)
+				} else if tgt.Func != b.Func {
+					t.Errorf("B%d fault crosses functions", b.ID)
+				}
+			}
+		}
+	}
+	// Rule 3 (fork side): every function entry and call continuation block
+	// still exists (never removed by symmetric forking).
+	for _, f := range p.Funcs {
+		if p.Block(f.Entry) == nil {
+			t.Errorf("rule 3 violated: function %s lost its entry", f.Name)
+		}
+	}
+	for _, b := range p.Blocks {
+		if b != nil && b.Cont != isa.NoBlock && p.Block(b.Cont) == nil {
+			t.Errorf("rule 3 violated: B%d lost its continuation", b.ID)
+		}
+	}
+}
+
+// TestFiveRulesOnRandomPrograms enforces the termination rules across random
+// programs and several parameterizations.
+func TestFiveRulesOnRandomPrograms(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	paramSets := []Params{{}, {MaxOps: 8}, {MaxOps: 32}, {MaxFaults: 1}, {MaxFaults: 3, MaxSuccs: 16}}
+	for seed := int64(3000); seed < 3000+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		params := paramSets[seed%int64(len(paramSets))]
+		prog, err := compile.Compile(src, "rules", compile.DefaultOptions(isa.BlockStructured))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := Enlarge(prog, params); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkFiveRules(t, prog, params)
+	}
+}
+
+// TestRule4NoLoopIterationMerging: for a simple counted loop, no block may
+// contain two copies of the loop body (the increment op appears at most once
+// per block).
+func TestRule4NoLoopIterationMerging(t *testing.T) {
+	src := `
+func main() {
+	var i;
+	var s = 0;
+	for (i = 0; i < 50; i = i + 1) {
+		s = s + 7;
+	}
+	out(s);
+}`
+	prog, err := compile.Compile(src, "r4", compile.DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enlarge(prog, Params{MaxOps: 64}); err != nil {
+		t.Fatal(err)
+	}
+	// Count ADDI ..., 7 occurrences per block: the loop body's signature op.
+	for _, b := range prog.Blocks {
+		if b == nil {
+			continue
+		}
+		n := 0
+		for i := range b.Ops {
+			if b.Ops[i].Opcode == isa.ADDI && b.Ops[i].Imm == 7 {
+				n++
+			}
+		}
+		if n > 1 {
+			t.Errorf("rule 4 violated: B%d contains %d copies of the loop body", b.ID, n)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"bsisa/internal/isa"
+)
+
+func miniProgram(ops []isa.Op) *isa.Program {
+	p := &isa.Program{Kind: isa.Conventional, Name: "err"}
+	p.Funcs = []*isa.Func{{ID: 0, Name: "main", Entry: 0}}
+	b := isa.NewBlock(0)
+	b.Ops = ops
+	p.AddBlock(b)
+	return p
+}
+
+func expectError(t *testing.T, p *isa.Program, want string) {
+	t.Helper()
+	_, err := New(p, Config{MaxOps: 100000}).Run(nil)
+	if err == nil {
+		t.Fatalf("expected error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestUnmappedAccessRejected(t *testing.T) {
+	expectError(t, miniProgram([]isa.Op{
+		{Opcode: isa.LD, Rd: 11, Rs1: isa.RegZero, Imm: 0x100}, // below globals
+		{Opcode: isa.HALT},
+	}), "unmapped")
+}
+
+func TestMisalignedAccessRejected(t *testing.T) {
+	p := miniProgram([]isa.Op{
+		{Opcode: isa.LUI, Rd: 11, Imm: int32(isa.GlobalBase >> 16)},
+		{Opcode: isa.LD, Rd: 12, Rs1: 11, Imm: 3},
+		{Opcode: isa.HALT},
+	})
+	p.GlobalWords = 4 // mapped, but the address is misaligned
+	expectError(t, p, "misaligned")
+}
+
+func TestReturnToInvalidBlockRejected(t *testing.T) {
+	expectError(t, miniProgram([]isa.Op{
+		{Opcode: isa.ADDI, Rd: isa.RegLR, Rs1: isa.RegZero, Imm: 9999},
+		{Opcode: isa.RET, Rs1: isa.RegLR},
+	}), "invalid block")
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	// Push SP below the limit, then store.
+	expectError(t, miniProgram([]isa.Op{
+		{Opcode: isa.LUI, Rd: 11, Imm: 0x0200}, // StackTop
+		{Opcode: isa.LUI, Rd: 12, Imm: 0x0010}, // 0x100000
+		{Opcode: isa.SUB, Rd: 11, Rs1: 11, Rs2: 12},
+		{Opcode: isa.ST, Rs1: 11, Rs2: isa.RegZero, Imm: -8},
+		{Opcode: isa.HALT},
+	}), "stack overflow")
+}
+
+func TestMissingBlockRejected(t *testing.T) {
+	p := miniProgram([]isa.Op{{Opcode: isa.JMP, Target: 42}})
+	p.Blocks[0].Succs = []isa.BlockID{42}
+	_, err := New(p, Config{}).Run(nil)
+	if err == nil {
+		t.Fatal("jump to missing block should fail")
+	}
+}
+
+func TestGlobalSegmentBoundsEnforced(t *testing.T) {
+	p := miniProgram([]isa.Op{
+		{Opcode: isa.LUI, Rd: 11, Imm: int32(isa.GlobalBase >> 16)},
+		{Opcode: isa.LD, Rd: 12, Rs1: 11, Imm: 8 * 4}, // word 4, but only 2 words
+		{Opcode: isa.HALT},
+	})
+	p.GlobalWords = 2
+	expectError(t, p, "unmapped")
+}
+
+func TestFaultRetryLoopDetected(t *testing.T) {
+	// Two blocks whose faults always fire and point at each other.
+	p := &isa.Program{Kind: isa.BlockStructured, Name: "loop"}
+	p.Funcs = []*isa.Func{{ID: 0, Name: "main", Entry: 0}}
+	b0 := isa.NewBlock(0)
+	b0.Ops = []isa.Op{{Opcode: isa.FAULT, Rs1: isa.RegZero, Target: 1, FaultNZ: false}, {Opcode: isa.HALT}}
+	b1 := isa.NewBlock(0)
+	b1.Ops = []isa.Op{{Opcode: isa.FAULT, Rs1: isa.RegZero, Target: 0, FaultNZ: false}, {Opcode: isa.HALT}}
+	p.AddBlock(b0)
+	p.AddBlock(b1)
+	expectError(t, p, "retry loop")
+}

@@ -1,0 +1,255 @@
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bsisa/internal/isa"
+)
+
+// runALU executes a single ALU op on a fresh emulator with preset registers.
+func runALU(t *testing.T, op isa.Op, r1, r2 int64) int64 {
+	t.Helper()
+	p := aluProgram(op)
+	e := New(p, Config{})
+	e.regs[11] = r1
+	e.regs[12] = r2
+	res, err := e.Run(nil)
+	if err != nil {
+		t.Fatalf("run %s: %v", op.String(), err)
+	}
+	return res.ReturnValue
+}
+
+// aluProgram wraps one op in a minimal program: rd=13 moved to RV, halt.
+func aluProgram(op isa.Op) *isa.Program {
+	p := &isa.Program{Kind: isa.Conventional, Name: "alu"}
+	f := &isa.Func{ID: 0, Name: "main", Entry: 0}
+	p.Funcs = []*isa.Func{f}
+	b := isa.NewBlock(0)
+	op.Rd = 13
+	op.Rs1 = 11
+	op.Rs2 = 12
+	b.Ops = []isa.Op{
+		op,
+		{Opcode: isa.ADDI, Rd: isa.RegRV, Rs1: 13, Imm: 0},
+		{Opcode: isa.HALT},
+	}
+	p.AddBlock(b)
+	p.EntryFunc = 0
+	return p
+}
+
+// TestALUQuickCrossCheck property-checks the emulator's binary operator
+// semantics against independent Go implementations.
+func TestALUQuickCrossCheck(t *testing.T) {
+	type spec struct {
+		opc isa.Opcode
+		ref func(a, b int64) int64
+	}
+	specs := []spec{
+		{isa.ADD, func(a, b int64) int64 { return a + b }},
+		{isa.SUB, func(a, b int64) int64 { return a - b }},
+		{isa.AND, func(a, b int64) int64 { return a & b }},
+		{isa.OR, func(a, b int64) int64 { return a | b }},
+		{isa.XOR, func(a, b int64) int64 { return a ^ b }},
+		{isa.MUL, func(a, b int64) int64 { return a * b }},
+		{isa.SLT, func(a, b int64) int64 { return b2i(a < b) }},
+		{isa.SLE, func(a, b int64) int64 { return b2i(a <= b) }},
+		{isa.SEQ, func(a, b int64) int64 { return b2i(a == b) }},
+		{isa.SNE, func(a, b int64) int64 { return b2i(a != b) }},
+		{isa.SHL, func(a, b int64) int64 { return a << (uint64(b) & 63) }},
+		{isa.SHR, func(a, b int64) int64 { return int64(uint64(a) >> (uint64(b) & 63)) }},
+		{isa.SAR, func(a, b int64) int64 { return a >> (uint64(b) & 63) }},
+	}
+	for _, s := range specs {
+		s := s
+		f := func(a, b int64) bool {
+			return runALU(t, isa.Op{Opcode: s.opc}, a, b) == s.ref(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", s.opc, err)
+		}
+	}
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func TestDivRemSemantics(t *testing.T) {
+	cases := []struct{ a, b, q, r int64 }{
+		{7, 2, 3, 1},
+		{-7, 2, -3, -1},
+		{7, -2, -3, 1},
+		{-7, -2, 3, -1},
+	}
+	for _, c := range cases {
+		if got := runALU(t, isa.Op{Opcode: isa.DIV}, c.a, c.b); got != c.q {
+			t.Errorf("DIV(%d,%d) = %d, want %d", c.a, c.b, got, c.q)
+		}
+		if got := runALU(t, isa.Op{Opcode: isa.REM}, c.a, c.b); got != c.r {
+			t.Errorf("REM(%d,%d) = %d, want %d", c.a, c.b, got, c.r)
+		}
+	}
+}
+
+func TestImmediateSemantics(t *testing.T) {
+	// ADDI sign-extends; ANDI/ORI/XORI zero-extend (MIPS convention).
+	p := &isa.Program{Kind: isa.Conventional, Name: "imm"}
+	f := &isa.Func{ID: 0, Name: "main", Entry: 0}
+	p.Funcs = []*isa.Func{f}
+	b := isa.NewBlock(0)
+	b.Ops = []isa.Op{
+		{Opcode: isa.ADDI, Rd: 11, Rs1: isa.RegZero, Imm: -5},
+		{Opcode: isa.OUT, Rs1: 11},
+		{Opcode: isa.ORI, Rd: 12, Rs1: isa.RegZero, Imm: -1}, // zext16(-1) = 0xFFFF
+		{Opcode: isa.OUT, Rs1: 12},
+		{Opcode: isa.LUI, Rd: 13, Imm: 0x1234},
+		{Opcode: isa.OUT, Rs1: 13},
+		{Opcode: isa.ANDI, Rd: 14, Rs1: 11, Imm: 0xFF}, // -5 & 0xFF = 0xFB
+		{Opcode: isa.OUT, Rs1: 14},
+		{Opcode: isa.HALT},
+	}
+	p.AddBlock(b)
+	res, err := New(p, Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{-5, 0xFFFF, 0x1234 << 16, 0xFB}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	p := &isa.Program{Kind: isa.Conventional, Name: "zero"}
+	p.Funcs = []*isa.Func{{ID: 0, Name: "main", Entry: 0}}
+	b := isa.NewBlock(0)
+	b.Ops = []isa.Op{
+		{Opcode: isa.ADDI, Rd: isa.RegZero, Rs1: isa.RegZero, Imm: 99},
+		{Opcode: isa.OUT, Rs1: isa.RegZero},
+		{Opcode: isa.HALT},
+	}
+	p.AddBlock(b)
+	res, err := New(p, Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 0 {
+		t.Errorf("zero register was written: %d", res.Output[0])
+	}
+}
+
+// TestAtomicBlockSeesOwnStores verifies that within an atomic block a load
+// observes the block's own staged stores.
+func TestAtomicBlockSeesOwnStores(t *testing.T) {
+	p := &isa.Program{Kind: isa.BlockStructured, Name: "staged", GlobalWords: 4}
+	p.Funcs = []*isa.Func{{ID: 0, Name: "main", Entry: 0}}
+	b := isa.NewBlock(0)
+	addr := int64(isa.GlobalBase)
+	b.Ops = []isa.Op{
+		{Opcode: isa.LUI, Rd: 11, Imm: int32(addr >> 16)},
+		{Opcode: isa.ADDI, Rd: 12, Rs1: isa.RegZero, Imm: 77},
+		{Opcode: isa.ST, Rs1: 11, Rs2: 12, Imm: 0},
+		{Opcode: isa.LD, Rd: 13, Rs1: 11, Imm: 0},
+		{Opcode: isa.OUT, Rs1: 13},
+		{Opcode: isa.HALT},
+	}
+	p.AddBlock(b)
+	res, err := New(p, Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 77 {
+		t.Errorf("staged store not visible to same-block load: %d", res.Output[0])
+	}
+}
+
+// TestFaultSuppressesBlockEffects verifies the atomic abort: a firing fault
+// discards the block's register writes, stores and output.
+func TestFaultSuppressesBlockEffects(t *testing.T) {
+	p := &isa.Program{Kind: isa.BlockStructured, Name: "fault", GlobalWords: 4}
+	p.Funcs = []*isa.Func{{ID: 0, Name: "main", Entry: 0}}
+
+	// B0: writes r11=1, stores 111, outs 1, fault fires (cond zero) -> B1.
+	b0 := isa.NewBlock(0)
+	b0.Ops = []isa.Op{
+		{Opcode: isa.LUI, Rd: 20, Imm: int32(isa.GlobalBase >> 16)},
+		{Opcode: isa.ADDI, Rd: 11, Rs1: isa.RegZero, Imm: 1},
+		{Opcode: isa.ADDI, Rd: 21, Rs1: isa.RegZero, Imm: 111},
+		{Opcode: isa.ST, Rs1: 20, Rs2: 21, Imm: 0},
+		{Opcode: isa.OUT, Rs1: 11},
+		{Opcode: isa.FAULT, Rs1: isa.RegZero, Target: 1, FaultNZ: false}, // fires: zero == 0
+		{Opcode: isa.ADDI, Rd: 12, Rs1: isa.RegZero, Imm: 99},
+	}
+	b0.Succs = []isa.BlockID{1}
+
+	// B1: outs r11 (must be 0 — the write was suppressed), loads the global
+	// (must be 0), halts.
+	b1 := isa.NewBlock(0)
+	b1.Ops = []isa.Op{
+		{Opcode: isa.LUI, Rd: 20, Imm: int32(isa.GlobalBase >> 16)},
+		{Opcode: isa.LD, Rd: 22, Rs1: 20, Imm: 0},
+		{Opcode: isa.OUT, Rs1: 11},
+		{Opcode: isa.OUT, Rs1: 22},
+		{Opcode: isa.HALT},
+	}
+	p.AddBlock(b0)
+	p.AddBlock(b1)
+
+	res, err := New(p, Config{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Output) != "[0 0]" {
+		t.Errorf("fault did not suppress block effects: output %v", res.Output)
+	}
+	if res.Stats.FaultRetries != 1 {
+		t.Errorf("FaultRetries = %d, want 1", res.Stats.FaultRetries)
+	}
+}
+
+// TestQuickFaultPolarity: for random conditions, a FAULT with FaultNZ fires
+// exactly when the condition register is non-zero.
+func TestQuickFaultPolarity(t *testing.T) {
+	f := func(cond int64, nz bool) bool {
+		p := &isa.Program{Kind: isa.BlockStructured, Name: "pol"}
+		p.Funcs = []*isa.Func{{ID: 0, Name: "main", Entry: 0}}
+		b0 := isa.NewBlock(0)
+		b0.Ops = []isa.Op{
+			{Opcode: isa.OUT, Rs1: isa.RegZero}, // marker from B0 (suppressed if fault fires)
+			{Opcode: isa.FAULT, Rs1: 11, Target: 1, FaultNZ: nz},
+			{Opcode: isa.HALT},
+		}
+		b1 := isa.NewBlock(0)
+		b1.Ops = []isa.Op{
+			{Opcode: isa.ADDI, Rd: 12, Rs1: isa.RegZero, Imm: 5},
+			{Opcode: isa.OUT, Rs1: 12},
+			{Opcode: isa.HALT},
+		}
+		p.AddBlock(b0)
+		p.AddBlock(b1)
+		e := New(p, Config{})
+		e.regs[11] = cond
+		res, err := e.Run(nil)
+		if err != nil {
+			return false
+		}
+		fires := (cond != 0) == nz
+		if fires {
+			return len(res.Output) == 1 && res.Output[0] == 5
+		}
+		return len(res.Output) == 1 && res.Output[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

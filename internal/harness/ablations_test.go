@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// ablation tests run on a small dedicated harness: they recompile the
+// benchmarks under several parameterizations, which is the dominant cost.
+var ablH *Harness
+
+func getAblationHarness(t *testing.T) *Harness {
+	t.Helper()
+	if ablH == nil {
+		h, err := New(Options{Scale: 0.015, Parallel: true})
+		if err != nil {
+			t.Fatalf("harness: %v", err)
+		}
+		ablH = h
+	}
+	return ablH
+}
+
+func TestAblateBlockSize(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateBlockSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Code growth must rise with the cap from 4 to 16.
+	var g4, g16 float64
+	fmtSscan(tbl.Rows[0][2], &g4)
+	fmtSscan(tbl.Rows[2][2], &g16)
+	if g16 <= g4 {
+		t.Errorf("code growth should rise with block cap: %.2f vs %.2f\n%s", g4, g16, tbl.Render())
+	}
+	// Tiny blocks must not be faster than the paper's 16.
+	var c4, c16 float64
+	fmtSscan(tbl.Rows[0][1], &c4)
+	fmtSscan(tbl.Rows[2][1], &c16)
+	if c4 < c16 {
+		t.Errorf("4-op cap (%.0f cycles) beat 16-op cap (%.0f)\n%s", c4, c16, tbl.Render())
+	}
+}
+
+func TestAblateFaults(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero faults (merges only) must grow code least.
+	var g0, g2 float64
+	fmtSscan(tbl.Rows[0][2], &g0)
+	fmtSscan(tbl.Rows[2][2], &g2)
+	if g0 >= g2 {
+		t.Errorf("fault-free enlargement should duplicate least: %.2f vs %.2f\n%s",
+			g0, g2, tbl.Render())
+	}
+}
+
+func TestAblateSuperblock(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateSuperblock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Superblock formation must help versus no enlargement on most
+	// benchmarks (it raises fetch rate on the predicted path).
+	wins := 0
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[4], "-") {
+			wins++
+		}
+	}
+	if wins < 5 {
+		t.Errorf("superblocks beat no-enlargement on only %d/8\n%s", wins, tbl.Render())
+	}
+}
+
+func TestAblateHistory(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		var c float64
+		fmtSscan(row[1], &c)
+		if c <= 0 {
+			t.Errorf("empty cycle cell in %v", row)
+		}
+	}
+}
+
+func TestAblateMinBias(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateMinBias()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raising the bias threshold must reduce code growth monotonically
+	// (the §6 trade: fewer duplicated unbiased branches).
+	prev := 1e9
+	for _, row := range tbl.Rows {
+		var g float64
+		fmtSscan(row[2], &g)
+		if g > prev+1e-9 {
+			t.Errorf("code growth not monotone under MinBias:\n%s", tbl.Render())
+		}
+		prev = g
+	}
+}
+
+func TestAblateTraceCache(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateTraceCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The trace cache must help conventional fetch on most benchmarks.
+	helps := 0
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[4], "-") {
+			helps++
+		}
+	}
+	if helps < 5 {
+		t.Errorf("trace cache helped on only %d/8:\n%s", helps, tbl.Render())
+	}
+}
+
+func TestAblateIfConvert(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateIfConvert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The S6 prediction: if-conversion grows BSA retired block size on most
+	// benchmarks (bigger basic blocks feed bigger enlarged blocks).
+	grows := 0
+	for _, row := range tbl.Rows {
+		var before, after float64
+		fmtSscan(row[5], &before)
+		fmtSscan(row[6], &after)
+		if after > before {
+			grows++
+		}
+	}
+	if grows < 5 {
+		t.Errorf("if-conversion grew BSA block size on only %d/8:\n%s", grows, tbl.Render())
+	}
+}
+
+func TestAblateInline(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateInline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Inlining must grow BSA retired block size on most benchmarks (S6's
+	// prediction: call boundaries are the main enlargement limiter).
+	grows := 0
+	for _, row := range tbl.Rows {
+		var before, after float64
+		fmtSscan(row[3], &before)
+		fmtSscan(row[4], &after)
+		if after > before {
+			grows++
+		}
+	}
+	if grows < 5 {
+		t.Errorf("inlining grew block size on only %d/8:\n%s", grows, tbl.Render())
+	}
+}
+
+func TestAblateProfileLayout(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateProfileLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Hot layout must not hurt on most benchmarks and must help somewhere.
+	helpsOrNeutral, helps := 0, 0
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[3], "+") || row[3] == "+0.0%" {
+			helpsOrNeutral++
+		}
+		if strings.HasPrefix(row[3], "-") {
+			helps++
+		}
+	}
+	if helpsOrNeutral < 5 || helps < 1 {
+		t.Errorf("profile layout ineffective (%d neutral-or-better, %d wins):\n%s",
+			helpsOrNeutral, helps, tbl.Render())
+	}
+}
+
+func TestAblateMultiBlock(t *testing.T) {
+	h := getAblationHarness(t)
+	tbl, err := h.AblateMultiBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// MBF4 forms real fetch groups everywhere.
+	for _, row := range tbl.Rows {
+		var g float64
+		fmtSscan(row[6], &g)
+		if g <= 1.0 {
+			t.Errorf("%s: MBF4 group size %.2f", row[0], g)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package harness assembles the full experiment pipelines that regenerate
+// every table and figure of the paper's evaluation (§5), plus the ablations
+// DESIGN.md calls out. Each experiment compiles the eight synthetic
+// SPECint95 profiles for both ISAs (sharing the middle end, as the paper
+// does), applies block enlargement to the block-structured executables, runs
+// the functional emulator feeding the cycle-level timing model, and renders
+// a table whose shape is compared against the paper in EXPERIMENTS.md.
+//
+// Scaling: all dynamic op counts are ~50x below the paper's (10^6–10^7 vs
+// ~10^8) and the icache sweep is scaled with them — 2/4/8 KB standing in for
+// the paper's 16/32/64 KB — keeping the code-footprint : icache ratio in the
+// paper's regime.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/stats"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+// Scaled icache sweep: stands in for the paper's 16/32/64 KB.
+var (
+	ICacheSizes = []int{8 * 1024, 16 * 1024, 32 * 1024}
+	// LargeICache is the Figure 3/4 configuration (the paper's 64 KB,
+	// 4-way).
+	LargeICache = 32 * 1024
+)
+
+// PaperICacheLabel maps a scaled size to the paper size it stands in for.
+func PaperICacheLabel(size int) string {
+	switch size {
+	case 8 * 1024:
+		return "8KB (paper 16KB)"
+	case 16 * 1024:
+		return "16KB (paper 32KB)"
+	case 32 * 1024:
+		return "32KB (paper 64KB)"
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Scale multiplies workload dynamic size (1.0 = bsbench reference,
+	// tests use ~0.02).
+	Scale float64
+	// Progress, when non-nil, receives per-step progress lines.
+	Progress io.Writer
+	// EmuBudget bounds each functional run (0 = emulator default).
+	EmuBudget int64
+	// Parallel runs benchmark simulations concurrently.
+	Parallel bool
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Bench is one prepared benchmark: compiled executables for both ISAs.
+type Bench struct {
+	Profile workload.Profile
+	Source  string
+	Conv    *isa.Program // conventional ISA
+	BSA     *isa.Program // block-structured, enlarged
+	Enlarge *core.Stats
+}
+
+// Harness caches prepared benchmarks and timing results.
+type Harness struct {
+	Opts    Options
+	Benches []*Bench
+
+	mu      sync.Mutex
+	results map[string]*uarch.Result
+}
+
+// New prepares all eight benchmarks.
+func New(opts Options) (*Harness, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	h := &Harness{Opts: opts, results: map[string]*uarch.Result{}}
+	for _, p := range workload.Profiles(opts.Scale) {
+		opts.progress("compile %-8s ...", p.Name)
+		b, err := prepare(p)
+		if err != nil {
+			return nil, fmt.Errorf("harness: prepare %s: %w", p.Name, err)
+		}
+		h.Benches = append(h.Benches, b)
+	}
+	return h, nil
+}
+
+func prepare(p workload.Profile) (*Bench, error) {
+	src := workload.Source(p)
+	conv, err := compile.Compile(src, p.Name, compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		return nil, fmt.Errorf("conventional: %w", err)
+	}
+	bsa, err := compile.Compile(src, p.Name, compile.DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		return nil, fmt.Errorf("block-structured: %w", err)
+	}
+	est, err := core.Enlarge(bsa, core.Params{})
+	if err != nil {
+		return nil, fmt.Errorf("enlarge: %w", err)
+	}
+	return &Bench{Profile: p, Source: src, Conv: conv, BSA: bsa, Enlarge: est}, nil
+}
+
+// CompileBSA recompiles a benchmark's block-structured executable with
+// custom enlargement parameters (ablations).
+func (b *Bench) CompileBSA(params core.Params) (*isa.Program, *core.Stats, error) {
+	prog, err := compile.Compile(b.Source, b.Profile.Name, compile.DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := core.Enlarge(prog, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, st, nil
+}
+
+// baseConfig is the paper's processor with the given icache size (0 =
+// perfect) and prediction mode.
+func baseConfig(icacheBytes int, perfectBP bool) uarch.Config {
+	return uarch.Config{
+		ICache:    cache.Config{SizeBytes: icacheBytes, Ways: 4},
+		PerfectBP: perfectBP,
+	}
+}
+
+// ClearResults drops memoized timing results (benchmarks use this so every
+// iteration measures real simulation work; compiled programs are kept).
+func (h *Harness) ClearResults() {
+	h.mu.Lock()
+	h.results = map[string]*uarch.Result{}
+	h.mu.Unlock()
+}
+
+// Run simulates one program under a config, memoizing by key.
+func (h *Harness) Run(key string, prog *isa.Program, cfg uarch.Config) (*uarch.Result, error) {
+	h.mu.Lock()
+	if r, ok := h.results[key]; ok {
+		h.mu.Unlock()
+		return r, nil
+	}
+	h.mu.Unlock()
+	res, _, err := uarch.RunProgram(prog, cfg, emu.Config{MaxOps: h.Opts.EmuBudget})
+	if err != nil {
+		return nil, fmt.Errorf("harness: run %s: %w", key, err)
+	}
+	h.mu.Lock()
+	h.results[key] = res
+	h.mu.Unlock()
+	return res, nil
+}
+
+// pairResults runs conventional and block-structured executables of every
+// benchmark under the config, in parallel when enabled.
+func (h *Harness) pairResults(tag string, icache int, perfectBP bool) (conv, bsa []*uarch.Result, err error) {
+	conv = make([]*uarch.Result, len(h.Benches))
+	bsa = make([]*uarch.Result, len(h.Benches))
+	cfg := baseConfig(icache, perfectBP)
+	run := func(i int) error {
+		b := h.Benches[i]
+		h.Opts.progress("run %-8s %s (conventional)", b.Profile.Name, tag)
+		rc, err := h.Run(fmt.Sprintf("%s/%s/conv", b.Profile.Name, tag), b.Conv, cfg)
+		if err != nil {
+			return err
+		}
+		h.Opts.progress("run %-8s %s (block-structured)", b.Profile.Name, tag)
+		rb, err := h.Run(fmt.Sprintf("%s/%s/bsa", b.Profile.Name, tag), b.BSA, cfg)
+		if err != nil {
+			return err
+		}
+		conv[i], bsa[i] = rc, rb
+		return nil
+	}
+	if h.Opts.Parallel {
+		errs := make([]error, len(h.Benches))
+		var wg sync.WaitGroup
+		for i := range h.Benches {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = run(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, nil, e
+			}
+		}
+		return conv, bsa, nil
+	}
+	for i := range h.Benches {
+		if err := run(i); err != nil {
+			return nil, nil, err
+		}
+	}
+	return conv, bsa, nil
+}
+
+// Table1 renders the instruction classes and latencies (paper Table 1).
+func Table1() *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 1: Instruction classes and latencies",
+		Columns: []string{"Instruction Class", "Exec. Lat.", "Description"},
+	}
+	for _, row := range isa.Classes() {
+		t.AddRow(row.Class.String(), row.Latency, row.Description)
+	}
+	return t
+}
+
+// Table2 renders the benchmark inventory with measured dynamic conventional
+// op counts (paper Table 2; counts are scaled, see package comment).
+func (h *Harness) Table2() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Table 2: Benchmarks, inputs, and dynamic conventional-ISA operation counts",
+		Columns: []string{"Benchmark", "Input (modeled)", "# of Operations", "Static Code (B)"},
+		Note:    "Counts are ~50x below the paper's SPECint95 runs; icache sizes are scaled to match.",
+	}
+	for _, b := range h.Benches {
+		res, err := emu.New(b.Conv, emu.Config{MaxOps: h.Opts.EmuBudget}).Run(nil)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(b.Profile.Name, b.Profile.Input, res.Stats.Ops, b.Conv.CodeBytes())
+	}
+	return t, nil
+}
+
+// cyclesTable renders a conventional-vs-BSA cycle comparison (Figures 3 and
+// 4 of the paper).
+func (h *Harness) cyclesTable(title, tag string, perfectBP bool) (*stats.Table, error) {
+	conv, bsa, err := h.pairResults(tag, LargeICache, perfectBP)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: title,
+		Columns: []string{"Benchmark", "Conv Cycles", "BSA Cycles", "Reduction",
+			"Conv IPC", "BSA IPC"},
+	}
+	var reductions []float64
+	for i, b := range h.Benches {
+		red := 1 - float64(bsa[i].Cycles)/float64(conv[i].Cycles)
+		reductions = append(reductions, red)
+		t.AddRow(b.Profile.Name, conv[i].Cycles, bsa[i].Cycles, stats.Pct(red),
+			conv[i].IPC(), bsa[i].IPC())
+	}
+	t.AddRow("MEAN", "", "", stats.Pct(stats.Mean(reductions)), "", "")
+	return t, nil
+}
+
+// Figure3 is the headline comparison: real predictor, large icache.
+func (h *Harness) Figure3() (*stats.Table, error) {
+	return h.cyclesTable(
+		fmt.Sprintf("Figure 3: Execution cycles, conventional vs block-structured ISA (%s, real predictor)",
+			PaperICacheLabel(LargeICache)),
+		"fig3", false)
+}
+
+// Figure4 repeats Figure 3 with perfect branch prediction.
+func (h *Harness) Figure4() (*stats.Table, error) {
+	return h.cyclesTable(
+		fmt.Sprintf("Figure 4: Execution cycles with PERFECT branch prediction (%s)",
+			PaperICacheLabel(LargeICache)),
+		"fig4", true)
+}
+
+// Figure5 reports average retired block sizes.
+func (h *Harness) Figure5() (*stats.Table, error) {
+	conv, bsa, err := h.pairResults("fig3", LargeICache, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 5: Average retired block size (operations per block)",
+		Columns: []string{"Benchmark", "Conventional", "Block-Structured", "Growth"},
+	}
+	var cs, bs []float64
+	for i, b := range h.Benches {
+		c, bb := conv[i].AvgBlockSize(), bsa[i].AvgBlockSize()
+		cs, bs = append(cs, c), append(bs, bb)
+		t.AddRow(b.Profile.Name, c, bb, fmt.Sprintf("%.2fx", bb/c))
+	}
+	t.AddRow("MEAN", stats.Mean(cs), stats.Mean(bs),
+		fmt.Sprintf("%.2fx", stats.Mean(bs)/stats.Mean(cs)))
+	return t, nil
+}
+
+// icacheSensitivity renders relative slowdown versus a perfect icache across
+// the icache sweep for one ISA (Figures 6 and 7).
+func (h *Harness) icacheSensitivity(title string, useBSA bool) (*stats.Table, error) {
+	kindTag := "conv"
+	if useBSA {
+		kindTag = "bsa"
+	}
+	cols := []string{"Benchmark"}
+	for _, sz := range ICacheSizes {
+		cols = append(cols, PaperICacheLabel(sz))
+	}
+	t := &stats.Table{
+		Title:   title,
+		Columns: cols,
+		Note:    "Cells: (cycles(size) - cycles(perfect icache)) / cycles(perfect icache).",
+	}
+	means := make([]float64, len(ICacheSizes))
+	for _, b := range h.Benches {
+		prog := b.Conv
+		if useBSA {
+			prog = b.BSA
+		}
+		perfect, err := h.Run(fmt.Sprintf("%s/ic-perfect/%s", b.Profile.Name, kindTag),
+			prog, baseConfig(0, false))
+		if err != nil {
+			return nil, err
+		}
+		row := []any{b.Profile.Name}
+		for j, sz := range ICacheSizes {
+			h.Opts.progress("run %-8s icache %s (%s)", b.Profile.Name, PaperICacheLabel(sz), kindTag)
+			res, err := h.Run(fmt.Sprintf("%s/ic-%d/%s", b.Profile.Name, sz, kindTag),
+				prog, baseConfig(sz, false))
+			if err != nil {
+				return nil, err
+			}
+			rel := float64(res.Cycles-perfect.Cycles) / float64(perfect.Cycles)
+			means[j] += rel / float64(len(h.Benches))
+			row = append(row, rel)
+		}
+		t.AddRow(row...)
+	}
+	meanRow := []any{"MEAN"}
+	for _, m := range means {
+		meanRow = append(meanRow, m)
+	}
+	t.AddRow(meanRow...)
+	return t, nil
+}
+
+// Figure6 is the conventional-ISA icache sensitivity sweep.
+func (h *Harness) Figure6() (*stats.Table, error) {
+	return h.icacheSensitivity(
+		"Figure 6: Relative increase in execution time vs perfect icache (conventional ISA)", false)
+}
+
+// Figure7 is the block-structured sweep (larger slowdowns; gcc/go worst).
+func (h *Harness) Figure7() (*stats.Table, error) {
+	return h.icacheSensitivity(
+		"Figure 7: Relative increase in execution time vs perfect icache (block-structured ISA)", true)
+}

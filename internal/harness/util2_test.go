@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPaperICacheLabels(t *testing.T) {
+	for _, sz := range ICacheSizes {
+		l := PaperICacheLabel(sz)
+		if !strings.Contains(l, "paper") {
+			t.Errorf("label %q missing paper mapping", l)
+		}
+	}
+	if got := PaperICacheLabel(12345); got != "12345B" {
+		t.Errorf("fallback label = %q", got)
+	}
+	if LargeICache != ICacheSizes[len(ICacheSizes)-1] {
+		t.Error("LargeICache should be the top of the sweep")
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	h := getHarness(t)
+	b := h.Benches[0]
+	r1, err := h.Run("memo-test", b.Conv, baseConfig(LargeICache, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Run("memo-test", b.Conv, baseConfig(LargeICache, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical keys should return the cached result pointer")
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var buf bytes.Buffer
+	o := Options{Progress: &buf}
+	o.progress("step %d", 7)
+	if !strings.Contains(buf.String(), "step 7") {
+		t.Errorf("progress output %q", buf.String())
+	}
+	// Nil progress is a no-op, not a panic.
+	Options{}.progress("ignored")
+}
+
+func TestHarnessDeterministicAcrossInstances(t *testing.T) {
+	// Two fresh harnesses at the same scale produce identical cycle counts
+	// for the same run (the whole pipeline is deterministic).
+	a, err := New(Options{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Run("det", a.Benches[2].BSA, baseConfig(LargeICache, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run("det", b.Benches[2].BSA, baseConfig(LargeICache, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cycles != rb.Cycles || ra.Ops != rb.Ops {
+		t.Errorf("nondeterministic pipeline: %d/%d vs %d/%d", ra.Cycles, ra.Ops, rb.Cycles, rb.Ops)
+	}
+}
+
+func TestEnlargeStatsExposed(t *testing.T) {
+	h := getHarness(t)
+	for _, b := range h.Benches {
+		if b.Enlarge == nil || b.Enlarge.CodeGrowth() <= 1 {
+			t.Errorf("%s: enlargement stats missing or degenerate", b.Profile.Name)
+		}
+		if b.Conv.Kind == b.BSA.Kind {
+			t.Errorf("%s: both executables share a kind", b.Profile.Name)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package harness
+
+import "fmt"
+
+// fmtSscan parses a leading float from a cell that may carry a sign, a %
+// suffix, or an x suffix.
+func fmtSscan(s string, v *float64) (int, error) {
+	for len(s) > 0 {
+		last := s[len(s)-1]
+		if last == '%' || last == 'x' {
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	return fmt.Sscanf(s, "%f", v)
+}

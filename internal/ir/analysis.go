@@ -1,0 +1,177 @@
+package ir
+
+// ReversePostorder returns the blocks reachable from the entry in reverse
+// postorder of a depth-first search. Unreachable blocks are omitted.
+func (f *Func) ReversePostorder() []*Block {
+	var post []*Block
+	visited := make(map[*Block]bool, len(f.Blocks))
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		visited[b] = true
+		for _, s := range b.Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate dominator of every reachable block using
+// the Cooper/Harvey/Kennedy iterative algorithm. The entry's idom is itself.
+func (f *Func) Dominators() map[*Block]*Block {
+	rpo := f.ReversePostorder()
+	index := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := make(map[*Block]*Block, len(rpo))
+	idom[f.Entry] = f.Entry
+	f.ComputePreds()
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b given an idom map.
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// BackEdge is a CFG edge whose head dominates its tail: the defining edge of
+// a natural loop.
+type BackEdge struct {
+	From *Block // loop latch
+	To   *Block // loop header
+}
+
+// BackEdges returns the natural-loop back edges of the function. The block
+// enlargement optimization uses this to avoid combining separate loop
+// iterations (paper rule 4).
+func (f *Func) BackEdges() []BackEdge {
+	idom := f.Dominators()
+	var edges []BackEdge
+	for _, b := range f.ReversePostorder() {
+		for _, s := range b.Succs {
+			if Dominates(idom, s, b) {
+				edges = append(edges, BackEdge{From: b, To: s})
+			}
+		}
+	}
+	return edges
+}
+
+// LiveSets holds per-block liveness: LiveIn[b] is the set of virtual
+// registers live on entry to b; LiveOut[b] on exit.
+type LiveSets struct {
+	LiveIn  map[*Block]map[Reg]bool
+	LiveOut map[*Block]map[Reg]bool
+}
+
+// Liveness computes live-in/live-out sets by iterative backward dataflow.
+func (f *Func) Liveness() *LiveSets {
+	f.ComputePreds()
+	ls := &LiveSets{
+		LiveIn:  make(map[*Block]map[Reg]bool, len(f.Blocks)),
+		LiveOut: make(map[*Block]map[Reg]bool, len(f.Blocks)),
+	}
+	use := make(map[*Block]map[Reg]bool, len(f.Blocks))
+	def := make(map[*Block]map[Reg]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		u, d := map[Reg]bool{}, map[Reg]bool{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, r := range in.Uses() {
+				if !d[r] {
+					u[r] = true
+				}
+			}
+			if dr := in.Def(); dr != NoReg {
+				d[dr] = true
+			}
+		}
+		use[b], def[b] = u, d
+		ls.LiveIn[b] = map[Reg]bool{}
+		ls.LiveOut[b] = map[Reg]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Backward order converges faster; any order is correct.
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := ls.LiveOut[b]
+			for _, s := range b.Succs {
+				for r := range ls.LiveIn[s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := ls.LiveIn[b]
+			for r := range use[b] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !def[b][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return ls
+}

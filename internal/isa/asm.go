@@ -1,0 +1,358 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a listing in Disassemble's format back into a Program.
+// Disassemble and Assemble round-trip: the listing's annotations (successor
+// groups, history bits, continuations, addresses) carry everything the
+// container format stores, so hand-written or machine-edited listings can be
+// fed back into the simulator.
+//
+// The accepted grammar per line (comments after ';' are significant only in
+// block headers):
+//
+//	; program "name" isa=... globals=N words      (header; name/kind/globals)
+//	func NAME(args=N frame=M) [library] entry=BK:
+//	BK: [; succs=B1 B2 | B3 hist=H cont=BC]
+//	<TAB>opcode operands
+func Assemble(text string) (*Program, error) {
+	p := &Program{GlobalOffsets: map[string]int32{}}
+	var curFunc *Func
+	var curBlock *Block
+	blocks := map[BlockID]*Block{}
+	maxID := BlockID(-1)
+
+	flush := func() {
+		if curBlock != nil {
+			blocks[curBlock.ID] = curBlock
+			if curBlock.ID > maxID {
+				maxID = curBlock.ID
+			}
+			curBlock = nil
+		}
+	}
+
+	for lineNo, raw := range strings.Split(text, "\n") {
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("isa: asm line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		line := strings.TrimRight(raw, " \t\r")
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "; program"):
+			if err := parseProgramHeader(line, p); err != nil {
+				return nil, errf("%v", err)
+			}
+		case strings.HasPrefix(line, "func "):
+			flush()
+			f, err := parseFuncHeader(line)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			f.ID = FuncID(len(p.Funcs))
+			p.Funcs = append(p.Funcs, f)
+			curFunc = f
+		case strings.HasPrefix(line, "B"):
+			flush()
+			if curFunc == nil {
+				return nil, errf("block outside function")
+			}
+			b, err := parseBlockHeader(line, curFunc)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			curBlock = b
+		case strings.HasPrefix(line, "\t"):
+			if curBlock == nil {
+				return nil, errf("operation outside block")
+			}
+			op, err := ParseOp(strings.TrimSpace(line))
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			curBlock.Ops = append(curBlock.Ops, op)
+		case strings.HasPrefix(line, ";"):
+			// Other comments ignored.
+		default:
+			return nil, errf("unrecognized line %q", line)
+		}
+	}
+	flush()
+
+	if len(p.Funcs) == 0 {
+		return nil, fmt.Errorf("isa: asm: no functions")
+	}
+	p.Blocks = make([]*Block, int(maxID)+1)
+	for id, b := range blocks {
+		p.Blocks[id] = b
+	}
+	// Entry function: prefer _start, else main, else the first.
+	p.EntryFunc = 0
+	for _, name := range []string{"_start", "main"} {
+		if f := p.FuncByName(name); f != nil {
+			p.EntryFunc = f.ID
+			break
+		}
+	}
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: asm: %w", err)
+	}
+	return p, nil
+}
+
+func parseProgramHeader(line string, p *Program) error {
+	if i := strings.Index(line, `"`); i >= 0 {
+		if j := strings.Index(line[i+1:], `"`); j >= 0 {
+			p.Name = line[i+1 : i+1+j]
+		}
+	}
+	if strings.Contains(line, "isa=block-structured") {
+		p.Kind = BlockStructured
+	}
+	if i := strings.Index(line, "globals="); i >= 0 {
+		fields := strings.Fields(line[i:])
+		n, err := strconv.Atoi(strings.TrimPrefix(fields[0], "globals="))
+		if err != nil {
+			return fmt.Errorf("bad globals count")
+		}
+		p.GlobalWords = int32(n)
+	}
+	return nil
+}
+
+func parseFuncHeader(line string) (*Func, error) {
+	f := &Func{}
+	rest := strings.TrimPrefix(line, "func ")
+	open := strings.Index(rest, "(")
+	if open < 0 {
+		return nil, fmt.Errorf("missing ( in func header")
+	}
+	f.Name = rest[:open]
+	close := strings.Index(rest, ")")
+	if close < open {
+		return nil, fmt.Errorf("missing ) in func header")
+	}
+	for _, kv := range strings.Split(rest[open+1:close], " ") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad %s", kv)
+		}
+		switch parts[0] {
+		case "args":
+			f.NumArgs = n
+		case "frame":
+			f.FrameSize = int32(n)
+		}
+	}
+	tail := rest[close+1:]
+	f.Library = strings.Contains(tail, "library")
+	if i := strings.Index(tail, "entry=B"); i >= 0 {
+		numStr := strings.TrimSuffix(strings.TrimSpace(tail[i+len("entry=B"):]), ":")
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", numStr)
+		}
+		f.Entry = BlockID(n)
+	} else {
+		return nil, fmt.Errorf("missing entry")
+	}
+	return f, nil
+}
+
+func parseBlockHeader(line string, f *Func) (*Block, error) {
+	b := NewBlock(f.ID)
+	b.Library = f.Library
+	head, comment, _ := strings.Cut(line, ";")
+	head = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(head), ":"))
+	id, err := parseBlockID(head)
+	if err != nil {
+		return nil, err
+	}
+	b.ID = id
+
+	// Parse annotations: succs=B1 B2 | B3 hist=N, cont=BK, addr/size ignored
+	// (reassigned by Layout).
+	if i := strings.Index(comment, "succs="); i >= 0 {
+		rest := comment[i+len("succs="):]
+		// The successor list runs until "cont=" or end; hist= terminates it.
+		if j := strings.Index(rest, "cont="); j >= 0 {
+			rest = rest[:j]
+		}
+		fields := strings.Fields(rest)
+		taken := -1
+		count := 0
+		for _, tok := range fields {
+			switch {
+			case tok == "|":
+				taken = count
+			case strings.HasPrefix(tok, "hist="):
+				// Recomputed below; presence validated by Validate.
+			default:
+				sid, err := parseBlockID(tok)
+				if err != nil {
+					return nil, fmt.Errorf("bad successor %q", tok)
+				}
+				b.Succs = append(b.Succs, sid)
+				count++
+			}
+		}
+		if taken >= 0 {
+			b.TakenCount = taken
+		} else {
+			b.TakenCount = 0
+		}
+		b.RecomputeHistBits()
+	}
+	if i := strings.Index(comment, "cont="); i >= 0 {
+		tok := strings.Fields(comment[i+len("cont="):])[0]
+		cid, err := parseBlockID(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad cont %q", tok)
+		}
+		b.Cont = cid
+	}
+	return b, nil
+}
+
+func parseBlockID(tok string) (BlockID, error) {
+	tok = strings.TrimSuffix(strings.TrimPrefix(tok, "B"), ":")
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad block id %q", tok)
+	}
+	return BlockID(n), nil
+}
+
+// ParseOp parses one operation in the disassembler's syntax, e.g.
+// "add r11, r12, r13", "ld r4, sp, 8", "fault r9, B7 if!=0".
+func ParseOp(s string) (Op, error) {
+	fields := strings.Fields(strings.ReplaceAll(s, ",", " "))
+	if len(fields) == 0 {
+		return Op{}, fmt.Errorf("empty operation")
+	}
+	var opc Opcode
+	found := false
+	for o := Opcode(0); o < numOpcodes; o++ {
+		if opcodeInfo[o].name == fields[0] {
+			opc = o
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Op{}, fmt.Errorf("unknown opcode %q", fields[0])
+	}
+	op := Op{Opcode: opc}
+	info := &opcodeInfo[opc]
+	args := fields[1:]
+	next := func() (string, error) {
+		if len(args) == 0 {
+			return "", fmt.Errorf("missing operand for %s", opc)
+		}
+		a := args[0]
+		args = args[1:]
+		return a, nil
+	}
+	if info.hasRd {
+		a, err := next()
+		if err != nil {
+			return Op{}, err
+		}
+		r, err := parseReg(a)
+		if err != nil {
+			return Op{}, err
+		}
+		op.Rd = r
+	}
+	if info.hasRs1 {
+		a, err := next()
+		if err != nil {
+			return Op{}, err
+		}
+		r, err := parseReg(a)
+		if err != nil {
+			return Op{}, err
+		}
+		op.Rs1 = r
+	}
+	if info.hasRs2 {
+		a, err := next()
+		if err != nil {
+			return Op{}, err
+		}
+		r, err := parseReg(a)
+		if err != nil {
+			return Op{}, err
+		}
+		op.Rs2 = r
+	}
+	if info.hasImm {
+		a, err := next()
+		if err != nil {
+			return Op{}, err
+		}
+		n, err := strconv.ParseInt(a, 10, 32)
+		if err != nil {
+			return Op{}, fmt.Errorf("bad immediate %q", a)
+		}
+		op.Imm = int32(n)
+	}
+	if info.hasTarget {
+		a, err := next()
+		if err != nil {
+			return Op{}, err
+		}
+		id, err := parseBlockID(a)
+		if err != nil {
+			return Op{}, err
+		}
+		op.Target = id
+	}
+	if opc == FAULT {
+		a, err := next()
+		if err != nil {
+			return Op{}, fmt.Errorf("fault needs a polarity (if!=0 / if==0)")
+		}
+		switch a {
+		case "if!=0":
+			op.FaultNZ = true
+		case "if==0":
+			op.FaultNZ = false
+		default:
+			return Op{}, fmt.Errorf("bad fault polarity %q", a)
+		}
+	}
+	if len(args) != 0 {
+		return Op{}, fmt.Errorf("trailing operands %v for %s", args, opc)
+	}
+	return op, nil
+}
+
+func parseReg(s string) (Reg, error) {
+	switch s {
+	case "zero":
+		return RegZero, nil
+	case "sp":
+		return RegSP, nil
+	case "lr":
+		return RegLR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}

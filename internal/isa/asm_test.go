@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseOpRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Opcode: ADD, Rd: 11, Rs1: 12, Rs2: 13},
+		{Opcode: ADDI, Rd: 11, Rs1: RegSP, Imm: -16},
+		{Opcode: LUI, Rd: 20, Imm: 0x1234},
+		{Opcode: LD, Rd: 4, Rs1: 1, Imm: 8},
+		{Opcode: ST, Rs1: 3, Rs2: 4, Imm: -8},
+		{Opcode: BR, Rs1: 9, Target: 42},
+		{Opcode: TRAP, Rs1: 9, Target: 7},
+		{Opcode: FAULT, Rs1: 9, Target: 7, FaultNZ: true},
+		{Opcode: FAULT, Rs1: 9, Target: 7, FaultNZ: false},
+		{Opcode: JMP, Target: 3},
+		{Opcode: CALL, Target: 5},
+		{Opcode: RET, Rs1: RegLR},
+		{Opcode: OUT, Rs1: 11},
+		{Opcode: HALT},
+		{Opcode: NOP},
+		{Opcode: SARI, Rd: 11, Rs1: 12, Imm: 3},
+	}
+	for _, want := range ops {
+		text := want.String()
+		got, err := ParseOp(text)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", text, err)
+		}
+		if got != want {
+			t.Errorf("round trip %q: got %+v want %+v", text, got, want)
+		}
+	}
+}
+
+func TestParseOpErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"bogus r1, r2",
+		"add r1",
+		"add r1, r2, r99",
+		"addi r1, r2, notanumber",
+		"fault r1, B2",      // missing polarity
+		"fault r1, B2 if>0", // bad polarity
+		"add r1, r2, r3, r4",
+		"jmp Bx",
+	}
+	for _, s := range bad {
+		if _, err := ParseOp(s); err == nil {
+			t.Errorf("ParseOp(%q) should fail", s)
+		}
+	}
+}
+
+// TestAssembleDisassembleRoundTrip: a program survives the listing round
+// trip with identical structure.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	p := testProgram(t)
+	p.Layout()
+	text := Disassemble(p)
+	q, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("Assemble: %v\nlisting:\n%s", err, text)
+	}
+	if q.Kind != p.Kind || q.GlobalWords != p.GlobalWords {
+		t.Error("program header mismatch")
+	}
+	if len(q.Funcs) != len(p.Funcs) {
+		t.Fatalf("funcs %d vs %d", len(q.Funcs), len(p.Funcs))
+	}
+	for i := range p.Funcs {
+		a, b := p.Funcs[i], q.Funcs[i]
+		if a.Name != b.Name || a.Entry != b.Entry || a.NumArgs != b.NumArgs ||
+			a.FrameSize != b.FrameSize || a.Library != b.Library {
+			t.Errorf("func %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range p.Blocks {
+		a, b := p.Blocks[i], q.Blocks[i]
+		if (a == nil) != (b == nil) {
+			t.Fatalf("block %d nil-ness", i)
+		}
+		if a == nil {
+			continue
+		}
+		if !reflect.DeepEqual(a.Ops, b.Ops) {
+			t.Errorf("B%d ops mismatch:\n%v\n%v", i, a.Ops, b.Ops)
+		}
+		if !reflect.DeepEqual(a.Succs, b.Succs) || a.TakenCount != b.TakenCount ||
+			a.Cont != b.Cont || a.HistBits != b.HistBits {
+			t.Errorf("B%d metadata mismatch", i)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssembleBSAWithVariantGroups round-trips a block-structured listing
+// with grouped successors and faults.
+func TestAssembleBSAWithVariantGroups(t *testing.T) {
+	p := &Program{Kind: BlockStructured, Name: "g", GlobalWords: 3}
+	p.Funcs = []*Func{{ID: 0, Name: "main", Entry: 0}}
+	b0 := NewBlock(0)
+	b0.Ops = []Op{
+		{Opcode: ADDI, Rd: 11, Rs1: RegZero, Imm: 1},
+		{Opcode: FAULT, Rs1: 11, Target: 2, FaultNZ: false},
+		{Opcode: TRAP, Rs1: 11, Target: 1},
+	}
+	b0.Succs = []BlockID{1, 2, 3}
+	b0.TakenCount = 2
+	b0.RecomputeHistBits()
+	p.AddBlock(b0)
+	for i := 0; i < 3; i++ {
+		h := NewBlock(0)
+		h.Ops = []Op{{Opcode: HALT}}
+		p.AddBlock(h)
+	}
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Assemble(Disassemble(p))
+	if err != nil {
+		t.Fatalf("Assemble: %v\n%s", err, Disassemble(p))
+	}
+	g := q.Blocks[0]
+	if g.TakenCount != 2 || len(g.Succs) != 3 || g.HistBits != 2 {
+		t.Errorf("variant groups lost: %+v", g)
+	}
+	if g.Ops[1].Opcode != FAULT || g.Ops[1].FaultNZ {
+		t.Error("fault polarity lost")
+	}
+}
+
+func TestAssembleRejectsBadListings(t *testing.T) {
+	bad := []string{
+		"B0:\n\tadd r1, r2, r3\n",                          // block outside function
+		"func f(args=0 frame=0)\nB0:\n",                    // missing entry
+		"func f(args=0 frame=0) entry=B0:\n\tadd r1, r2\n", // op outside block... actually op after func header
+		"junk line\n",
+	}
+	for _, s := range bad {
+		if _, err := Assemble(s); err == nil {
+			t.Errorf("Assemble(%q) should fail", s)
+		}
+	}
+}
+
+func TestAssembledProgramStillDisassembles(t *testing.T) {
+	p := testProgram(t)
+	p.Layout()
+	q, err := Assemble(Disassemble(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Disassemble(q), "func main") {
+		t.Error("second disassembly broken")
+	}
+}

@@ -1,0 +1,64 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the whole program as a text listing, function by
+// function, block by block, in layout order.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %q  isa=%s  blocks=%d  static-ops=%d  code=%dB  globals=%d words\n",
+		p.Name, p.Kind, p.NumLiveBlocks(), p.StaticOps(), p.CodeBytes(), p.GlobalWords)
+	byFunc := make([][]*Block, len(p.Funcs))
+	for _, b := range p.Blocks {
+		if b != nil {
+			byFunc[b.Func] = append(byFunc[b.Func], b)
+		}
+	}
+	for fi, f := range p.Funcs {
+		lib := ""
+		if f.Library {
+			lib = " library"
+		}
+		fmt.Fprintf(&sb, "\nfunc %s(args=%d frame=%d)%s entry=B%d:\n", f.Name, f.NumArgs, f.FrameSize, lib, f.Entry)
+		for _, b := range byFunc[fi] {
+			sb.WriteString(DisassembleBlock(b))
+		}
+	}
+	return sb.String()
+}
+
+// DisassembleBlock renders one block.
+func DisassembleBlock(b *Block) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "B%d:", b.ID)
+	if b.Addr != 0 {
+		fmt.Fprintf(&sb, "  ; addr=%#x size=%d", b.Addr, b.Size)
+	}
+	if len(b.Succs) > 0 {
+		sb.WriteString("  ; succs=")
+		for i, s := range b.Succs {
+			if i > 0 {
+				if i == b.TakenCount {
+					sb.WriteString(" | ")
+				} else {
+					sb.WriteString(" ")
+				}
+			}
+			fmt.Fprintf(&sb, "B%d", s)
+		}
+		if b.HistBits > 0 {
+			fmt.Fprintf(&sb, " hist=%d", b.HistBits)
+		}
+	}
+	if b.Cont != NoBlock {
+		fmt.Fprintf(&sb, " cont=B%d", b.Cont)
+	}
+	sb.WriteByte('\n')
+	for i := range b.Ops {
+		fmt.Fprintf(&sb, "\t%s\n", b.Ops[i].String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,171 @@
+package lang
+
+// The MiniC abstract syntax tree.
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a scalar (Size == 0) or array (Size > 0) variable.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Size int64 // array element count; 0 for a scalar
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos     Pos
+	Name    string
+	Params  []string
+	Body    *BlockStmt
+	Library bool
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a braced statement list, opening a scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	Decl *VarDecl
+	// Init is an optional scalar initializer.
+	Init Expr
+}
+
+// AssignStmt assigns to a scalar or array element.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a for loop; Init and Post are optional assignments, Cond an
+// optional condition (absent means true).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *AssignStmt or *DeclStmt or nil
+	Cond Expr
+	Post Stmt // *AssignStmt or nil
+	Body *BlockStmt
+}
+
+// SwitchStmt selects a case by integer value. Cases carry constant values;
+// Default may be nil (falls through to after the switch). There is no
+// fall-through between cases (each case body is a braced block).
+type SwitchStmt struct {
+	Pos     Pos
+	X       Expr
+	Cases   []SwitchCase
+	Default *BlockStmt
+}
+
+// SwitchCase is one `case v1, v2: { ... }` clause.
+type SwitchCase struct {
+	Pos  Pos
+	Vals []int64
+	Body *BlockStmt
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for effect (calls and out()).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	Val int64
+}
+
+// Ident references a scalar variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr references an array element.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls a function (or the out builtin).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr applies -, ! or ~.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+// BinaryExpr applies a binary operator. && and || short-circuit.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+func (*NumLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

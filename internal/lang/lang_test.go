@@ -1,0 +1,346 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexAllBasics(t *testing.T) {
+	toks, err := LexAll("var x; // comment\nfunc f(a) { x = a + 0x1F; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{
+		TokVar, TokIdent, TokSemi,
+		TokFunc, TokIdent, TokLParen, TokIdent, TokRParen, TokLBrace,
+		TokIdent, TokAssign, TokIdent, TokPlus, TokNumber, TokSemi,
+		TokRBrace, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i], k)
+		}
+	}
+	if toks[13].Num != 0x1F {
+		t.Errorf("hex literal = %d, want 31", toks[13].Num)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("|| && | ^ & == != < <= > >= << >> + - * / % ! ~ =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokOrOr, TokAndAnd, TokOr, TokXor, TokAnd, TokEq, TokNe, TokLt,
+		TokLe, TokGt, TokGe, TokShl, TokShr, TokPlus, TokMinus, TokStar,
+		TokSlash, TokPct, TokNot, TokTilde, TokAssign, TokEOF,
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexPositionsAndErrors(t *testing.T) {
+	toks, err := LexAll("var\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+	if _, err := LexAll("var @;"); err == nil {
+		t.Error("lexer should reject @")
+	}
+}
+
+const goodProgram = `
+var g;
+var table[64];
+
+library func helper(a, b) {
+	return a * b + g;
+}
+
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+
+func main() {
+	var i;
+	var acc = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		table[i] = helper(i, i + 1);
+		if (table[i] % 2 == 0 && i != 3) {
+			acc = acc + table[i];
+		} else {
+			acc = acc - 1;
+		}
+	}
+	while (acc > 100) {
+		acc = acc >> 1;
+		if (acc == 77) { break; }
+		continue;
+	}
+	g = fib(7);
+	out(acc);
+	out(g);
+}
+`
+
+func TestParseGoodProgram(t *testing.T) {
+	f, err := Parse(goodProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals) != 2 {
+		t.Errorf("globals = %d, want 2", len(f.Globals))
+	}
+	if f.Globals[1].Size != 64 {
+		t.Errorf("table size = %d, want 64", f.Globals[1].Size)
+	}
+	if len(f.Funcs) != 3 {
+		t.Fatalf("funcs = %d, want 3", len(f.Funcs))
+	}
+	if !f.Funcs[0].Library {
+		t.Error("helper should be library")
+	}
+	if f.Funcs[1].Library {
+		t.Error("fib should not be library")
+	}
+	if got := len(f.Funcs[0].Params); got != 2 {
+		t.Errorf("helper params = %d, want 2", got)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse("func main() { var x; x = 1 + 2 * 3; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Funcs[0].Body.Stmts
+	asn := body[1].(*AssignStmt)
+	top := asn.Value.(*BinaryExpr)
+	if top.Op != TokPlus {
+		t.Fatalf("top op = %s, want +", top.Op)
+	}
+	r := top.R.(*BinaryExpr)
+	if r.Op != TokStar {
+		t.Errorf("right op = %s, want *", r.Op)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `func main() { var x = 0; if (x == 1) { out(1); } else if (x == 2) { out(2); } else { out(3); } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifst := f.Funcs[0].Body.Stmts[1].(*IfStmt)
+	if _, ok := ifst.Else.(*IfStmt); !ok {
+		t.Errorf("else-if not parsed as nested IfStmt: %T", ifst.Else)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func main() { x = ; }",
+		"func main() { if x { } }",
+		"func main( { }",
+		"var a[0];",
+		"func main() { 1 + 2; }",
+		"func main() { return 1 }",
+		"garbage",
+		"func main() { a[1]; }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestCheckGoodProgram(t *testing.T) {
+	f := mustParse(t, goodProgram)
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The out builtin calls resolve as builtins.
+	nOut := 0
+	for call, isOut := range info.Builtin {
+		if isOut && call.Name == "out" {
+			nOut++
+		}
+	}
+	if nOut != 2 {
+		t.Errorf("out builtin calls = %d, want 2", nOut)
+	}
+	// helper's locals: none; main has i and acc.
+	var mainFn *FuncDecl
+	for _, fn := range f.Funcs {
+		if fn.Name == "main" {
+			mainFn = fn
+		}
+	}
+	if got := len(info.Locals[mainFn]); got != 2 {
+		t.Errorf("main locals = %d, want 2", got)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"func f() {}", "no main"},
+		{"func main(a) {}", "main must take no parameters"},
+		{"func main() { x = 1; }", "undeclared"},
+		{"func main() { var x; var x; }", "redeclared"},
+		{"var g; var g; func main() {}", "redeclared"},
+		{"func main() { out(1, 2); }", "out takes exactly one"},
+		{"func main() { f(1); } func f(a, b) { return a + b; }", "takes 2 arguments"},
+		{"func main() { g(); }", "undeclared function"},
+		{"func main() { break; }", "break outside loop"},
+		{"func main() { continue; }", "continue outside loop"},
+		{"var a[4]; func main() { a = 1; }", "cannot assign to array"},
+		{"var a[4]; func main() { var x; x = a; }", "used as a scalar"},
+		{"var s; func main() { s[0] = 1; }", "not an array"},
+		{"func main() { var a[4]; var x = a[9] + 1; _unused(); } func _unused() {}", ""},
+		{"func main() {} func main() {}", "redeclared"},
+		{"func out() {} func main() {}", "builtin"},
+		{"func main() { var a[2] ; if (a && 1) { } }", "used as a scalar"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		_, err = Check(f)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("Check(%q) failed: %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Check(%q) should fail with %q", c.src, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Check(%q) = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCheckShadowingInNestedScopes(t *testing.T) {
+	src := `
+func main() {
+	var x = 1;
+	{
+		var x = 2;
+		out(x);
+	}
+	out(x);
+}`
+	f := mustParse(t, src)
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(info.Locals[f.Funcs[0]]); got != 2 {
+		t.Errorf("locals = %d, want 2 (shadowed copies both tracked)", got)
+	}
+	// The two x symbols must be distinct.
+	syms := info.Locals[f.Funcs[0]]
+	if syms[0] == syms[1] || syms[0].Index == syms[1].Index {
+		t.Error("shadowed locals share a symbol")
+	}
+}
+
+func TestCheckForScope(t *testing.T) {
+	src := `
+func main() {
+	for (var i = 0; i < 3; i = i + 1) { out(i); }
+	for (var i = 0; i < 3; i = i + 1) { out(i); }
+}`
+	f := mustParse(t, src)
+	if _, err := Check(f); err != nil {
+		t.Fatalf("for-scoped declarations should not clash: %v", err)
+	}
+
+	// i must not leak out of the for.
+	src2 := `
+func main() {
+	for (var i = 0; i < 3; i = i + 1) { }
+	out(i);
+}`
+	f2 := mustParse(t, src2)
+	if _, err := Check(f2); err == nil {
+		t.Error("for-loop variable should not escape")
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	src := `
+func main() {
+	var x = 3;
+	switch (x + 1) {
+	case 0 { out(0); }
+	case 1, 2 { out(12); }
+	case -3 { out(3); }
+	default { out(9); }
+	}
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := f.Funcs[0].Body.Stmts[1].(*SwitchStmt)
+	if len(sw.Cases) != 3 || sw.Default == nil {
+		t.Fatalf("cases=%d default=%v", len(sw.Cases), sw.Default != nil)
+	}
+	if len(sw.Cases[1].Vals) != 2 || sw.Cases[1].Vals[1] != 2 {
+		t.Errorf("multi-value case parsed wrong: %v", sw.Cases[1].Vals)
+	}
+	if sw.Cases[2].Vals[0] != -3 {
+		t.Errorf("negative case value: %v", sw.Cases[2].Vals)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"func main() { switch (1) { } }", "at least one case"},
+		{"func main() { switch (1) { case 1 { } case 1 { } } }", "duplicate case value"},
+		{"func main() { switch (1) { default { } default { } } }", "duplicate default"},
+		{"func main() { switch (1) { case x { } } }", "expected number"},
+		{"func main() { switch (1) { out(1); } }", "expected case or default"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err == nil {
+			_, err = Check(f)
+		}
+		if err == nil {
+			t.Errorf("%q should fail with %q", c.src, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}

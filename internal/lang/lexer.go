@@ -1,0 +1,202 @@
+package lang
+
+// Lexer turns MiniC source text into tokens. Comments run from // to end of
+// line. Numbers are decimal or 0x-hex.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '/' && l.peek2() == '/' {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next returns the next token, or an error for an unrecognized character.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	pos := Pos{l.line, l.col}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		return l.lexNumber(pos)
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: text}, nil
+	}
+	l.advance()
+	two := func(second byte, twoKind, oneKind TokKind) (Token, error) {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: twoKind, Pos: pos}, nil
+		}
+		return Token{Kind: oneKind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPct, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokXor, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNe, TokNot)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: TokShl, Pos: pos}, nil
+		}
+		return two('=', TokLe, TokLt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TokShr, Pos: pos}, nil
+		}
+		return two('=', TokGe, TokGt)
+	case '&':
+		return two('&', TokAndAnd, TokAnd)
+	case '|':
+		return two('|', TokOrOr, TokOr)
+	}
+	return Token{}, errf(pos, "unexpected character %q", c)
+}
+
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.pos
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		hexStart := l.pos
+		var v int64
+		for l.pos < len(l.src) {
+			c := l.peek()
+			var d int64
+			switch {
+			case isDigit(c):
+				d = int64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = int64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = int64(c-'A') + 10
+			default:
+				goto done
+			}
+			v = v*16 + d
+			l.advance()
+		}
+	done:
+		if l.pos == hexStart {
+			return Token{}, errf(pos, "malformed hex literal")
+		}
+		return Token{Kind: TokNumber, Pos: pos, Num: v}, nil
+	}
+	var v int64
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		v = v*10 + int64(l.peek()-'0')
+		l.advance()
+	}
+	_ = start
+	return Token{Kind: TokNumber, Pos: pos, Num: v}, nil
+}
+
+// LexAll tokenizes the whole input (testing convenience).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

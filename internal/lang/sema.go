@@ -1,0 +1,338 @@
+package lang
+
+import "fmt"
+
+// SymKind classifies a resolved symbol.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymGlobalScalar SymKind = iota
+	SymGlobalArray
+	SymLocalScalar
+	SymLocalArray
+	SymParam
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymGlobalScalar:
+		return "global"
+	case SymGlobalArray:
+		return "global array"
+	case SymLocalScalar:
+		return "local"
+	case SymLocalArray:
+		return "local array"
+	case SymParam:
+		return "parameter"
+	default:
+		return fmt.Sprintf("symkind(%d)", uint8(k))
+	}
+}
+
+// IsArray reports whether the symbol is an array.
+func (k SymKind) IsArray() bool { return k == SymGlobalArray || k == SymLocalArray }
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name  string
+	Kind  SymKind
+	Words int64 // array element count, 1 for scalars
+	// Index is the parameter position for SymParam, and a per-function
+	// ordinal for locals (used by lowering to key storage).
+	Index int
+}
+
+// Info is the result of semantic analysis: resolution maps consumed by the
+// compiler's lowering pass.
+type Info struct {
+	// Refs resolves every Ident and IndexExpr (and the name in every
+	// AssignStmt) to its symbol.
+	Refs map[any]*Symbol
+	// Calls resolves every CallExpr to its callee declaration. The out
+	// builtin resolves to nil with Builtin[call] set.
+	Calls map[*CallExpr]*FuncDecl
+	// Builtin marks calls to the out builtin.
+	Builtin map[*CallExpr]bool
+	// Locals lists, per function, every local symbol in declaration order
+	// (including shadowed ones); lowering assigns frame storage from this.
+	Locals map[*FuncDecl][]*Symbol
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]*Symbol
+}
+
+func (s *scope) lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.vars[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	file    *File
+	info    *Info
+	funcs   map[string]*FuncDecl
+	globals *scope
+	// current function state
+	fn        *FuncDecl
+	cur       *scope
+	loopDepth int
+	nextLocal int
+	errs      []error
+}
+
+// Check performs semantic analysis on a parsed file. It returns resolution
+// info, or the first error encountered.
+func Check(file *File) (*Info, error) {
+	c := &checker{
+		file: file,
+		info: &Info{
+			Refs:    map[any]*Symbol{},
+			Calls:   map[*CallExpr]*FuncDecl{},
+			Builtin: map[*CallExpr]bool{},
+			Locals:  map[*FuncDecl][]*Symbol{},
+		},
+		funcs:   map[string]*FuncDecl{},
+		globals: &scope{vars: map[string]*Symbol{}},
+	}
+	for _, g := range file.Globals {
+		if c.globals.vars[g.Name] != nil {
+			c.errf(g.Pos, "global %s redeclared", g.Name)
+			continue
+		}
+		kind, words := SymGlobalScalar, int64(1)
+		if g.Size > 0 {
+			kind, words = SymGlobalArray, g.Size
+		}
+		c.globals.vars[g.Name] = &Symbol{Name: g.Name, Kind: kind, Words: words}
+	}
+	for _, fn := range file.Funcs {
+		if c.funcs[fn.Name] != nil {
+			c.errf(fn.Pos, "function %s redeclared", fn.Name)
+			continue
+		}
+		if c.globals.vars[fn.Name] != nil {
+			c.errf(fn.Pos, "function %s shadows a global", fn.Name)
+		}
+		if fn.Name == "out" {
+			c.errf(fn.Pos, "cannot define builtin out")
+		}
+		c.funcs[fn.Name] = fn
+	}
+	main := c.funcs["main"]
+	if main == nil {
+		c.errf(Pos{1, 1}, "program has no main function")
+	} else if len(main.Params) != 0 {
+		c.errf(main.Pos, "main must take no parameters")
+	}
+	for _, fn := range file.Funcs {
+		c.checkFunc(fn)
+	}
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.info, nil
+}
+
+func (c *checker) errf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, errf(pos, format, args...))
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	c.fn = fn
+	c.loopDepth = 0
+	c.nextLocal = 0
+	c.cur = &scope{parent: c.globals, vars: map[string]*Symbol{}}
+	for i, p := range fn.Params {
+		if c.cur.vars[p] != nil {
+			c.errf(fn.Pos, "parameter %s repeated in %s", p, fn.Name)
+			continue
+		}
+		c.cur.vars[p] = &Symbol{Name: p, Kind: SymParam, Words: 1, Index: i}
+	}
+	if len(fn.Params) > 8 {
+		c.errf(fn.Pos, "function %s has %d parameters; at most 8 fit the argument registers", fn.Name, len(fn.Params))
+	}
+	c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *BlockStmt) {
+	c.cur = &scope{parent: c.cur, vars: map[string]*Symbol{}}
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.cur = c.cur.parent
+}
+
+func (c *checker) declareLocal(d *VarDecl) *Symbol {
+	if c.cur.vars[d.Name] != nil {
+		c.errf(d.Pos, "%s redeclared in this scope", d.Name)
+		return c.cur.vars[d.Name]
+	}
+	kind, words := SymLocalScalar, int64(1)
+	if d.Size > 0 {
+		kind, words = SymLocalArray, d.Size
+	}
+	sym := &Symbol{Name: d.Name, Kind: kind, Words: words, Index: c.nextLocal}
+	c.nextLocal++
+	c.cur.vars[d.Name] = sym
+	c.info.Locals[c.fn] = append(c.info.Locals[c.fn], sym)
+	return sym
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.checkBlock(st)
+	case *DeclStmt:
+		sym := c.declareLocal(st.Decl)
+		c.info.Refs[st] = sym
+		if st.Init != nil {
+			if sym.Kind.IsArray() {
+				c.errf(st.Decl.Pos, "array %s cannot have a scalar initializer", sym.Name)
+			}
+			c.checkExpr(st.Init)
+		}
+	case *AssignStmt:
+		sym := c.cur.lookup(st.Name)
+		if sym == nil {
+			c.errf(st.Pos, "undeclared variable %s", st.Name)
+			return
+		}
+		c.info.Refs[st] = sym
+		if st.Index != nil {
+			if !sym.Kind.IsArray() {
+				c.errf(st.Pos, "%s is not an array", st.Name)
+			}
+			c.checkExpr(st.Index)
+		} else if sym.Kind.IsArray() {
+			c.errf(st.Pos, "cannot assign to array %s without an index", st.Name)
+		}
+		c.checkExpr(st.Value)
+	case *IfStmt:
+		c.checkExpr(st.Cond)
+		c.checkBlock(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *WhileStmt:
+		c.checkExpr(st.Cond)
+		c.loopDepth++
+		c.checkBlock(st.Body)
+		c.loopDepth--
+	case *ForStmt:
+		// The init clause's declaration scopes over cond/post/body.
+		c.cur = &scope{parent: c.cur, vars: map[string]*Symbol{}}
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.checkExpr(st.Cond)
+		}
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.loopDepth++
+		c.checkBlock(st.Body)
+		c.loopDepth--
+		c.cur = c.cur.parent
+	case *SwitchStmt:
+		c.checkExpr(st.X)
+		if len(st.Cases) == 0 {
+			c.errf(st.Pos, "switch needs at least one case")
+		}
+		seen := map[int64]bool{}
+		for _, cs := range st.Cases {
+			for _, v := range cs.Vals {
+				if seen[v] {
+					c.errf(cs.Pos, "duplicate case value %d", v)
+				}
+				seen[v] = true
+			}
+			c.checkBlock(cs.Body)
+		}
+		if st.Default != nil {
+			c.checkBlock(st.Default)
+		}
+	case *ReturnStmt:
+		if st.Value != nil {
+			c.checkExpr(st.Value)
+		}
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			c.errf(st.Pos, "break outside loop")
+		}
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errf(st.Pos, "continue outside loop")
+		}
+	case *ExprStmt:
+		if call, ok := st.X.(*CallExpr); ok {
+			c.checkExpr(call)
+		} else {
+			c.errf(st.Pos, "expression statement must be a call")
+		}
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+func (c *checker) checkExpr(e Expr) {
+	switch ex := e.(type) {
+	case *NumLit:
+	case *Ident:
+		sym := c.cur.lookup(ex.Name)
+		if sym == nil {
+			c.errf(ex.Pos, "undeclared variable %s", ex.Name)
+			return
+		}
+		if sym.Kind.IsArray() {
+			c.errf(ex.Pos, "array %s used as a scalar", ex.Name)
+		}
+		c.info.Refs[ex] = sym
+	case *IndexExpr:
+		sym := c.cur.lookup(ex.Name)
+		if sym == nil {
+			c.errf(ex.Pos, "undeclared variable %s", ex.Name)
+			return
+		}
+		if !sym.Kind.IsArray() {
+			c.errf(ex.Pos, "%s is not an array", ex.Name)
+		}
+		c.info.Refs[ex] = sym
+		c.checkExpr(ex.Index)
+	case *CallExpr:
+		for _, a := range ex.Args {
+			c.checkExpr(a)
+		}
+		if ex.Name == "out" {
+			c.info.Builtin[ex] = true
+			if len(ex.Args) != 1 {
+				c.errf(ex.Pos, "out takes exactly one argument")
+			}
+			return
+		}
+		callee := c.funcs[ex.Name]
+		if callee == nil {
+			c.errf(ex.Pos, "call to undeclared function %s", ex.Name)
+			return
+		}
+		if len(ex.Args) != len(callee.Params) {
+			c.errf(ex.Pos, "%s takes %d arguments, got %d", ex.Name, len(callee.Params), len(ex.Args))
+		}
+		c.info.Calls[ex] = callee
+	case *UnaryExpr:
+		c.checkExpr(ex.X)
+	case *BinaryExpr:
+		c.checkExpr(ex.L)
+		c.checkExpr(ex.R)
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}

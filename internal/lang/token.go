@@ -1,0 +1,137 @@
+// Package lang implements the front end for MiniC, the small C-like systems
+// language used as this reproduction's stand-in for the paper's C toolchain
+// (the paper retargeted the Intel Reference C Compiler). MiniC has a single
+// 64-bit signed integer type, global and local scalars and arrays, functions,
+// structured control flow (if/else, while, for, break, continue),
+// short-circuit boolean operators, and an `out(x)` builtin that appends to
+// the program's output stream. Functions may be marked `library`, which the
+// block enlargement optimization honors (paper rule 5: library blocks are
+// never combined).
+package lang
+
+import "fmt"
+
+// TokKind classifies a token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokVar
+	TokFunc
+	TokLibrary
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokSwitch
+	TokCase
+	TokDefault
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+
+	// Operators.
+	TokAssign // =
+	TokOrOr   // ||
+	TokAndAnd // &&
+	TokOr     // |
+	TokXor    // ^
+	TokAnd    // &
+	TokEq     // ==
+	TokNe     // !=
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+	TokShl    // <<
+	TokShr    // >>
+	TokPlus   // +
+	TokMinus  // -
+	TokStar   // *
+	TokSlash  // /
+	TokPct    // %
+	TokNot    // !
+	TokTilde  // ~
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokVar: "var", TokFunc: "func", TokLibrary: "library", TokIf: "if",
+	TokElse: "else", TokWhile: "while", TokFor: "for", TokReturn: "return",
+	TokBreak: "break", TokContinue: "continue",
+	TokSwitch: "switch", TokCase: "case", TokDefault: "default",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokOrOr: "||", TokAndAnd: "&&", TokOr: "|", TokXor: "^",
+	TokAnd: "&", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokShl: "<<", TokShr: ">>", TokPlus: "+",
+	TokMinus: "-", TokStar: "*", TokSlash: "/", TokPct: "%", TokNot: "!",
+	TokTilde: "~",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // identifier text
+	Num  int64  // number value
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number(%d)", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}
+
+var keywords = map[string]TokKind{
+	"var": TokVar, "func": TokFunc, "library": TokLibrary, "if": TokIf,
+	"else": TokElse, "while": TokWhile, "for": TokFor, "return": TokReturn,
+	"break": TokBreak, "continue": TokContinue,
+	"switch": TokSwitch, "case": TokCase, "default": TokDefault,
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

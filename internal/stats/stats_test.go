@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Example",
+		Columns: []string{"Name", "Value"},
+		Note:    "a note",
+	}
+	tbl.AddRow("alpha", 42)
+	tbl.AddRow("beta", 3.14159)
+	out := tbl.Render()
+	for _, want := range []string{"Example", "Name", "Value", "alpha", "42", "3.142", "a note", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + underline + header + separator + 2 rows + note
+	if len(lines) != 7 {
+		t.Errorf("render has %d lines, want 7:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Columns: []string{"A", "B"}}
+	tbl.AddRow("xy", 7)
+	tbl.AddRow("longer", 123)
+	out := tbl.Render()
+	rows := strings.Split(out, "\n")
+	// Numeric cells right-align within the column: the 7 lines up with 123's
+	// last digit.
+	if !strings.Contains(rows[2], "xy") {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+	i7 := strings.Index(rows[2], "7")
+	i123 := strings.Index(rows[3], "123")
+	if i7 != i123+2 {
+		t.Errorf("right alignment broken: 7 at %d, 123 at %d\n%s", i7, i123, out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5, 10) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2) = %q", got)
+	}
+}
+
+func TestQuickBarLength(t *testing.T) {
+	f := func(frac float64, w uint8) bool {
+		width := int(w%60) + 1
+		return len(Bar(frac, width)) == width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.123); got != "+12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %f", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package testgen generates random, well-formed, terminating MiniC programs
+// for differential and property testing. Programs use bounded loops with
+// read-only counters, acyclic call graphs (a function calls only
+// strictly-lower-numbered functions), no calls inside loops, and bounded
+// shift amounts, so every generated program terminates quickly and never
+// traps. The generator is deterministic in its seed.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// progGen builds random but well-formed, terminating MiniC programs.
+type progGen struct {
+	r       *rand.Rand
+	sb      strings.Builder
+	nFuncs  int
+	varsIdx int
+}
+
+func Program(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	g.nFuncs = g.r.Intn(5) + 2
+	fmt.Fprintf(&g.sb, "var gdata[%d];\nvar gscalar;\n\n", 16+g.r.Intn(48))
+	for i := 0; i < g.nFuncs; i++ {
+		g.fn(i)
+	}
+	g.mainFn()
+	return g.sb.String()
+}
+
+// expr emits a small expression over the in-scope variables.
+func (g *progGen) expr(vars []string, depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(200) - 100)
+		case 1:
+			return vars[g.r.Intn(len(vars))]
+		case 2:
+			return fmt.Sprintf("gdata[(%s) & 15]", vars[g.r.Intn(len(vars))])
+		default:
+			return "gscalar"
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", "<=", "==", "!=", ">>", "<<"}
+	op := ops[g.r.Intn(len(ops))]
+	l := g.expr(vars, depth-1)
+	rr := g.expr(vars, depth-1)
+	if op == "<<" || op == ">>" {
+		rr = fmt.Sprint(g.r.Intn(5) + 1) // bounded shifts
+	}
+	if op == "*" {
+		// Keep magnitudes bounded so arithmetic stays well within int64.
+		return fmt.Sprintf("(((%s) & 1023) %s ((%s) & 1023))", l, op, rr)
+	}
+	return fmt.Sprintf("((%s) %s (%s))", l, op, rr)
+}
+
+// cond emits a boolean-ish expression, sometimes short-circuiting.
+func (g *progGen) cond(vars []string) string {
+	c := g.expr(vars, 1)
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s) && (%s)", c, g.expr(vars, 1))
+	case 1:
+		return fmt.Sprintf("(%s) || (%s)", c, g.expr(vars, 1))
+	case 2:
+		return fmt.Sprintf("!(%s)", c)
+	default:
+		return c
+	}
+}
+
+// stmts emits statements. vars are readable; the first nAssign of them are
+// also assignable (loop counters are appended after nAssign and stay
+// read-only, so loops always terminate).
+func (g *progGen) stmts(vars []string, nAssign int, indent string, depth int, inLoop bool) {
+	n := g.r.Intn(4) + 1
+	for i := 0; i < n; i++ {
+		g.stmt(vars, nAssign, indent, depth, inLoop)
+	}
+}
+
+func (g *progGen) stmt(vars []string, nAssign int, indent string, depth int, inLoop bool) {
+	switch k := g.r.Intn(10); {
+	case k < 3: // assignment
+		fmt.Fprintf(&g.sb, "%s%s = %s;\n", indent, vars[g.r.Intn(nAssign)], g.expr(vars, 2))
+	case k == 3: // global store
+		fmt.Fprintf(&g.sb, "%sgdata[(%s) & 15] = %s;\n", indent, g.expr(vars, 1), g.expr(vars, 1))
+	case k == 4: // out
+		fmt.Fprintf(&g.sb, "%sout(%s);\n", indent, g.expr(vars, 1))
+	case k == 5 && depth > 0: // if/else
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", indent, g.cond(vars))
+		g.stmts(vars, nAssign, indent+"\t", depth-1, inLoop)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%s} else {\n", indent)
+			g.stmts(vars, nAssign, indent+"\t", depth-1, inLoop)
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	case k == 6 && depth > 0: // bounded for loop with a fresh variable
+		v := fmt.Sprintf("it%d", g.varsIdx)
+		g.varsIdx++
+		fmt.Fprintf(&g.sb, "%sfor (var %s = 0; %s < %d; %s = %s + 1) {\n",
+			indent, v, v, g.r.Intn(6)+2, v, v)
+		// No calls inside loops: with acyclic call graphs this bounds total
+		// work to a small polynomial of the program size.
+		save := g.nFuncs
+		g.nFuncs = 0
+		g.stmts(append(vars, v), nAssign, indent+"\t", depth-1, true)
+		g.nFuncs = save
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	case k == 7 && inLoop: // break/continue
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%sif (%s) { break; }\n", indent, g.cond(vars))
+		} else {
+			fmt.Fprintf(&g.sb, "%sif (%s) { continue; }\n", indent, g.cond(vars))
+		}
+	case k == 8 && g.nFuncs > 0: // call a lower-numbered function (acyclic, terminates)
+		fmt.Fprintf(&g.sb, "%sgscalar = gscalar + f%d(%s, %s);\n",
+			indent, g.r.Intn(g.nFuncs), g.expr(vars, 1), g.expr(vars, 1))
+	case k == 9 && depth > 0: // switch (dense enough for a jump table sometimes)
+		fmt.Fprintf(&g.sb, "%sswitch ((%s) & 7) {\n", indent, g.expr(vars, 1))
+		ncases := g.r.Intn(4) + 2
+		used := map[int64]bool{}
+		for c := 0; c < ncases; c++ {
+			v := int64(g.r.Intn(8))
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			fmt.Fprintf(&g.sb, "%scase %d {\n", indent, v)
+			g.stmts(vars, nAssign, indent+"\t", depth-1, inLoop)
+			fmt.Fprintf(&g.sb, "%s}\n", indent)
+		}
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%sdefault {\n", indent)
+			g.stmts(vars, nAssign, indent+"\t", depth-1, inLoop)
+			fmt.Fprintf(&g.sb, "%s}\n", indent)
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	default:
+		fmt.Fprintf(&g.sb, "%s%s = %s + 1;\n", indent, vars[g.r.Intn(nAssign)], vars[g.r.Intn(len(vars))])
+	}
+}
+
+func (g *progGen) fn(idx int) {
+	lib := ""
+	if g.r.Intn(5) == 0 {
+		lib = "library "
+	}
+	fmt.Fprintf(&g.sb, "%sfunc f%d(a, b) {\n", lib, idx)
+	vars := []string{"a", "b"}
+	// Locals.
+	for i := 0; i < g.r.Intn(3)+1; i++ {
+		v := fmt.Sprintf("l%d", i)
+		fmt.Fprintf(&g.sb, "\tvar %s = %s;\n", v, g.expr(vars, 1))
+		vars = append(vars, v)
+	}
+	save := g.nFuncs
+	g.nFuncs = idx // functions may only call strictly lower-numbered ones
+	g.stmts(vars, len(vars), "\t", 2, false)
+	g.nFuncs = save
+	fmt.Fprintf(&g.sb, "\treturn %s;\n}\n\n", g.expr(vars, 2))
+}
+
+func (g *progGen) mainFn() {
+	fmt.Fprintf(&g.sb, "func main() {\n")
+	vars := []string{"x", "y"}
+	fmt.Fprintf(&g.sb, "\tvar x = %d;\n\tvar y = %d;\n", g.r.Intn(100), g.r.Intn(100))
+	save := g.nFuncs
+	g.stmts(vars, len(vars), "\t", 3, false)
+	g.nFuncs = save
+	fmt.Fprintf(&g.sb, "\tout(x); out(y); out(gscalar);\n}\n")
+}

@@ -1,0 +1,52 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+
+	"bsisa/internal/lang"
+)
+
+func TestProgramsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		if Program(seed) != Program(seed) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+	if Program(1) == Program(2) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestProgramsParseAndCheck(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		src := Program(seed)
+		f, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d does not parse: %v\n%s", seed, err, src)
+		}
+		if _, err := lang.Check(f); err != nil {
+			t.Fatalf("seed %d does not check: %v\n%s", seed, err, src)
+		}
+		if !strings.Contains(src, "func main()") {
+			t.Fatalf("seed %d has no main", seed)
+		}
+	}
+}
+
+func TestProgramsExerciseLanguageFeatures(t *testing.T) {
+	// Across a seed range, the generator must emit every major construct.
+	var all strings.Builder
+	for seed := int64(1); seed <= 60; seed++ {
+		all.WriteString(Program(seed))
+	}
+	src := all.String()
+	for _, want := range []string{
+		"for (", "if (", "} else {", "switch (", "case ", "default {",
+		"break;", "continue;", "library func", "gdata[", "out(", "&&", "||",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated corpus never uses %q", want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package uarch
+
+import (
+	"testing"
+
+	"bsisa/internal/isa"
+)
+
+func TestMultiBlockFetchSpeedsPredictableCode(t *testing.T) {
+	conv, _ := progs(t, loopy)
+	plain := simulate(t, conv, Config{PerfectBP: true})
+	multi := simulate(t, conv, Config{PerfectBP: true, MultiBlock: MultiBlockConfig{Blocks: 4}})
+	if multi.Multi.Groups == 0 || multi.Multi.AvgGroupSize() <= 1.05 {
+		t.Fatalf("multi-block fetch formed no groups: %+v", multi.Multi)
+	}
+	if multi.Cycles >= plain.Cycles {
+		t.Errorf("4-block fetch should beat single-block with perfect prediction: %d vs %d",
+			multi.Cycles, plain.Cycles)
+	}
+}
+
+func TestMultiBlockExtraStageCostsOnMispredicts(t *testing.T) {
+	// On mispredict-heavy code, the extra front-end stage eats into (or
+	// reverses) the fetch-width gain — the §3 criticism.
+	conv, _ := progs(t, unpredictableSrc)
+	plain := simulate(t, conv, Config{})
+	multi := simulate(t, conv, Config{MultiBlock: MultiBlockConfig{Blocks: 4}})
+	gain := float64(plain.Cycles-multi.Cycles) / float64(plain.Cycles)
+
+	plainP := simulate(t, conv, Config{PerfectBP: true})
+	multiP := simulate(t, conv, Config{PerfectBP: true, MultiBlock: MultiBlockConfig{Blocks: 4}})
+	gainP := float64(plainP.Cycles-multiP.Cycles) / float64(plainP.Cycles)
+
+	if gain >= gainP {
+		t.Errorf("multi-block gain should shrink under mispredictions: %.3f (real) vs %.3f (perfect)",
+			gain, gainP)
+	}
+}
+
+func TestMultiBlockBankConflictsCounted(t *testing.T) {
+	conv, _ := progs(t, loopy)
+	res := simulate(t, conv, Config{MultiBlock: MultiBlockConfig{Blocks: 4, Banks: 2}})
+	wide := simulate(t, conv, Config{MultiBlock: MultiBlockConfig{Blocks: 4, Banks: 64}})
+	if res.Multi.BankConflicts <= wide.Multi.BankConflicts {
+		t.Errorf("2 banks should conflict more than 64: %d vs %d",
+			res.Multi.BankConflicts, wide.Multi.BankConflicts)
+	}
+	if wide.Cycles > res.Cycles {
+		t.Errorf("more banks should not be slower: %d vs %d", wide.Cycles, res.Cycles)
+	}
+}
+
+func TestMultiBlockPreservesRetirement(t *testing.T) {
+	conv, bsa := progs(t, loopy)
+	for _, p := range []*isa.Program{conv, bsa} {
+		plain := simulate(t, p, Config{})
+		multi := simulate(t, p, Config{MultiBlock: MultiBlockConfig{Blocks: 3}})
+		if plain.Ops != multi.Ops || plain.Blocks != multi.Blocks {
+			t.Errorf("%s: multi-block changed retirement", p.Kind)
+		}
+	}
+}
+
+func TestMultiBlockUnitGrouping(t *testing.T) {
+	mb := newMultiBlock(MultiBlockConfig{Blocks: 3, Banks: 4}, 16)
+	mk := func(addr uint32, nops int) *isa.Block {
+		b := isa.NewBlock(0)
+		b.Addr = addr
+		b.Ops = make([]isa.Op, nops)
+		return b
+	}
+	// First block opens a group at cycle 10.
+	if c, joined := mb.onFetch(mk(0, 4), 10, 64); joined || c != 10 {
+		t.Fatalf("first block: %d %v", c, joined)
+	}
+	// Different bank joins the same cycle.
+	if c, joined := mb.onFetch(mk(64, 4), 11, 64); !joined || c != 10 {
+		t.Fatalf("second block should join at 10: %d %v", c, joined)
+	}
+	// Same bank as the first conflicts and opens a new group.
+	if _, joined := mb.onFetch(mk(256, 4), 11, 64); joined {
+		t.Fatal("bank conflict should refuse the group")
+	}
+	if mb.stats.BankConflicts != 1 {
+		t.Errorf("conflicts = %d", mb.stats.BankConflicts)
+	}
+	// Op budget: a fat block cannot join.
+	mb2 := newMultiBlock(MultiBlockConfig{Blocks: 4, Banks: 8}, 16)
+	mb2.onFetch(mk(0, 10), 5, 64)
+	if _, joined := mb2.onFetch(mk(64, 10), 6, 64); joined {
+		t.Fatal("op budget exceeded but block joined")
+	}
+}

@@ -1,0 +1,72 @@
+package uarch
+
+import (
+	"testing"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// TestTimingInvariantsOnRandomPrograms checks machine-level invariants of
+// the timing model over generated programs for both ISAs:
+//
+//   - retired ops/blocks match the functional emulator exactly;
+//   - cycles >= blocks (one block retires per cycle at most);
+//   - cycles >= ceil(ops/issue width) (machine width bound);
+//   - a perfect frontend (perfect BP + perfect icache) is never slower;
+//   - results are deterministic.
+func TestTimingInvariantsOnRandomPrograms(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(2000); seed < 2000+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		for _, kind := range []isa.Kind{isa.Conventional, isa.BlockStructured} {
+			prog, err := compile.Compile(src, "prop", compile.DefaultOptions(kind))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if kind == isa.BlockStructured {
+				if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			cfg := Config{ICache: cache.Config{SizeBytes: 2048}}
+			res, eres, err := RunProgram(prog, cfg, emu.Config{MaxOps: 80_000_000})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, kind, err)
+			}
+			if res.Ops != eres.Stats.Ops || res.Blocks != eres.Stats.Blocks {
+				t.Fatalf("seed %d %s: timing retired %d/%d, emulator %d/%d",
+					seed, kind, res.Ops, res.Blocks, eres.Stats.Ops, eres.Stats.Blocks)
+			}
+			if res.Cycles < res.Blocks {
+				t.Errorf("seed %d %s: %d cycles < %d blocks", seed, kind, res.Cycles, res.Blocks)
+			}
+			if res.Cycles*16 < res.Ops {
+				t.Errorf("seed %d %s: width bound violated: %d cycles, %d ops",
+					seed, kind, res.Cycles, res.Ops)
+			}
+			perfect, _, err := RunProgram(prog, Config{PerfectBP: true}, emu.Config{MaxOps: 80_000_000})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, kind, err)
+			}
+			if perfect.Cycles > res.Cycles {
+				t.Errorf("seed %d %s: perfect frontend slower (%d > %d)",
+					seed, kind, perfect.Cycles, res.Cycles)
+			}
+			again, _, err := RunProgram(prog, cfg, emu.Config{MaxOps: 80_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Cycles != res.Cycles {
+				t.Errorf("seed %d %s: nondeterministic (%d vs %d)", seed, kind, again.Cycles, res.Cycles)
+			}
+		}
+	}
+}

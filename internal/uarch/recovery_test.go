@@ -1,0 +1,177 @@
+package uarch
+
+import (
+	"testing"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/emu"
+)
+
+// unpredictableSrc has a 50/50 data-dependent branch inside a hot loop.
+const unpredictableSrc = `
+var d[256];
+func main() {
+	var i;
+	for (i = 0; i < 256; i = i + 1) { d[i] = (i * 1103515245 + 12345) % 65536; }
+	var a = 0;
+	for (i = 0; i < 3000; i = i + 1) {
+		if (d[i & 255] & 1) { a = a + 1; } else { a = a - 1; }
+	}
+	out(a);
+}`
+
+func TestFaultSquashPenaltyCharged(t *testing.T) {
+	_, bsa := progs(t, unpredictableSrc)
+	lo := simulate(t, bsa, Config{FaultSquashPenalty: 1})
+	hi := simulate(t, bsa, Config{FaultSquashPenalty: 20})
+	if lo.FaultMispredicts == 0 {
+		t.Fatal("expected fault mispredicts")
+	}
+	if hi.Cycles <= lo.Cycles {
+		t.Errorf("larger fault squash penalty should cost cycles: %d vs %d", hi.Cycles, lo.Cycles)
+	}
+	// The penalty applies per fault event; the delta is bounded by
+	// events * penalty difference.
+	maxDelta := hi.FaultMispredicts * 19
+	if hi.Cycles-lo.Cycles > maxDelta {
+		t.Errorf("penalty delta %d exceeds events*penalty %d", hi.Cycles-lo.Cycles, maxDelta)
+	}
+}
+
+func TestFrontEndDepthCostsOnMispredict(t *testing.T) {
+	conv, _ := progs(t, unpredictableSrc)
+	shallow := simulate(t, conv, Config{FrontEndDepth: 2})
+	deep := simulate(t, conv, Config{FrontEndDepth: 10})
+	if deep.Cycles <= shallow.Cycles {
+		t.Errorf("deeper front end should cost cycles on mispredicts: %d vs %d",
+			deep.Cycles, shallow.Cycles)
+	}
+}
+
+func TestWrongPathPollutesICache(t *testing.T) {
+	// With mispredicts, icache accesses must exceed the committed-block
+	// count (wrong-path blocks are fetched too).
+	_, bsa := progs(t, unpredictableSrc)
+	res := simulate(t, bsa, Config{ICache: cache.Config{SizeBytes: 4096}})
+	if res.Mispredicts() == 0 {
+		t.Fatal("expected mispredicts")
+	}
+	// Committed blocks touch >= 1 line each; wrong-path fetches add more.
+	if res.ICache.Accesses <= res.Blocks {
+		t.Errorf("icache accesses %d should exceed committed blocks %d (wrong-path fetches)",
+			res.ICache.Accesses, res.Blocks)
+	}
+}
+
+func TestPerfectBPEliminatesRecovery(t *testing.T) {
+	conv, bsa := progs(t, unpredictableSrc)
+	for _, p := range []any{conv, bsa} {
+		_ = p
+	}
+	rc := simulate(t, conv, Config{PerfectBP: true})
+	rb := simulate(t, bsa, Config{PerfectBP: true})
+	if rc.RecoveryStall != 0 || rb.RecoveryStall != 0 {
+		t.Errorf("perfect BP should have zero recovery stalls: %d %d",
+			rc.RecoveryStall, rb.RecoveryStall)
+	}
+}
+
+func TestDCacheSizeMatters(t *testing.T) {
+	// A working set larger than a tiny dcache must cause misses and cycles.
+	src := `
+var big[4096];
+func main() {
+	var i; var s = 0;
+	for (i = 0; i < 12288; i = i + 1) {
+		big[(i * 97) & 4095] = i;
+		s = s + big[(i * 53) & 4095];
+	}
+	out(s);
+}`
+	conv, _ := progs(t, src)
+	small := simulate(t, conv, Config{DCache: cache.Config{SizeBytes: 512, Ways: 2}, PerfectBP: true})
+	large := simulate(t, conv, Config{DCache: cache.Config{SizeBytes: 64 * 1024}, PerfectBP: true})
+	if small.DCache.Misses <= large.DCache.Misses {
+		t.Errorf("small dcache misses %d should exceed large %d",
+			small.DCache.Misses, large.DCache.Misses)
+	}
+	if small.Cycles <= large.Cycles {
+		t.Errorf("dcache misses should cost cycles: %d vs %d", small.Cycles, large.Cycles)
+	}
+}
+
+func TestL2LatencyScalesMissCost(t *testing.T) {
+	conv, _ := progs(t, unpredictableSrc)
+	cfgFast := Config{ICache: cache.Config{SizeBytes: 1024}, PerfectBP: true, L2Latency: 2}
+	cfgSlow := Config{ICache: cache.Config{SizeBytes: 1024}, PerfectBP: true, L2Latency: 30}
+	fast := simulate(t, conv, cfgFast)
+	slow := simulate(t, conv, cfgSlow)
+	if slow.Cycles <= fast.Cycles {
+		t.Errorf("higher L2 latency should cost cycles: %d vs %d", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := &Result{Cycles: 100, Ops: 250, Blocks: 50,
+		TrapMispredicts: 3, FaultMispredicts: 2, Misfetches: 1}
+	if r.IPC() != 2.5 {
+		t.Errorf("IPC = %f", r.IPC())
+	}
+	if r.AvgBlockSize() != 5 {
+		t.Errorf("AvgBlockSize = %f", r.AvgBlockSize())
+	}
+	if r.Mispredicts() != 6 {
+		t.Errorf("Mispredicts = %d", r.Mispredicts())
+	}
+	zero := &Result{}
+	if zero.IPC() != 0 || zero.AvgBlockSize() != 0 {
+		t.Error("zero-value accessors should not divide by zero")
+	}
+}
+
+func TestRunProgramPropagatesEmuErrors(t *testing.T) {
+	conv, _ := progs(t, `func main() { var i = 0; while (1) { i = i + 1; } }`)
+	if _, _, err := RunProgram(conv, Config{}, emu.Config{MaxOps: 1000}); err == nil {
+		t.Error("emulator budget error should propagate")
+	}
+}
+
+func TestIndirectJumpMispredictsAreTrapClass(t *testing.T) {
+	// A data-driven switch through a jump table: indirect-target
+	// mispredictions must be counted as ordinary (trap-class) events, never
+	// fault squashes — for both ISAs.
+	src := `
+var d[256];
+func main() {
+	var i;
+	for (i = 0; i < 256; i = i + 1) { d[i] = (i * 1103515245 + 12345) % 65536; }
+	var a = 0;
+	for (i = 0; i < 3000; i = i + 1) {
+		switch (d[i & 255] & 3) {
+		case 0 { a = a + 1; }
+		case 1 { a = a - 1; }
+		case 2 { a = a ^ 3; }
+		default { a = a + 7; }
+		}
+	}
+	out(a);
+}`
+	conv, bsa := progs(t, src)
+	rc := simulate(t, conv, Config{})
+	if rc.FaultMispredicts != 0 {
+		t.Errorf("conventional run has fault mispredicts: %d", rc.FaultMispredicts)
+	}
+	if rc.TrapMispredicts == 0 {
+		t.Error("random 4-way switch should mispredict its indirect jumps")
+	}
+	rb := simulate(t, bsa, Config{})
+	if rb.FaultMispredicts == 0 {
+		// Enlarged conditionals elsewhere still produce fault events; the
+		// jump-table targets themselves never do (rule 3). The key check is
+		// that the run completes with sane totals.
+		t.Logf("note: BSA run had no fault mispredicts")
+	}
+	if rb.Cycles <= 0 || rb.TrapMispredicts == 0 {
+		t.Fatalf("bsa switch run bad: %+v", rb)
+	}
+}

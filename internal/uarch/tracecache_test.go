@@ -1,0 +1,151 @@
+package uarch
+
+import (
+	"testing"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/isa"
+)
+
+// loopy is predictable, small-block code: ideal trace cache territory.
+const loopy = `
+var d[64];
+func main() {
+	var i; var s = 0;
+	for (i = 0; i < 64; i = i + 1) { d[i] = i * 3; }
+	for (i = 0; i < 4000; i = i + 1) {
+		if (i & 1) { s = s + d[i & 63]; } else { s = s + 1; }
+		if ((i & 7) != 0) { s = s + 2; }
+	}
+	out(s);
+}`
+
+func TestTraceCacheSpeedsUpConventional(t *testing.T) {
+	conv, _ := progs(t, loopy)
+	plain := simulate(t, conv, Config{})
+	traced := simulate(t, conv, Config{TraceCache: TraceCacheConfig{Sets: 64, Ways: 4}})
+	if traced.Trace.Hits == 0 || traced.Trace.Covered == 0 {
+		t.Fatalf("trace cache never hit: %+v", traced.Trace)
+	}
+	if traced.Cycles >= plain.Cycles {
+		t.Errorf("trace cache did not speed up predictable loops: %d vs %d cycles",
+			traced.Cycles, plain.Cycles)
+	}
+	if plain.Trace.Lookups != 0 {
+		t.Error("disabled trace cache recorded lookups")
+	}
+}
+
+func TestTraceCacheRaisesEffectiveFetchRate(t *testing.T) {
+	conv, _ := progs(t, loopy)
+	plain := simulate(t, conv, Config{PerfectBP: true})
+	traced := simulate(t, conv, Config{PerfectBP: true, TraceCache: TraceCacheConfig{Sets: 64, Ways: 4}})
+	if traced.IPC() <= plain.IPC() {
+		t.Errorf("trace cache should raise IPC: %.3f vs %.3f", traced.IPC(), plain.IPC())
+	}
+}
+
+func TestTraceCachePreservesRetirement(t *testing.T) {
+	conv, bsa := progs(t, loopy)
+	for _, p := range []*isa.Program{conv, bsa} {
+		plain := simulate(t, p, Config{})
+		traced := simulate(t, p, Config{TraceCache: TraceCacheConfig{Sets: 32, Ways: 2}})
+		if plain.Ops != traced.Ops || plain.Blocks != traced.Blocks {
+			t.Errorf("%s: trace cache changed retirement: %d/%d vs %d/%d",
+				p.Kind, plain.Ops, plain.Blocks, traced.Ops, traced.Blocks)
+		}
+	}
+}
+
+func TestTraceCacheUnitBehavior(t *testing.T) {
+	tc := newTraceCache(TraceCacheConfig{Sets: 4, Ways: 2})
+	mk := func(id isa.BlockID, nops int, term isa.Opcode) *isa.Block {
+		b := isa.NewBlock(0)
+		b.ID = id
+		b.Ops = make([]isa.Op, nops)
+		for i := range b.Ops {
+			b.Ops[i] = isa.Op{Opcode: isa.ADD}
+		}
+		if term != isa.NOP {
+			b.Ops = append(b.Ops, isa.Op{Opcode: term, Rs1: 1, Target: 0})
+		}
+		if term == isa.BR {
+			b.Succs = []isa.BlockID{0, 1}
+			b.TakenCount = 1
+			b.RecomputeHistBits()
+		}
+		return b
+	}
+	b1 := mk(1, 3, isa.BR)
+	b2 := mk(2, 3, isa.BR)
+	b3 := mk(3, 3, isa.BR)
+
+	// First pass fills the trace [1 2 3] (3 branches flushes it).
+	tc.retire(b1)
+	tc.retire(b2)
+	tc.retire(b3)
+	if tc.stats.Fills != 1 {
+		t.Fatalf("fills = %d, want 1", tc.stats.Fills)
+	}
+
+	// Second pass: fetching 1 opens a window covering 2 and 3.
+	if _, cov := tc.onFetch(b1, 10); cov {
+		t.Fatal("first block of a trace is not covered")
+	}
+	if c, cov := tc.onFetch(b2, 11); !cov || c != 10 {
+		t.Fatalf("block 2 should be covered at cycle 10, got %d %v", c, cov)
+	}
+	if c, cov := tc.onFetch(b3, 12); !cov || c != 10 {
+		t.Fatalf("block 3 should be covered at cycle 10, got %d %v", c, cov)
+	}
+	if tc.stats.Covered != 2 {
+		t.Errorf("covered = %d", tc.stats.Covered)
+	}
+
+	// Divergence: open the window again, then fetch a different block.
+	tc.onFetch(b1, 20)
+	if _, cov := tc.onFetch(b3, 21); cov {
+		t.Fatal("divergent block must not be covered")
+	}
+	if tc.stats.BrokenEarly == 0 {
+		t.Error("divergence not recorded")
+	}
+}
+
+func TestTraceFillSegmentsAtCalls(t *testing.T) {
+	tc := newTraceCache(TraceCacheConfig{})
+	call := isa.NewBlock(0)
+	call.ID = 5
+	call.Ops = []isa.Op{{Opcode: isa.CALL, Target: 9}}
+	call.Succs = []isa.BlockID{9}
+	call.Cont = 6
+	next := isa.NewBlock(0)
+	next.ID = 6
+	next.Ops = []isa.Op{{Opcode: isa.ADD}}
+	tc.retire(call) // segment boundary: flushes [5] which is too short to store
+	tc.retire(next)
+	if tc.stats.Fills != 0 {
+		t.Errorf("single-block segments must not be stored: fills=%d", tc.stats.Fills)
+	}
+	if len(tc.fill) != 1 || tc.fill[0] != 6 {
+		t.Errorf("fill buffer should restart after the call: %v", tc.fill)
+	}
+}
+
+func TestTraceCacheWithSmallICacheStillCorrect(t *testing.T) {
+	conv, _ := progs(t, loopy)
+	res := simulate(t, conv, Config{
+		ICache:     cache.Config{SizeBytes: 1024},
+		TraceCache: TraceCacheConfig{Sets: 64, Ways: 4},
+	})
+	if res.Cycles <= 0 || res.Ops <= 0 {
+		t.Fatal("bad result")
+	}
+	// Trace-covered fetches bypass the icache, so icache accesses drop
+	// versus the untraced run.
+	plain := simulate(t, conv, Config{ICache: cache.Config{SizeBytes: 1024}})
+	if res.ICache.Accesses >= plain.ICache.Accesses {
+		t.Errorf("trace hits should reduce icache traffic: %d vs %d",
+			res.ICache.Accesses, plain.ICache.Accesses)
+	}
+}

@@ -1,0 +1,529 @@
+// Package uarch is the cycle-level timing model of the paper's processor:
+// a sixteen-wide, dynamically scheduled machine in the HPS style (§4.3).
+//
+// Configuration mirrors the paper: the processor fetches and issues one
+// block per cycle (an atomic block for the block-structured ISA, a basic
+// block for the conventional ISA), holds up to 32 blocks / 512 operations in
+// flight, renames registers (so only true dependencies stall), executes on
+// sixteen uniform fully pipelined functional units with the Table-1
+// latencies, retires one block per cycle in order, and has an L1 dcache plus
+// a perfect L2 with a six-cycle access time. The L1 icache is the
+// experimental variable. Branch prediction is the two-level adaptive
+// predictor (conventional) or the paper's modified multi-successor variant
+// (block-structured); perfect prediction is available for the Figure-4
+// experiment.
+//
+// The model is execution-driven: it consumes the committed block stream the
+// functional emulator produces. Correct-path timing is modeled exactly
+// (dataflow, FU contention, cache misses); wrong-path work appears as
+// recovery penalties. Trap (direction) mispredictions restart fetch when the
+// mispredicted branch executes; fault (variant) mispredictions shadow-issue
+// the wrongly fetched variant — a real static block — through the scheduler
+// to find when its firing fault resolves, charging functional-unit slots for
+// the discarded work, exactly the extra cost the paper attributes to fault
+// mispredictions.
+package uarch
+
+import (
+	"fmt"
+
+	"bsisa/internal/bpred"
+	"bsisa/internal/cache"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+// Config parameterizes the processor. Zero values take the paper's
+// configuration.
+type Config struct {
+	IssueWidth   int // operations fetched/issued per cycle per block (16)
+	WindowBlocks int // in-flight block limit (32)
+	WindowOps    int // in-flight operation limit (512)
+	NumFUs       int // uniform, fully pipelined functional units (16)
+	// FrontEndDepth is the fetch-to-issue depth in cycles; a misprediction
+	// restarts fetch and pays this refill (default 4).
+	FrontEndDepth int
+	// L2Latency is the perfect-L2 access time added to L1 misses (6).
+	L2Latency int
+	// FaultSquashPenalty is the extra recovery cost of a fault
+	// misprediction beyond the front-end refill: squashing an atomic block
+	// restores the whole block's rename state and reissues it, which the
+	// paper identifies as the reason "mispredicted fault operations incur
+	// an extra penalty not associated with ordinary branch mispredictions"
+	// (default 4 cycles).
+	FaultSquashPenalty int
+	// ICache geometry; SizeBytes 0 = perfect (the Figures 6/7 reference
+	// point).
+	ICache cache.Config
+	// DCache geometry; default 16 KB, 4-way.
+	DCache cache.Config
+	// Predictor sizes the branch predictor tables.
+	Predictor bpred.Config
+	// PerfectBP disables branch prediction entirely (every fetch is
+	// correct): the Figure-4 configuration.
+	PerfectBP bool
+	// TraceCache, when enabled, adds a Rotenberg-style trace cache to the
+	// fetch unit (see tracecache.go) — the paper's §3 related-work rival.
+	TraceCache TraceCacheConfig
+	// MultiBlock, when enabled, fetches several basic blocks per cycle via
+	// multiple predictions and an interleaved icache (see multiblock.go) —
+	// the paper's other §3 rival family. Costs one extra front-end stage.
+	MultiBlock MultiBlockConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 16
+	}
+	if c.WindowBlocks == 0 {
+		c.WindowBlocks = 32
+	}
+	if c.WindowOps == 0 {
+		c.WindowOps = 512
+	}
+	if c.NumFUs == 0 {
+		c.NumFUs = 16
+	}
+	if c.FrontEndDepth == 0 {
+		c.FrontEndDepth = 4
+	}
+	if c.L2Latency == 0 {
+		c.L2Latency = 6
+	}
+	if c.FaultSquashPenalty == 0 {
+		c.FaultSquashPenalty = 4
+	}
+	if c.DCache.SizeBytes == 0 {
+		c.DCache.SizeBytes = 16 * 1024
+	}
+	return c
+}
+
+// Result summarizes a timing run.
+type Result struct {
+	Cycles int64
+	Ops    int64 // retired operations
+	Blocks int64 // retired blocks
+
+	TrapMispredicts  int64 // wrong trap/branch direction (or wrong return target)
+	FaultMispredicts int64 // right direction, wrong enlarged variant
+	Misfetches       int64 // predictor had no target (BTB/RAS miss)
+
+	ICache cache.Stats
+	DCache cache.Stats
+	Bpred  bpred.Stats
+	Trace  TraceCacheStats
+	Multi  MultiBlockStats
+
+	FetchStallICache int64 // cycles fetch stalled on icache misses
+	FetchStallWindow int64 // cycles fetch stalled on window capacity
+	RecoveryStall    int64 // cycles fetch stalled on misprediction recovery
+}
+
+// IPC returns retired operations per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Cycles)
+}
+
+// AvgBlockSize returns retired operations per retired block (Figure 5's
+// metric: blocks squashed on mispredictions never reach this stream).
+func (r *Result) AvgBlockSize() float64 {
+	if r.Blocks == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Blocks)
+}
+
+// Mispredicts returns all misprediction events.
+func (r *Result) Mispredicts() int64 {
+	return r.TrapMispredicts + r.FaultMispredicts + r.Misfetches
+}
+
+// Sim consumes a committed block stream and accumulates timing.
+type Sim struct {
+	cfg  Config
+	prog *isa.Program
+	pred bpred.Predictor
+	ic   *cache.Cache
+	dc   *cache.Cache
+
+	cycle          int64 // current fetch cycle
+	nextFetch      int64
+	tc             *traceCache
+	mb             *multiBlock
+	regReady       [isa.NumRegs]int64
+	fuBusy         map[int64]int
+	fuSweep        int64
+	window         []windowEntry
+	lastRetire     int64
+	res            Result
+	shadowRegReady [isa.NumRegs]int64
+}
+
+type windowEntry struct {
+	retire int64
+	ops    int
+}
+
+// New builds a timing simulator for the program. The predictor kind follows
+// the program's ISA.
+func New(prog *isa.Program, cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: icache: %w", err)
+	}
+	dc, err := cache.New(cfg.DCache)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: dcache: %w", err)
+	}
+	s := &Sim{
+		cfg:    cfg,
+		prog:   prog,
+		ic:     ic,
+		dc:     dc,
+		fuBusy: map[int64]int{},
+	}
+	if !cfg.PerfectBP {
+		if prog.Kind == isa.BlockStructured {
+			s.pred = bpred.NewBSA(cfg.Predictor)
+		} else {
+			s.pred = bpred.NewTwoLevel(cfg.Predictor)
+		}
+	}
+	if cfg.TraceCache.Enabled() {
+		s.tc = newTraceCache(cfg.TraceCache)
+	}
+	if cfg.MultiBlock.Enabled() {
+		s.mb = newMultiBlock(cfg.MultiBlock, cfg.IssueWidth)
+		// The alignment/merge network adds a pipeline stage (§3): deeper
+		// front end, costlier mispredictions.
+		s.cfg.FrontEndDepth++
+	}
+	return s, nil
+}
+
+// allocFU returns the first cycle at or after ready with a free functional
+// unit, and claims it.
+func (s *Sim) allocFU(ready int64) int64 {
+	c := ready
+	for s.fuBusy[c] >= s.cfg.NumFUs {
+		c++
+	}
+	s.fuBusy[c]++
+	return c
+}
+
+// sweepFU drops stale FU bookkeeping (nothing can schedule before the
+// current fetch cycle).
+func (s *Sim) sweepFU() {
+	if s.cycle-s.fuSweep < 8192 {
+		return
+	}
+	for c := range s.fuBusy {
+		if c < s.cycle-int64(s.cfg.L2Latency)-64 {
+			delete(s.fuBusy, c)
+		}
+	}
+	s.fuSweep = s.cycle
+}
+
+// fetchCycles returns how many cycles fetching a block takes (long
+// conventional basic blocks stream over several cycles).
+func (s *Sim) fetchCycles(b *isa.Block) int64 {
+	n := (len(b.Ops) + s.cfg.IssueWidth - 1) / s.cfg.IssueWidth
+	if n < 1 {
+		n = 1
+	}
+	return int64(n)
+}
+
+// OnBlock consumes one committed block event. Pass it as the emulator's
+// handler.
+func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
+	b := ev.Block
+
+	// Fetch: wait for window capacity, then access the icache.
+	fetch := s.nextFetch
+	for len(s.window) > 0 {
+		if len(s.window) >= s.cfg.WindowBlocks || s.windowOps()+len(b.Ops) > s.cfg.WindowOps {
+			if s.window[0].retire > fetch {
+				s.res.FetchStallWindow += s.window[0].retire - fetch
+				fetch = s.window[0].retire
+			}
+			s.window = s.window[1:]
+			continue
+		}
+		if s.window[0].retire <= fetch {
+			s.window = s.window[1:]
+			continue
+		}
+		break
+	}
+	// Trace cache: a block covered by an open trace window shares the
+	// window's fetch cycle and bypasses the icache (the trace cache stores
+	// the operations).
+	covered := false
+	if s.tc != nil {
+		_, covered = s.tc.onFetch(b, fetch)
+	}
+	// Multi-block fetch: join the current fetch group when the predictor
+	// and the icache banks allow it.
+	if s.mb != nil && !covered {
+		if c, joined := s.mb.onFetch(b, fetch, s.cfg.ICache.LineBytes); joined {
+			fetch = c
+			covered = true
+			// Group members still access the icache (they come from it),
+			// but any miss breaks the group.
+			if misses := s.ic.AccessRange(b.Addr, b.Size); misses > 0 {
+				stall := int64(s.cfg.L2Latency + (misses - 1))
+				s.res.FetchStallICache += stall
+				fetch = s.nextFetch + stall
+				covered = false
+				s.mb.breakGroup()
+			}
+		}
+	}
+	if !covered {
+		if misses := s.ic.AccessRange(b.Addr, b.Size); misses > 0 {
+			stall := int64(s.cfg.L2Latency + (misses - 1))
+			s.res.FetchStallICache += stall
+			fetch += stall
+			if s.mb != nil {
+				s.mb.breakGroup()
+			}
+		}
+	}
+	s.cycle = fetch
+	s.sweepFU()
+
+	issue := fetch + int64(s.cfg.FrontEndDepth)
+
+	// Schedule the block's operations through rename + dataflow + FUs.
+	sched := s.scheduleOps(b, ev.MemAddrs, issue, &s.regReady, true)
+	blockDone, trapResolve := sched.done, sched.term
+
+	// Retire in order, one block per cycle.
+	retire := blockDone + 1
+	if retire <= s.lastRetire {
+		retire = s.lastRetire + 1
+	}
+	s.lastRetire = retire
+	s.window = append(s.window, windowEntry{retire: retire, ops: len(b.Ops)})
+	s.res.Ops += int64(len(b.Ops))
+	s.res.Blocks++
+
+	if s.tc != nil {
+		s.tc.retire(b)
+	}
+
+	// Next-block prediction. A trace-covered block consumed no fetch slot,
+	// so the next block may fetch in the same cycle.
+	nextFetch := fetch + s.fetchCycles(b)
+	if covered {
+		nextFetch = fetch
+	}
+	if ev.Next != isa.NoBlock && !s.cfg.PerfectBP {
+		predicted := s.pred.Predict(b)
+		s.pred.Update(b, ev.Next, ev.Taken, ev.SuccIdx)
+		if predicted != ev.Next {
+			if s.tc != nil {
+				s.tc.breakWindow()
+			}
+			if s.mb != nil {
+				s.mb.breakGroup()
+			}
+			resolve, wasFault := s.recover(b, predicted, ev.Next, trapResolve, issue)
+			restart := resolve + int64(s.cfg.FrontEndDepth)
+			if wasFault {
+				restart += int64(s.cfg.FaultSquashPenalty)
+			}
+			if restart > nextFetch {
+				s.res.RecoveryStall += restart - nextFetch
+				nextFetch = restart
+			}
+		}
+	}
+	s.nextFetch = nextFetch
+	return nil
+}
+
+// windowOps counts in-flight operations.
+func (s *Sim) windowOps() int {
+	n := 0
+	for _, w := range s.window {
+		n += w.ops
+	}
+	return n
+}
+
+// schedTimes reports when a scheduled block's pieces resolve.
+type schedTimes struct {
+	done       int64 // last operation completes
+	term       int64 // terminator (trap/branch/return) resolves
+	firstFault int64 // first fault operation resolves (0 if none)
+}
+
+// scheduleOps runs a block through the dataflow scheduler. When commit is
+// true, register-ready state and the dcache are updated; otherwise the pass
+// is a shadow (wrong-path) issue that only consumes FU slots.
+func (s *Sim) scheduleOps(b *isa.Block, memAddrs []uint32, issue int64, regReady *[isa.NumRegs]int64, commit bool) schedTimes {
+	memIdx := 0
+	st := schedTimes{done: issue, term: issue + 1}
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		ready := issue
+		for _, r := range op.Reads() {
+			if r != isa.RegZero && regReady[r] > ready {
+				ready = regReady[r]
+			}
+		}
+		start := s.allocFU(ready)
+		lat := int64(op.Opcode.Latency())
+		switch op.Opcode {
+		case isa.LD:
+			if commit {
+				if memIdx < len(memAddrs) {
+					if !s.dc.Access(memAddrs[memIdx]) {
+						lat += int64(s.cfg.L2Latency)
+					}
+					memIdx++
+				}
+			}
+			// Shadow loads assume L1 hits (wrong-path addresses are not
+			// architectural).
+		case isa.ST:
+			if commit && memIdx < len(memAddrs) {
+				s.dc.Access(memAddrs[memIdx])
+				memIdx++
+			}
+		}
+		done := start + lat
+		if rd, ok := op.Writes(); ok && rd != isa.RegZero {
+			regReady[rd] = done
+		}
+		if op.Opcode == isa.CALL {
+			regReady[isa.RegLR] = done
+		}
+		if op.Opcode.IsBlockEnd() {
+			st.term = done
+		}
+		if op.Opcode == isa.FAULT && st.firstFault == 0 {
+			st.firstFault = done
+		}
+		if done > st.done {
+			st.done = done
+		}
+	}
+	return st
+}
+
+// recover models misprediction recovery after block b predicted `predicted`
+// but the machine should fetch `actual`. It classifies the event and returns
+// the cycle at which the misprediction resolves, and whether it was a fault
+// (variant) misprediction, which carries the block-squash penalty.
+func (s *Sim) recover(b *isa.Block, predicted, actual isa.BlockID, trapResolve, issue int64) (int64, bool) {
+	if predicted == isa.NoBlock {
+		// The frontend had no target (BTB/RAS miss): fetch waits for the
+		// transfer to execute.
+		s.res.Misfetches++
+		return trapResolve, false
+	}
+	if t := b.Terminator(); t != nil && t.Opcode == isa.JR {
+		// A mispredicted indirect jump resolves when the jump executes: an
+		// ordinary misprediction, not a block squash (the jump-table target
+		// is not an enlarged variant of anything).
+		s.res.TrapMispredicts++
+		if wb := s.prog.Block(predicted); wb != nil {
+			s.ic.AccessRange(wb.Addr, wb.Size)
+		}
+		return trapResolve, false
+	}
+	idxP := b.SuccIndex(predicted)
+	idxA := b.SuccIndex(actual)
+	sameGroup := false
+	if idxP >= 0 && idxA >= 0 {
+		t := b.Terminator()
+		hasTrap := t != nil && (t.Opcode == isa.TRAP || t.Opcode == isa.BR) &&
+			b.TakenCount > 0 && b.TakenCount < len(b.Succs)
+		if hasTrap {
+			sameGroup = (idxP < b.TakenCount) == (idxA < b.TakenCount)
+		} else {
+			sameGroup = true // single variant group
+		}
+	}
+	if !sameGroup {
+		// Direction misprediction: resolved when the trap/branch executes.
+		// The wrong-path block still went through the icache (pollution).
+		s.res.TrapMispredicts++
+		if wb := s.prog.Block(predicted); wb != nil {
+			s.ic.AccessRange(wb.Addr, wb.Size)
+		}
+		return trapResolve, false
+	}
+
+	// Fault misprediction: the wrong variant was fetched and issued; its
+	// fault fires once the fault's condition operands resolve. Shadow-issue
+	// the predicted variant (a real static block) one cycle after b's
+	// fetch, against a copy of the register-ready state, charging FU slots
+	// for the discarded work. The wrong variant's fetch goes through the
+	// icache: a miss delays its issue and therefore the fault's resolution
+	// — squashed blocks cannot even detect the misprediction until they
+	// are fetched, one of the reasons fault mispredictions cost more than
+	// ordinary branch mispredictions (paper §5).
+	s.res.FaultMispredicts++
+	pb := s.prog.Block(predicted)
+	if pb == nil {
+		return trapResolve, true
+	}
+	s.shadowRegReady = s.regReady
+	shadowIssue := issue + 1
+	if misses := s.ic.AccessRange(pb.Addr, pb.Size); misses > 0 {
+		shadowIssue += int64(s.cfg.L2Latency + (misses - 1))
+	}
+	shadow := s.scheduleOps(pb, nil, shadowIssue, &s.shadowRegReady, false)
+	faultResolve := shadow.firstFault
+	if faultResolve == 0 {
+		// Defensive: a variant without faults cannot detect the
+		// misprediction itself; fall back to its completion.
+		faultResolve = shadow.done
+	}
+	if faultResolve < trapResolve {
+		faultResolve = trapResolve
+	}
+	return faultResolve, true
+}
+
+// Finish returns the accumulated result. Call after the emulator completes.
+func (s *Sim) Finish() *Result {
+	s.res.Cycles = s.lastRetire
+	s.res.ICache = s.ic.Stats()
+	s.res.DCache = s.dc.Stats()
+	if s.pred != nil {
+		s.res.Bpred = s.pred.Stats()
+	}
+	if s.tc != nil {
+		s.res.Trace = s.tc.stats
+	}
+	if s.mb != nil {
+		s.res.Multi = s.mb.stats
+	}
+	return &s.res
+}
+
+// RunProgram is the convenience entry point: functionally emulate prog,
+// feeding the committed stream through a fresh timing simulator.
+func RunProgram(prog *isa.Program, cfg Config, emuCfg emu.Config) (*Result, *emu.Result, error) {
+	sim, err := New(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	er, err := emu.New(prog, emuCfg).Run(sim.OnBlock)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim.Finish(), er, nil
+}

@@ -1,0 +1,257 @@
+package uarch
+
+import (
+	"testing"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+// progs compiles a source for both ISAs, enlarging the block-structured one.
+func progs(t *testing.T, src string) (conv, bsa *isa.Program) {
+	t.Helper()
+	var err error
+	conv, err = compile.Compile(src, "t", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatalf("compile conv: %v", err)
+	}
+	bsa, err = compile.Compile(src, "t", compile.DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		t.Fatalf("compile bsa: %v", err)
+	}
+	if _, err := core.Enlarge(bsa, core.Params{}); err != nil {
+		t.Fatalf("enlarge: %v", err)
+	}
+	return conv, bsa
+}
+
+func simulate(t *testing.T, p *isa.Program, cfg Config) *Result {
+	t.Helper()
+	res, _, err := RunProgram(p, cfg, emu.Config{MaxOps: 100_000_000})
+	if err != nil {
+		t.Fatalf("simulate %s: %v", p.Kind, err)
+	}
+	return res
+}
+
+const kernel = `
+var data[256];
+func step(x, i) {
+	if ((x ^ i) % 3 == 0) { return x + i; }
+	if (x % 5 == 1) { return x - i; }
+	return x * 2 - i;
+}
+func main() {
+	var i; var x = 7;
+	for (i = 0; i < 256; i = i + 1) {
+		data[i] = (i * 2654435761) % 1000;
+	}
+	for (i = 0; i < 2000; i = i + 1) {
+		x = step(x, data[i % 256] % 97);
+	}
+	out(x);
+}
+`
+
+func TestTimingBasicSanity(t *testing.T) {
+	conv, bsa := progs(t, kernel)
+	for _, p := range []*isa.Program{conv, bsa} {
+		res := simulate(t, p, Config{})
+		if res.Cycles <= 0 || res.Ops <= 0 || res.Blocks <= 0 {
+			t.Fatalf("%s: empty result %+v", p.Kind, res)
+		}
+		// The machine retires at most IssueWidth ops per cycle and at
+		// least... certainly fewer ops than 16*cycles.
+		if res.Ops > res.Cycles*16 {
+			t.Errorf("%s: IPC %.2f exceeds machine width", p.Kind, res.IPC())
+		}
+		if res.IPC() <= 0.1 {
+			t.Errorf("%s: implausibly low IPC %.3f", p.Kind, res.IPC())
+		}
+	}
+}
+
+func TestBSAOutperformsConventionalWithLargeICache(t *testing.T) {
+	conv, bsa := progs(t, kernel)
+	cfg := Config{} // perfect icache, real predictor
+	rc := simulate(t, conv, cfg)
+	rb := simulate(t, bsa, cfg)
+	if rb.Cycles >= rc.Cycles {
+		t.Errorf("BSA (%d cycles) should beat conventional (%d cycles) with a perfect icache",
+			rb.Cycles, rc.Cycles)
+	}
+}
+
+func TestBSARetiredBlockSizeGrows(t *testing.T) {
+	// Figure 5's premise holds for code with small basic blocks (the
+	// SPECint regime the paper targets): enlargement lifts retired
+	// ops/block. Use a branchy kernel whose basic blocks are small.
+	src := `
+var d[128];
+func main() {
+	var i; var a = 0; var b = 0; var c = 0;
+	for (i = 0; i < 128; i = i + 1) { d[i] = (i * 37 + 11) % 64; }
+	for (i = 0; i < 3000; i = i + 1) {
+		var v = d[i % 128];
+		if (v % 2 == 0) { a = a + 1; } else { b = b + 1; }
+		if (v % 3 == 0) { c = c + 1; }
+		if (v > 32) { a = a + 2; } else { c = c - 1; }
+	}
+	out(a); out(b); out(c);
+}`
+	conv, bsa := progs(t, src)
+	rc := simulate(t, conv, Config{})
+	rb := simulate(t, bsa, Config{})
+	if rb.AvgBlockSize() <= rc.AvgBlockSize() {
+		t.Errorf("BSA retired block size %.2f should exceed conventional %.2f",
+			rb.AvgBlockSize(), rc.AvgBlockSize())
+	}
+}
+
+func TestPerfectPredictionNeverSlower(t *testing.T) {
+	conv, bsa := progs(t, kernel)
+	for _, p := range []*isa.Program{conv, bsa} {
+		real := simulate(t, p, Config{})
+		perfect := simulate(t, p, Config{PerfectBP: true})
+		if perfect.Cycles > real.Cycles {
+			t.Errorf("%s: perfect prediction slower (%d > %d)", p.Kind, perfect.Cycles, real.Cycles)
+		}
+		if perfect.Mispredicts() != 0 {
+			t.Errorf("%s: perfect prediction recorded mispredicts", p.Kind)
+		}
+	}
+}
+
+func TestSmallerICacheNeverFaster(t *testing.T) {
+	_, bsa := progs(t, kernel)
+	prev := int64(0)
+	for _, kb := range []int{8, 4, 2, 1} {
+		res := simulate(t, bsa, Config{ICache: cache.Config{SizeBytes: kb * 1024}})
+		if prev != 0 && res.Cycles < prev {
+			t.Errorf("%dKB icache faster (%d) than next larger size (%d)", kb, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+func TestPerfectICacheIsLowerBound(t *testing.T) {
+	conv, _ := progs(t, kernel)
+	perfect := simulate(t, conv, Config{})
+	small := simulate(t, conv, Config{ICache: cache.Config{SizeBytes: 1024}})
+	if small.Cycles < perfect.Cycles {
+		t.Errorf("finite icache (%d) beat perfect icache (%d)", small.Cycles, perfect.Cycles)
+	}
+	if small.ICache.Misses == 0 {
+		t.Error("1KB icache recorded no misses")
+	}
+}
+
+func TestBSARecordsFaultMispredicts(t *testing.T) {
+	// Unpredictable branches inside enlarged blocks must surface as fault
+	// mispredictions.
+	src := `
+var data[512];
+func main() {
+	var i; var acc = 0;
+	for (i = 0; i < 512; i = i + 1) {
+		data[i] = (i * 1103515245 + 12345) % 65536;
+	}
+	for (i = 0; i < 4000; i = i + 1) {
+		if (data[i % 512] % 2 == 0) { acc = acc + 1; } else { acc = acc - 1; }
+	}
+	out(acc);
+}`
+	_, bsa := progs(t, src)
+	res := simulate(t, bsa, Config{})
+	if res.FaultMispredicts == 0 {
+		t.Errorf("no fault mispredicts on unpredictable merged branches: %+v", res)
+	}
+}
+
+func TestWindowLimitSlowsDown(t *testing.T) {
+	conv, _ := progs(t, kernel)
+	wide := simulate(t, conv, Config{WindowBlocks: 32})
+	narrow := simulate(t, conv, Config{WindowBlocks: 2})
+	if narrow.Cycles < wide.Cycles {
+		t.Errorf("2-block window (%d) faster than 32-block window (%d)", narrow.Cycles, wide.Cycles)
+	}
+}
+
+func TestFewerFUsNeverFaster(t *testing.T) {
+	conv, _ := progs(t, kernel)
+	many := simulate(t, conv, Config{NumFUs: 16})
+	few := simulate(t, conv, Config{NumFUs: 1})
+	if few.Cycles < many.Cycles {
+		t.Errorf("1 FU (%d cycles) faster than 16 FUs (%d cycles)", few.Cycles, many.Cycles)
+	}
+}
+
+func TestDependentChainBoundByLatency(t *testing.T) {
+	// A chain of 100 dependent multiplies cannot finish faster than
+	// 100 * 3 cycles.
+	var src = `
+func main() {
+	var x = 3;
+	var i;
+	for (i = 0; i < 100; i = i + 1) { x = (x * x) % 1000003; }
+	out(x);
+}`
+	conv, _ := progs(t, src)
+	res := simulate(t, conv, Config{PerfectBP: true})
+	// Each iteration has x*x (3 cycles) then %(8 cycles) dependent: >= 11
+	// cycles per iteration on the critical path.
+	if res.Cycles < 100*11 {
+		t.Errorf("dependent mul/rem chain finished in %d cycles, violates latency lower bound", res.Cycles)
+	}
+}
+
+func TestRetireBandwidthBound(t *testing.T) {
+	conv, _ := progs(t, kernel)
+	res := simulate(t, conv, Config{})
+	if res.Cycles < res.Blocks {
+		t.Errorf("retired %d blocks in %d cycles: exceeds one block per cycle", res.Blocks, res.Cycles)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	conv, bsa := progs(t, kernel)
+	for _, p := range []*isa.Program{conv, bsa} {
+		sim, err := New(p, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := emu.New(p, emu.Config{}).Run(sim.OnBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Finish()
+		if res.Ops != er.Stats.Ops || res.Blocks != er.Stats.Blocks {
+			t.Errorf("%s: timing retired %d ops/%d blocks, emulator %d/%d",
+				p.Kind, res.Ops, res.Blocks, er.Stats.Ops, er.Stats.Blocks)
+		}
+		if p.Kind == isa.Conventional && res.FaultMispredicts != 0 {
+			t.Error("conventional run recorded fault mispredicts")
+		}
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	conv, bsa := progs(t, kernel)
+	for _, p := range []*isa.Program{conv, bsa} {
+		a := simulate(t, p, Config{})
+		b := simulate(t, p, Config{})
+		if a.Cycles != b.Cycles || a.Mispredicts() != b.Mispredicts() {
+			t.Errorf("%s: nondeterministic timing", p.Kind)
+		}
+	}
+}
+
+func TestBadCacheConfigRejected(t *testing.T) {
+	conv, _ := progs(t, `func main() { out(1); }`)
+	if _, err := New(conv, Config{ICache: cache.Config{SizeBytes: 1000}}); err == nil {
+		t.Error("bad icache geometry accepted")
+	}
+}

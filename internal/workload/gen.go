@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Source generates the MiniC program for a profile. Generation is fully
+// deterministic in the profile (including its Seed).
+func Source(p Profile) string {
+	g := &gen{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	return g.program()
+}
+
+type gen struct {
+	p   Profile
+	rng *rand.Rand
+	sb  strings.Builder
+}
+
+func (g *gen) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format, args...)
+}
+
+// mask is the power-of-two data index mask.
+func (g *gen) mask() int { return g.p.DataWords - 1 }
+
+func (g *gen) program() string {
+	p := g.p
+	g.emitf("// synthetic SPECint95 profile %q (input %s), seed %d\n", p.Name, p.Input, p.Seed)
+	g.emitf("var data[%d];\nvar seed;\nvar tick;\n\n", p.DataWords)
+
+	for i := 0; i < p.LibFuncs; i++ {
+		g.libFunc(i)
+	}
+	// Small non-library leaf helpers (the static-inline functions of real C
+	// code): frequent call targets that stop block enlargement at rule-3
+	// boundaries unless an inlining pass removes them.
+	for i := 0; i < 3; i++ {
+		g.helperFunc(i)
+	}
+	g.initData()
+	for k := 0; k < p.Funcs; k++ {
+		g.worker(k)
+	}
+	g.dispatch(0, p.Funcs)
+	g.mainFunc()
+	return g.sb.String()
+}
+
+// libFunc emits a small library helper (rule-5 code the enlarger must leave
+// alone).
+func (g *gen) libFunc(i int) {
+	c1 := g.rng.Intn(30000) + 1
+	c2 := g.rng.Intn(6) + 1
+	g.emitf("library func lib_%d(x) {\n", i)
+	g.emitf("\tx = x ^ %d;\n", c1)
+	g.emitf("\tx = x + (x >> %d);\n", c2)
+	g.emitf("\treturn x & 65535;\n}\n\n")
+}
+
+// initData fills the data array with an LCG stream (the source of
+// data-dependent branch outcomes). The body is kept branchy and register
+// resident so initialization code looks like ordinary integer code rather
+// than one fat straight-line block.
+func (g *gen) initData() {
+	q := g.p.DataWords / 4
+	g.emitf("func initdata() {\n")
+	g.emitf("\tvar i;\n")
+	for k := 1; k <= 4; k++ {
+		g.emitf("\tvar s%d = %d;\n", k, g.rng.Intn(100000)+7)
+	}
+	// Four interleaved LCG streams: initialization is cheap (about five
+	// operations per data word) and has parallel dependence chains, so it
+	// neither dominates dynamic op counts nor serializes the pipeline.
+	g.emitf("\tfor (i = 0; i < %d; i = i + 1) {\n", q)
+	adds := []int{11, 17, 29, 37}
+	for k := 1; k <= 4; k++ {
+		g.emitf("\t\ts%d = (s%d * 48271 + %d) & 2147483647;\n", k, k, adds[k-1])
+	}
+	for k := 1; k <= 4; k++ {
+		g.emitf("\t\tdata[i + %d] = s%d & 65535;\n", (k-1)*q, k)
+	}
+	g.emitf("\t}\n")
+	g.emitf("\tseed = s1;\n}\n\n")
+}
+
+// armStmt emits one simple statement for a conditional arm. Statements are
+// deliberately small (1–2 operations) so conventional basic blocks land in
+// the SPECint 4–5 op range, and they spread work across the independent
+// accumulators a and b (with occasional serial v-chases) so the code has
+// instruction-level parallelism downstream of fetch — the machine must be
+// fetch-bound, as in the paper, not dependence-bound.
+func (g *gen) armStmt() string {
+	acc := [3]string{"a", "b", "c2"}[g.rng.Intn(3)]
+	switch g.rng.Intn(10) {
+	case 0:
+		return fmt.Sprintf("%s = %s + ((v & %d) + (x >> %d));", acc, acc, g.rng.Intn(63)+1, g.rng.Intn(3)+1)
+	case 1:
+		return fmt.Sprintf("%s = %s ^ %d;", acc, acc, g.rng.Intn(30000)+1)
+	case 2:
+		return fmt.Sprintf("%s = %s - ((x ^ %d) & 255);", acc, acc, g.rng.Intn(30000)+1)
+	case 3:
+		return fmt.Sprintf("data[(x + %d) & %d] = v;", g.rng.Intn(1000), g.mask())
+	case 4:
+		// Independent load: the address depends only on the block-entry x.
+		return fmt.Sprintf("%s = %s + data[(x + %d) & %d];", acc, acc, g.rng.Intn(1000), g.mask())
+	case 5:
+		// Helper call: frequent calls are what limits block enlargement in
+		// the paper (§5 attributes the unused fetch bandwidth to procedure
+		// calls and returns). Half the sites call library code (never
+		// inlinable), half call ordinary leaf helpers (inlinable).
+		if g.p.LibFuncs > 0 && g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s = %s + lib_%d(v & 1023);", acc, acc, g.rng.Intn(g.p.LibFuncs))
+		}
+		return fmt.Sprintf("%s = %s + hlp_%d(v, x);", acc, acc, g.rng.Intn(3))
+	case 6:
+		return fmt.Sprintf("%s = (%s * %d) & 1048575;", acc, acc, g.rng.Intn(5)+3)
+	case 7:
+		// Serial pointer-chase flavor, kept rare: rewrites v itself.
+		return fmt.Sprintf("v = data[(v + %d) & %d];", g.rng.Intn(1000), g.mask())
+	default:
+		return fmt.Sprintf("%s = %s + v;", acc, acc)
+	}
+}
+
+// helperFunc emits a small non-library leaf function.
+func (g *gen) helperFunc(i int) {
+	c1 := g.rng.Intn(1000) + 1
+	sh := g.rng.Intn(4) + 1
+	g.emitf("func hlp_%d(x, y) {\n", i)
+	g.emitf("\treturn ((x + %d) ^ (y >> %d)) & 65535;\n}\n\n", c1, sh)
+}
+
+// condition emits a branch condition. Patterned conditions test the global
+// tick counter (history-predictable); data conditions compare masked LCG
+// data against the profile's bias threshold.
+func (g *gen) condition(k, c int) string {
+	if g.rng.Intn(1000) < g.p.PatternedFrac1000 {
+		// Highly predictable site: taken on all but one of every 8/16/32
+		// iterations. A two-bit counter nails these regardless of history
+		// pollution from neighboring data-dependent branches.
+		mask := []int{7, 15, 31}[g.rng.Intn(3)]
+		return fmt.Sprintf("(tk & %d) != 0", mask)
+	}
+	thresh := g.p.BiasPercent * 128 / 100
+	sh := g.rng.Intn(8)
+	return fmt.Sprintf("((v >> %d) & 127) < %d", sh, thresh)
+}
+
+// worker emits one worker function.
+func (g *gen) worker(k int) {
+	p := g.p
+	g.emitf("func work_%d(x, d) {\n", k)
+	g.emitf("\tx = x & 1048575;\n")
+	g.emitf("\tvar v = data[(x + %d) & %d];\n", k*37+1, g.mask())
+	g.emitf("\tvar tk = tick;\n")
+	g.emitf("\tvar a = x >> 1;\n\tvar b = v;\n\tvar c2 = x ^ %d;\n", k*11+5)
+
+	for c := 0; c < p.CondsPerFunc; c++ {
+		g.emitf("\tif (%s) {\n", g.condition(k, c))
+		for s := 0; s < p.StmtsPerArm; s++ {
+			g.emitf("\t\t%s\n", g.armStmt())
+		}
+		g.emitf("\t} else {\n")
+		for s := 0; s < p.StmtsPerArm; s++ {
+			g.emitf("\t\t%s\n", g.armStmt())
+		}
+		g.emitf("\t}\n")
+	}
+
+	if p.InnerIters > 0 {
+		// Accumulate independent loads off the loop counter: the counter
+		// and accumulator advance in parallel chains, loads fan out. The
+		// patterned branch keeps basic blocks small, as in real loop code.
+		g.emitf("\tvar j;\n")
+		g.emitf("\tfor (j = 0; j < %d; j = j + 1) {\n", p.InnerIters)
+		g.emitf("\t\tif ((j & 3) != 0) {\n")
+		g.emitf("\t\t\tb = b + data[(x + j) & %d];\n", g.mask())
+		g.emitf("\t\t} else {\n")
+		g.emitf("\t\t\ta = a ^ (x + j);\n")
+		g.emitf("\t\t}\n")
+		g.emitf("\t}\n")
+	}
+
+	// Fold the accumulators into x before any call, so they never live
+	// across a call site (they stay in caller-saved registers and cost no
+	// prologue saves).
+	g.emitf("\tx = ((x + a) ^ ((b + c2) & 65535)) & 1048575;\n")
+
+	// Callees are neighbors: call trees stay within the current phase's
+	// neighborhood, giving the instantaneous working set the locality real
+	// programs have (total static footprint stays large; see mainFunc).
+	callee := (k + 1) % p.Funcs
+	g.emitf("\tif (d > 0) {\n")
+	g.emitf("\t\tx = x + work_%d(x ^ %d, d - 1);\n", callee, k+1)
+	g.emitf("\t}\n")
+	if p.CallDepth >= 3 {
+		callee2 := (k + 2) % p.Funcs
+		g.emitf("\tif (d > 1 && (x & 3) == 0) {\n")
+		g.emitf("\t\tx = x + work_%d(x + %d, d - 2);\n", callee2, k+3)
+		g.emitf("\t}\n")
+	}
+	g.emitf("\treturn x & 1048575;\n}\n\n")
+}
+
+// dispatch emits the binary dispatch tree routing a selector to a worker —
+// static code in its own right, like a compiled switch.
+func (g *gen) dispatch(lo, hi int) {
+	if hi-lo == 1 {
+		return
+	}
+	mid := (lo + hi) / 2
+	g.dispatch(lo, mid)
+	g.dispatch(mid, hi)
+	g.emitf("func disp_%d_%d(sel, x, d) {\n", lo, hi)
+	if mid-lo == 1 {
+		g.emitf("\tif (sel < %d) { return work_%d(x, d); }\n", mid, lo)
+	} else {
+		g.emitf("\tif (sel < %d) { return disp_%d_%d(sel, x, d); }\n", mid, lo, mid)
+	}
+	if hi-mid == 1 {
+		g.emitf("\treturn work_%d(x, d);\n", mid)
+	} else {
+		g.emitf("\treturn disp_%d_%d(sel, x, d);\n", mid, hi)
+	}
+	g.emitf("}\n\n")
+}
+
+// callRoot returns the dispatch entry call expression.
+func (g *gen) callRoot(sel, x, d string) string {
+	if g.p.Funcs == 1 {
+		return fmt.Sprintf("work_0(%s, %s)", x, d)
+	}
+	return fmt.Sprintf("disp_0_%d(%s, %s, %s)", g.p.Funcs, sel, x, d)
+}
+
+func (g *gen) mainFunc() {
+	p := g.p
+	span := p.PhaseSpan
+	if span == 0 {
+		span = 4
+	}
+	if span > p.Funcs {
+		span = p.Funcs
+	}
+	g.emitf("func main() {\n")
+	g.emitf("\tinitdata();\n")
+	g.emitf("\tvar i;\n\tvar acc = 0;\n")
+	g.emitf("\tfor (i = 0; i < %d; i = i + 1) {\n", p.OuterIters)
+	g.emitf("\t\ttick = tick + 1;\n")
+	// Phase-based locality: for 64 consecutive iterations the program
+	// works within a small neighborhood of functions, then the phase
+	// rotates. The instantaneous working set is small (real programs'
+	// icache locality) while the full static footprint is exercised over
+	// the run, so capacity misses appear exactly when the icache cannot
+	// hold a phase's code.
+	g.emitf("\t\tvar phase = ((i >> 6) * 5) %% %d;\n", p.Funcs)
+	g.emitf("\t\tvar sel = (phase + (i %% %d)) %% %d;\n", span, p.Funcs)
+	// Call arguments depend only on the loop counter, never on acc: the
+	// call trees of successive iterations are dataflow-independent, so the
+	// machine sees instruction-level parallelism across iterations and is
+	// fetch-bound, as on the paper's workloads. acc only accumulates
+	// results (one add per iteration).
+	g.emitf("\t\tacc = acc + %s;\n", g.callRoot("sel", "(i * 73 + 19) & 1048575", fmt.Sprint(p.CallDepth)))
+	g.emitf("\t\tacc = acc & 16777215;\n")
+	g.emitf("\t}\n")
+	g.emitf("\tout(acc);\n}\n")
+}

@@ -1,0 +1,151 @@
+// Package workload generates the eight synthetic MiniC benchmarks that
+// stand in for SPECint95 (Table 2 of the paper). The real benchmarks and
+// their reference inputs are not reproducible here; instead each profile is
+// a deterministic, seeded program generator tuned to reproduce the
+// control-flow character that drives the paper's results for that
+// benchmark:
+//
+//   - mean basic-block size (SPECint's 4–5 operations),
+//   - branch bias and predictability (gcc/go are dominated by unbiased,
+//     hard-to-predict branches; vortex/m88ksim by highly biased ones),
+//   - static code footprint relative to the icache (gcc/go are big-code;
+//     compress/li/ijpeg are small kernels),
+//   - call/return density (the main limiter of block enlargement, §5),
+//   - loop structure and data-access locality.
+//
+// Programs index all arrays through power-of-two masks, bound every loop,
+// and bound recursion depth, so every generated program terminates and
+// never traps.
+package workload
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name is the SPECint95 benchmark this profile models.
+	Name string
+	// Input names the modeled reference input (Table 2 flavor text).
+	Input string
+	// Seed drives all generation randomness.
+	Seed int64
+
+	// Funcs is the number of worker functions (static code size knob).
+	Funcs int
+	// CondsPerFunc is the if/else-chain length per worker.
+	CondsPerFunc int
+	// StmtsPerArm is the statement count per conditional arm (basic block
+	// size knob; SPECint-like blocks want 2–4 simple statements).
+	StmtsPerArm int
+	// BiasPercent is the taken-probability (0–100) of data-dependent
+	// branches: 50 is unbiased/unpredictable, 90+ is highly predictable.
+	BiasPercent int
+	// PatternedFrac1000 is the per-mille fraction of conditions that test
+	// loop-counter patterns (perfectly history-predictable) instead of
+	// random data.
+	PatternedFrac1000 int
+	// CallDepth bounds worker-to-worker call recursion.
+	CallDepth int
+	// InnerIters is the per-worker inner loop trip count.
+	InnerIters int
+	// OuterIters is main's driver loop trip count (dynamic size knob).
+	OuterIters int
+	// DataWords sizes the global data array (power of two).
+	DataWords int
+	// PhaseSpan is how many neighboring workers each 64-iteration phase
+	// touches (instantaneous working-set knob); 0 means 4.
+	PhaseSpan int
+	// LibFuncs is the number of library helper functions (rule-5 code).
+	LibFuncs int
+}
+
+// Profiles returns the eight benchmark profiles in the paper's Table 2
+// order. Scale multiplies dynamic work (OuterIters); 1.0 is bsbench's
+// reference scale, tests use smaller values.
+func Profiles(scale float64) []Profile {
+	if scale <= 0 {
+		scale = 1
+	}
+	ps := []Profile{
+		{
+			// compress: tiny loop kernel, moderately biased branches.
+			Name: "compress", Input: "test.in*", Seed: 101,
+			Funcs: 6, CondsPerFunc: 5, StmtsPerArm: 2,
+			BiasPercent: 88, PatternedFrac1000: 650,
+			CallDepth: 1, InnerIters: 10, OuterIters: 5200,
+			DataWords: 2048, LibFuncs: 2,
+		},
+		{
+			// gcc: very large code, many small blocks, unbiased branches.
+			Name: "gcc", Input: "jump.i", Seed: 102,
+			Funcs: 150, CondsPerFunc: 10, StmtsPerArm: 1,
+			BiasPercent: 70, PatternedFrac1000: 450,
+			CallDepth: 2, InnerIters: 2, OuterIters: 2400,
+			DataWords: 4096, LibFuncs: 6,
+		},
+		{
+			// go: large code, many unbiased branches (the paper's
+			// icache-loss case).
+			Name: "go", Input: "2stone9.in*", Seed: 103,
+			Funcs: 110, CondsPerFunc: 14, StmtsPerArm: 1,
+			BiasPercent: 52, PatternedFrac1000: 400,
+			CallDepth: 2, InnerIters: 3, OuterIters: 2600,
+			DataWords: 4096, LibFuncs: 4, PhaseSpan: 7,
+		},
+		{
+			// ijpeg: small loop-dominated kernel, larger blocks, biased.
+			Name: "ijpeg", Input: "specmun.ppm*", Seed: 104,
+			Funcs: 12, CondsPerFunc: 5, StmtsPerArm: 3,
+			BiasPercent: 90, PatternedFrac1000: 550,
+			CallDepth: 1, InnerIters: 14, OuterIters: 3400,
+			DataWords: 8192, LibFuncs: 2,
+		},
+		{
+			// li: small code, call/return-dominated (recursive evaluator).
+			Name: "li", Input: "train.lsp", Seed: 105,
+			Funcs: 24, CondsPerFunc: 4, StmtsPerArm: 1,
+			BiasPercent: 82, PatternedFrac1000: 450,
+			CallDepth: 4, InnerIters: 1, OuterIters: 5200,
+			DataWords: 2048, LibFuncs: 3,
+		},
+		{
+			// m88ksim: moderate code, highly predictable branches (the
+			// paper's best case, ~20% gain).
+			Name: "m88ksim", Input: "dcrand.train", Seed: 106,
+			Funcs: 32, CondsPerFunc: 6, StmtsPerArm: 2,
+			BiasPercent: 93, PatternedFrac1000: 700,
+			CallDepth: 2, InnerIters: 5, OuterIters: 3600,
+			DataWords: 2048, LibFuncs: 3,
+		},
+		{
+			// perl: large-ish interpreter loop, mixed-bias dispatch.
+			Name: "perl", Input: "scrabbl.pl*", Seed: 107,
+			Funcs: 70, CondsPerFunc: 7, StmtsPerArm: 1,
+			BiasPercent: 78, PatternedFrac1000: 450,
+			CallDepth: 3, InnerIters: 2, OuterIters: 2600,
+			DataWords: 4096, LibFuncs: 5,
+		},
+		{
+			// vortex: large OO database, very biased branches, call heavy.
+			Name: "vortex", Input: "vortex.big*", Seed: 108,
+			Funcs: 90, CondsPerFunc: 4, StmtsPerArm: 2,
+			BiasPercent: 94, PatternedFrac1000: 550,
+			CallDepth: 3, InnerIters: 3, OuterIters: 2800,
+			DataWords: 4096, LibFuncs: 5,
+		},
+	}
+	for i := range ps {
+		ps[i].OuterIters = int(float64(ps[i].OuterIters) * scale)
+		if ps[i].OuterIters < 8 {
+			ps[i].OuterIters = 8
+		}
+	}
+	return ps
+}
+
+// ProfileByName returns the named profile at the given scale.
+func ProfileByName(name string, scale float64) (Profile, bool) {
+	for _, p := range Profiles(scale) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+func TestProfilesCoverTable2(t *testing.T) {
+	want := []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+	ps := Profiles(1)
+	if len(ps) != len(want) {
+		t.Fatalf("got %d profiles, want %d", len(ps), len(want))
+	}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Errorf("profile %d = %s, want %s", i, ps[i].Name, name)
+		}
+		if ps[i].DataWords&(ps[i].DataWords-1) != 0 {
+			t.Errorf("%s: DataWords %d not a power of two", name, ps[i].DataWords)
+		}
+		if ps[i].Seed == 0 {
+			t.Errorf("%s: zero seed", name)
+		}
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	p, _ := ProfileByName("gcc", 0.1)
+	a, b := Source(p), Source(p)
+	if a != b {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestScaleAffectsOnlyDynamicWork(t *testing.T) {
+	small, _ := ProfileByName("li", 0.05)
+	big, _ := ProfileByName("li", 1.0)
+	if small.Funcs != big.Funcs || small.CondsPerFunc != big.CondsPerFunc {
+		t.Error("scale changed static shape")
+	}
+	if small.OuterIters >= big.OuterIters {
+		t.Error("scale did not change dynamic work")
+	}
+	// Same static source modulo the iteration bound.
+	srcSmall, srcBig := Source(small), Source(big)
+	if len(srcSmall) == 0 || len(srcBig) == 0 {
+		t.Fatal("empty source")
+	}
+	if !strings.Contains(srcSmall, "func work_0") {
+		t.Error("missing workers")
+	}
+}
+
+// TestAllProfilesCompileAndAgree is the workhorse: every profile compiles
+// for both ISAs, the block-structured version enlarges, and all three
+// executables produce identical output.
+func TestAllProfilesCompileAndAgree(t *testing.T) {
+	for _, p := range Profiles(0.02) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			src := Source(p)
+			conv, err := compile.Compile(src, p.Name, compile.DefaultOptions(isa.Conventional))
+			if err != nil {
+				t.Fatalf("compile conventional: %v", err)
+			}
+			bsa, err := compile.Compile(src, p.Name, compile.DefaultOptions(isa.BlockStructured))
+			if err != nil {
+				t.Fatalf("compile bsa: %v", err)
+			}
+			if _, err := core.Enlarge(bsa, core.Params{}); err != nil {
+				t.Fatalf("enlarge: %v", err)
+			}
+
+			rc, err := emu.New(conv, emu.Config{MaxOps: 500_000_000}).Run(nil)
+			if err != nil {
+				t.Fatalf("run conventional: %v", err)
+			}
+			rb, err := emu.New(bsa, emu.Config{MaxOps: 500_000_000}).Run(nil)
+			if err != nil {
+				t.Fatalf("run bsa: %v", err)
+			}
+			if len(rc.Output) != len(rb.Output) {
+				t.Fatalf("output mismatch: %v vs %v", rc.Output, rb.Output)
+			}
+			for i := range rc.Output {
+				if rc.Output[i] != rb.Output[i] {
+					t.Fatalf("output[%d]: %d vs %d", i, rc.Output[i], rb.Output[i])
+				}
+			}
+			if rc.Stats.Ops == 0 {
+				t.Error("no dynamic work")
+			}
+		})
+	}
+}
+
+// TestBlockSizeRegime checks the central workload property: conventional
+// basic blocks must land in the SPECint 4–6 op range on average, so that
+// enlargement has the headroom the paper describes.
+func TestBlockSizeRegime(t *testing.T) {
+	for _, name := range []string{"gcc", "li", "vortex"} {
+		p, _ := ProfileByName(name, 0.02)
+		conv, err := compile.Compile(Source(p), p.Name, compile.DefaultOptions(isa.Conventional))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measure steady-state code only: at tiny test scales the one-time
+		// data-initialization loop dominates dynamic ops (at the reference
+		// scale it is a few percent), so exclude it here.
+		initFn := conv.FuncByName("initdata")
+		var ops, blocks int64
+		_, err = emu.New(conv, emu.Config{}).Run(func(ev *emu.BlockEvent) error {
+			if ev.Block.Func != initFn.ID {
+				ops += int64(len(ev.Block.Ops))
+				blocks++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := float64(ops) / float64(blocks)
+		if avg < 3 || avg > 9 {
+			t.Errorf("%s: conventional dynamic block size %.2f outside the SPECint regime", name, avg)
+		}
+	}
+}
+
+// TestBranchBiasRealized checks that profiles' bias knobs show up in the
+// dynamic taken rates.
+func TestBranchBiasRealized(t *testing.T) {
+	biased, _ := ProfileByName("vortex", 0.02) // 93% bias
+	unbiased, _ := ProfileByName("go", 0.02)   // 52% bias
+	rate := func(p Profile) float64 {
+		conv, err := compile.Compile(Source(p), p.Name, compile.DefaultOptions(isa.Conventional))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := core.CollectProfile(conv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unweighted per-site bias: loop back-edges are near-always taken
+		// in any program, so the distinguishing signal is how biased the
+		// *conditional sites* are on average.
+		var sum float64
+		var n int
+		for _, bp := range prof {
+			if bp.Taken+bp.NotTaken < 10 {
+				continue
+			}
+			sum += bp.Bias()
+			n++
+		}
+		return sum / float64(n)
+	}
+	rb, ru := rate(biased), rate(unbiased)
+	if rb <= ru {
+		t.Errorf("vortex per-branch bias %.3f should exceed go %.3f", rb, ru)
+	}
+}
+
+// TestStaticFootprints checks the code-size ordering that drives Figures 6
+// and 7: gcc and go must be the big-code profiles, compress among the small.
+func TestStaticFootprints(t *testing.T) {
+	size := func(name string) uint32 {
+		p, _ := ProfileByName(name, 0.02)
+		conv, err := compile.Compile(Source(p), p.Name, compile.DefaultOptions(isa.Conventional))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conv.CodeBytes()
+	}
+	gcc, goSz, compress, li := size("gcc"), size("go"), size("compress"), size("li")
+	if gcc <= compress || goSz <= compress {
+		t.Errorf("big-code profiles not bigger: gcc=%d go=%d compress=%d", gcc, goSz, compress)
+	}
+	if gcc <= li {
+		t.Errorf("gcc (%d) should exceed li (%d)", gcc, li)
+	}
+	t.Logf("footprints: gcc=%dB go=%dB li=%dB compress=%dB", gcc, goSz, li, compress)
+}
