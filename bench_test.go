@@ -62,8 +62,10 @@ func benchFigure(b *testing.B, f func(*harness.Harness) error) {
 	h := benchHarness(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// Memoized results would make iterations after the first free;
-		// clear them so ns/op reflects real emulation + timing simulation.
+		// Memoized results would make iterations after the first free; clear
+		// them so ns/op reflects real timing simulation. Recorded traces are
+		// config-independent inputs and survive the clear, so iterations
+		// measure the replay path the harness actually uses.
 		h.ClearResults()
 		if err := f(h); err != nil {
 			b.Fatal(err)
@@ -186,6 +188,49 @@ func BenchmarkEmulator(b *testing.B) {
 			b.Fatal(err)
 		}
 		ops += res.Stats.Ops
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkTraceRecord measures committed-block trace capture: one
+// functional emulation plus the flat-slice event encoding.
+func BenchmarkTraceRecord(b *testing.B) {
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		tr, err := emu.Record(prog, emu.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += tr.Footprint()
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N), "trace-bytes")
+}
+
+// BenchmarkTraceReplay measures one timing simulation driven from a recorded
+// trace — the marginal cost of each extra configuration under
+// SimulateMany, with no re-emulation.
+func BenchmarkTraceReplay(b *testing.B) {
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		res, err := uarch.ReplayTrace(tr, uarch.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.Ops
 	}
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
 }

@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	bsbench [-scale F] [-exp name[,name...]] [-v]
+//	bsbench [-scale F] [-exp name[,name...]] [-v] [-cpuprofile F] [-memprofile F]
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 mispredicts
 // ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
 // all (default: the paper's tables and figures).
+//
+// -cpuprofile and -memprofile write pprof data covering the whole run
+// (compilation, trace recording, and simulation), so performance work on the
+// pipeline can be grounded in measured hot paths.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,7 +31,34 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size scale factor")
 	exps := flag.String("exp", "paper", "comma-separated experiments, 'paper', or 'all'")
 	verbose := flag.Bool("v", false, "progress output")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opts := harness.Options{Scale: *scale, Parallel: true}
 	if *verbose {

@@ -9,6 +9,8 @@
 //	-asm             input is an assembly listing (bsdis format), not a container
 //	-timing          run the timing model and report cycles/IPC
 //	-icache N        icache size in bytes (0 = perfect)
+//	-sweep-icache L  comma-separated icache sizes: record the committed-block
+//	                 trace once, replay it per size, print a cycles table
 //	-perfect-bp      perfect branch prediction
 //	-max-ops N       emulation budget
 //	-q               suppress program output values
@@ -18,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"bsisa/internal/cache"
 	"bsisa/internal/emu"
@@ -29,6 +33,7 @@ func main() {
 	asm := flag.Bool("asm", false, "input is an assembly listing (bsdis format)")
 	timing := flag.Bool("timing", false, "run the cycle-level timing model")
 	icache := flag.Int("icache", 0, "icache size in bytes (0 = perfect)")
+	sweep := flag.String("sweep-icache", "", "comma-separated icache sizes to sweep on one recorded trace")
 	perfectBP := flag.Bool("perfect-bp", false, "perfect branch prediction")
 	maxOps := flag.Int64("max-ops", 0, "emulation operation budget (0 = default)")
 	quiet := flag.Bool("q", false, "suppress program output values")
@@ -58,6 +63,12 @@ func main() {
 	}
 
 	emuCfg := emu.Config{MaxOps: *maxOps}
+	if *sweep != "" {
+		if err := sweepICache(prog, emuCfg, *sweep, *perfectBP, quiet); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if !*timing {
 		res, err := emu.New(prog, emuCfg).Run(nil)
 		if err != nil {
@@ -87,6 +98,47 @@ func main() {
 		tres.DCache.Accesses, tres.DCache.Misses, 100*tres.DCache.MissRate())
 	fmt.Printf("fetch stalls:      %d icache, %d window, %d recovery\n",
 		tres.FetchStallICache, tres.FetchStallWindow, tres.RecoveryStall)
+}
+
+// sweepICache is the trace-once, simulate-many path: one functional
+// emulation records the committed-block trace, then every icache size
+// replays it through an independent timing simulator.
+func sweepICache(prog *isa.Program, emuCfg emu.Config, list string, perfectBP bool, quiet *bool) error {
+	var sizes []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -sweep-icache entry %q: %v", f, err)
+		}
+		sizes = append(sizes, n)
+	}
+	tr, err := emu.Record(prog, emuCfg)
+	if err != nil {
+		return err
+	}
+	report(prog, tr.EmuResult(), quiet)
+	fmt.Printf("trace:             %d blocks recorded (%d KB), replayed %d times\n",
+		tr.NumEvents(), tr.Footprint()/1024, len(sizes))
+	cfgs := make([]uarch.Config, len(sizes))
+	for i, sz := range sizes {
+		cfgs[i] = uarch.Config{
+			ICache:    cache.Config{SizeBytes: sz, Ways: 4},
+			PerfectBP: perfectBP,
+		}
+	}
+	results, err := uarch.SimulateMany(tr, cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %12s %8s %10s\n", "icache", "cycles", "IPC", "icmiss%")
+	for i, r := range results {
+		label := fmt.Sprintf("%dB", sizes[i])
+		if sizes[i] == 0 {
+			label = "perfect"
+		}
+		fmt.Printf("%12s %12d %8.3f %10.2f\n", label, r.Cycles, r.IPC(), 100*r.ICache.MissRate())
+	}
+	return nil
 }
 
 func report(prog *isa.Program, res *emu.Result, quiet *bool) {

@@ -1,0 +1,136 @@
+package emu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// recordedEvent is a deep copy of one BlockEvent for comparison (the
+// emulator and the trace replayer both reuse their event structs).
+type recordedEvent struct {
+	block   isa.BlockID
+	next    isa.BlockID
+	succIdx int
+	taken   bool
+	mem     []uint32
+}
+
+func copyEvent(ev *emu.BlockEvent) recordedEvent {
+	return recordedEvent{
+		block:   ev.Block.ID,
+		next:    ev.Next,
+		succIdx: ev.SuccIdx,
+		taken:   ev.Taken,
+		mem:     append([]uint32(nil), ev.MemAddrs...),
+	}
+}
+
+// TestTraceReplayMatchesRun checks, over generated programs for both ISAs,
+// that Record captures exactly the event stream Run delivers and that Replay
+// reproduces it event for event, with identical functional results.
+func TestTraceReplayMatchesRun(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(7000); seed < 7000+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		for _, kind := range []isa.Kind{isa.Conventional, isa.BlockStructured} {
+			prog, err := compile.Compile(src, "trace", compile.DefaultOptions(kind))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if kind == isa.BlockStructured {
+				if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			prog.Layout()
+			cfg := emu.Config{MaxOps: 50_000_000}
+
+			var direct []recordedEvent
+			dres, err := emu.New(prog, cfg).Run(func(ev *emu.BlockEvent) error {
+				direct = append(direct, copyEvent(ev))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s: run: %v", seed, kind, err)
+			}
+
+			tr, err := emu.Record(prog, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: record: %v", seed, kind, err)
+			}
+			if tr.NumEvents() != len(direct) {
+				t.Fatalf("seed %d %s: trace has %d events, run delivered %d",
+					seed, kind, tr.NumEvents(), len(direct))
+			}
+			if !reflect.DeepEqual(tr.EmuResult(), dres) {
+				t.Errorf("seed %d %s: trace functional result differs from direct run", seed, kind)
+			}
+
+			i := 0
+			err = tr.Replay(func(ev *emu.BlockEvent) error {
+				if got, want := copyEvent(ev), direct[i]; !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d %s: event %d: replay %+v, run %+v", seed, kind, i, got, want)
+				}
+				i++
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s: replay: %v", seed, kind, err)
+			}
+			if i != len(direct) {
+				t.Errorf("seed %d %s: replay delivered %d events, want %d", seed, kind, i, len(direct))
+			}
+		}
+	}
+}
+
+// TestTraceRecordPropagatesErrors checks that budget violations surface from
+// Record like they do from Run.
+func TestTraceRecordPropagatesErrors(t *testing.T) {
+	prog, err := compile.Compile(testgen.Program(7100), "trace", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Layout()
+	if _, err := emu.Record(prog, emu.Config{MaxOps: 10}); err == nil {
+		t.Fatal("Record with a 10-op budget should fail")
+	}
+}
+
+// TestTraceReplayHandlerError checks that a handler error aborts Replay.
+func TestTraceReplayHandlerError(t *testing.T) {
+	prog, err := compile.Compile(testgen.Program(7101), "trace", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Layout()
+	tr, err := emu.Record(prog, emu.Config{MaxOps: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "stop right there"
+	calls := 0
+	err = tr.Replay(func(ev *emu.BlockEvent) error {
+		calls++
+		return errTest(want)
+	})
+	if err == nil || err.Error() != want {
+		t.Fatalf("replay error = %v, want %q", err, want)
+	}
+	if calls != 1 {
+		t.Fatalf("handler ran %d times after erroring, want 1", calls)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"bsisa/internal/compile"
 	"bsisa/internal/core"
@@ -135,28 +136,49 @@ func (h *Harness) AblateSuperblock() (*stats.Table, error) {
 func remapProfile(p core.Profile) core.Profile { return p }
 
 // AblateHistory sweeps the predictor's global history length for both ISAs.
+// The whole sweep is a batch replay: per benchmark executable, one recorded
+// trace drives all history lengths.
 func (h *Harness) AblateHistory() (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Ablation A4: branch predictor history length",
 		Columns: []string{"History Bits", "Mean Conv Cycles", "Mean BSA Cycles"},
 	}
-	for _, hb := range []int{2, 4, 8, 12, 16} {
-		var cc, cb float64
-		for _, b := range h.Benches {
-			cfg := baseConfig(LargeICache, false)
-			cfg.Predictor.HistoryBits = hb
-			rc, err := h.Run(fmt.Sprintf("%s/hist%d/conv", b.Profile.Name, hb), b.Conv, cfg)
-			if err != nil {
-				return nil, err
+	histBits := []int{2, 4, 8, 12, 16}
+	cc := make([]float64, len(histBits))
+	cb := make([]float64, len(histBits))
+	var mu sync.Mutex
+	err := h.forEachBench(func(i int) error {
+		b := h.Benches[i]
+		for _, side := range []struct {
+			tag  string
+			prog *isa.Program
+			mean []float64
+		}{{"conv", b.Conv, cc}, {"bsa", b.BSA, cb}} {
+			keys := make([]string, len(histBits))
+			cfgs := make([]uarch.Config, len(histBits))
+			for j, hb := range histBits {
+				cfg := baseConfig(LargeICache, false)
+				cfg.Predictor.HistoryBits = hb
+				keys[j] = fmt.Sprintf("%s/hist%d/%s", b.Profile.Name, hb, side.tag)
+				cfgs[j] = cfg
 			}
-			rb, err := h.Run(fmt.Sprintf("%s/hist%d/bsa", b.Profile.Name, hb), b.BSA, cfg)
+			res, err := h.runMany(keys, side.prog, cfgs)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			cc += float64(rc.Cycles) / float64(len(h.Benches))
-			cb += float64(rb.Cycles) / float64(len(h.Benches))
+			mu.Lock()
+			for j, r := range res {
+				side.mean[j] += float64(r.Cycles) / float64(len(h.Benches))
+			}
+			mu.Unlock()
 		}
-		t.AddRow(hb, int64(cc), int64(cb))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, hb := range histBits {
+		t.AddRow(hb, int64(cc[j]), int64(cb[j]))
 	}
 	return t, nil
 }

@@ -77,28 +77,74 @@ type Bench struct {
 	Enlarge *core.Stats
 }
 
-// Harness caches prepared benchmarks and timing results.
+// Harness caches prepared benchmarks, committed-block traces, and timing
+// results.
 type Harness struct {
 	Opts    Options
 	Benches []*Bench
 
 	mu      sync.Mutex
 	results map[string]*uarch.Result
+	// traces holds one lazily recorded committed-block trace per prepared
+	// benchmark executable. The committed stream depends only on the program
+	// and the emulation budget — never on the uarch.Config — so every
+	// figure, sweep point and ablation that times one of these programs
+	// replays the shared trace instead of re-running functional emulation.
+	// Programs compiled on the fly (fresh ablation builds) are not in this
+	// map and take the direct emulate-and-time path.
+	traces map[*isa.Program]*traceEntry
 }
 
-// New prepares all eight benchmarks.
+// traceEntry memoizes one recording with single-flight semantics: under
+// Options.Parallel several goroutines may want the same trace at once, and
+// exactly one of them must pay for the recording.
+type traceEntry struct {
+	once sync.Once
+	t    *emu.Trace
+	err  error
+}
+
+// New prepares all eight benchmarks, compiling them concurrently when
+// Options.Parallel is set. Preparation order does not affect results:
+// benchmarks are compiled independently and placed at fixed positions.
 func New(opts Options) (*Harness, error) {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
 	}
 	h := &Harness{Opts: opts, results: map[string]*uarch.Result{}}
-	for _, p := range workload.Profiles(opts.Scale) {
-		opts.progress("compile %-8s ...", p.Name)
-		b, err := prepare(p)
-		if err != nil {
-			return nil, fmt.Errorf("harness: prepare %s: %w", p.Name, err)
+	profiles := workload.Profiles(opts.Scale)
+	h.Benches = make([]*Bench, len(profiles))
+	if opts.Parallel {
+		errs := make([]error, len(profiles))
+		var wg sync.WaitGroup
+		for i, p := range profiles {
+			wg.Add(1)
+			go func(i int, p workload.Profile) {
+				defer wg.Done()
+				opts.progress("compile %-8s ...", p.Name)
+				h.Benches[i], errs[i] = prepare(p)
+			}(i, p)
 		}
-		h.Benches = append(h.Benches, b)
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("harness: prepare %s: %w", profiles[i].Name, err)
+			}
+		}
+	} else {
+		for i, p := range profiles {
+			opts.progress("compile %-8s ...", p.Name)
+			b, err := prepare(p)
+			if err != nil {
+				return nil, fmt.Errorf("harness: prepare %s: %w", p.Name, err)
+			}
+			h.Benches[i] = b
+		}
+	}
+	h.traces = make(map[*isa.Program]*traceEntry, 2*len(h.Benches))
+	for _, b := range h.Benches {
+		h.traces[b.Conv] = &traceEntry{}
+		h.traces[b.BSA] = &traceEntry{}
 	}
 	return h, nil
 }
@@ -144,38 +190,134 @@ func baseConfig(icacheBytes int, perfectBP bool) uarch.Config {
 }
 
 // ClearResults drops memoized timing results (benchmarks use this so every
-// iteration measures real simulation work; compiled programs are kept).
+// iteration measures real simulation work). Compiled programs and recorded
+// traces are kept: both are inputs to simulation, not results, and are
+// independent of any timing configuration.
 func (h *Harness) ClearResults() {
 	h.mu.Lock()
 	h.results = map[string]*uarch.Result{}
 	h.mu.Unlock()
 }
 
-// Run simulates one program under a config, memoizing by key.
+// Trace returns the committed-block trace for one of the harness's prepared
+// benchmark executables, recording it on first use (ok=false for programs
+// the harness did not prepare; those have no memo slot and callers should
+// fall back to direct emulation).
+func (h *Harness) Trace(prog *isa.Program) (t *emu.Trace, ok bool, err error) {
+	e, ok := h.traces[prog]
+	if !ok {
+		return nil, false, nil
+	}
+	e.once.Do(func() {
+		e.t, e.err = emu.Record(prog, emu.Config{MaxOps: h.Opts.EmuBudget})
+	})
+	return e.t, true, e.err
+}
+
+// Run simulates one program under a config, memoizing by key. Prepared
+// benchmark executables replay their shared trace; other programs are
+// functionally emulated.
 func (h *Harness) Run(key string, prog *isa.Program, cfg uarch.Config) (*uarch.Result, error) {
-	h.mu.Lock()
-	if r, ok := h.results[key]; ok {
-		h.mu.Unlock()
-		return r, nil
-	}
-	h.mu.Unlock()
-	res, _, err := uarch.RunProgram(prog, cfg, emu.Config{MaxOps: h.Opts.EmuBudget})
+	rs, err := h.runMany([]string{key}, prog, []uarch.Config{cfg})
 	if err != nil {
-		return nil, fmt.Errorf("harness: run %s: %w", key, err)
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// runMany simulates one program under several configs at once, memoizing
+// each by its key. Missing configurations share a single committed-block
+// trace (recorded on first need) and fan out over uarch.SimulateMany's
+// worker pool; programs without a trace slot are emulated directly, once per
+// missing config.
+func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config) ([]*uarch.Result, error) {
+	if len(keys) != len(cfgs) {
+		return nil, fmt.Errorf("harness: runMany: %d keys, %d configs", len(keys), len(cfgs))
+	}
+	results := make([]*uarch.Result, len(keys))
+	var missing []int
+	h.mu.Lock()
+	for i, key := range keys {
+		if r, ok := h.results[key]; ok {
+			results[i] = r
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	h.mu.Unlock()
+	if len(missing) == 0 {
+		return results, nil
+	}
+	tr, traced, err := h.Trace(prog)
+	if err != nil {
+		return nil, fmt.Errorf("harness: trace %s: %w", keys[missing[0]], err)
+	}
+	if traced {
+		need := make([]uarch.Config, len(missing))
+		for j, i := range missing {
+			need[j] = cfgs[i]
+		}
+		rs, err := uarch.SimulateMany(tr, need)
+		if err != nil {
+			return nil, fmt.Errorf("harness: run %s: %w", keys[missing[0]], err)
+		}
+		for j, i := range missing {
+			results[i] = rs[j]
+		}
+	} else {
+		for _, i := range missing {
+			r, _, err := uarch.RunProgram(prog, cfgs[i], emu.Config{MaxOps: h.Opts.EmuBudget})
+			if err != nil {
+				return nil, fmt.Errorf("harness: run %s: %w", keys[i], err)
+			}
+			results[i] = r
+		}
 	}
 	h.mu.Lock()
-	h.results[key] = res
+	for _, i := range missing {
+		h.results[keys[i]] = results[i]
+	}
 	h.mu.Unlock()
-	return res, nil
+	return results, nil
+}
+
+// forEachBench runs fn for every benchmark index, concurrently when
+// Options.Parallel is set, and returns the first error.
+func (h *Harness) forEachBench(fn func(i int) error) error {
+	if !h.Opts.Parallel {
+		for i := range h.Benches {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(h.Benches))
+	var wg sync.WaitGroup
+	for i := range h.Benches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // pairResults runs conventional and block-structured executables of every
-// benchmark under the config, in parallel when enabled.
+// benchmark under the config, in parallel when enabled. Each executable's
+// trace is recorded at most once across all figures and replayed per config.
 func (h *Harness) pairResults(tag string, icache int, perfectBP bool) (conv, bsa []*uarch.Result, err error) {
 	conv = make([]*uarch.Result, len(h.Benches))
 	bsa = make([]*uarch.Result, len(h.Benches))
 	cfg := baseConfig(icache, perfectBP)
-	run := func(i int) error {
+	err = h.forEachBench(func(i int) error {
 		b := h.Benches[i]
 		h.Opts.progress("run %-8s %s (conventional)", b.Profile.Name, tag)
 		rc, err := h.Run(fmt.Sprintf("%s/%s/conv", b.Profile.Name, tag), b.Conv, cfg)
@@ -189,29 +331,9 @@ func (h *Harness) pairResults(tag string, icache int, perfectBP bool) (conv, bsa
 		}
 		conv[i], bsa[i] = rc, rb
 		return nil
-	}
-	if h.Opts.Parallel {
-		errs := make([]error, len(h.Benches))
-		var wg sync.WaitGroup
-		for i := range h.Benches {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				errs[i] = run(i)
-			}(i)
-		}
-		wg.Wait()
-		for _, e := range errs {
-			if e != nil {
-				return nil, nil, e
-			}
-		}
-		return conv, bsa, nil
-	}
-	for i := range h.Benches {
-		if err := run(i); err != nil {
-			return nil, nil, err
-		}
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return conv, bsa, nil
 }
@@ -237,11 +359,13 @@ func (h *Harness) Table2() (*stats.Table, error) {
 		Note:    "Counts are ~50x below the paper's SPECint95 runs; icache sizes are scaled to match.",
 	}
 	for _, b := range h.Benches {
-		res, err := emu.New(b.Conv, emu.Config{MaxOps: h.Opts.EmuBudget}).Run(nil)
+		// The shared trace carries the functional statistics; figures that
+		// already ran have paid for it, making this table nearly free.
+		tr, _, err := h.Trace(b.Conv)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(b.Profile.Name, b.Profile.Input, res.Stats.Ops, b.Conv.CodeBytes())
+		t.AddRow(b.Profile.Name, b.Profile.Input, tr.EmuResult().Stats.Ops, b.Conv.CodeBytes())
 	}
 	return t, nil
 }
@@ -323,28 +447,43 @@ func (h *Harness) icacheSensitivity(title string, useBSA bool) (*stats.Table, er
 		Note:    "Cells: (cycles(size) - cycles(perfect icache)) / cycles(perfect icache).",
 	}
 	means := make([]float64, len(ICacheSizes))
-	for _, b := range h.Benches {
+	rows := make([][]any, len(h.Benches))
+	var mu sync.Mutex
+	err := h.forEachBench(func(i int) error {
+		b := h.Benches[i]
 		prog := b.Conv
 		if useBSA {
 			prog = b.BSA
 		}
-		perfect, err := h.Run(fmt.Sprintf("%s/ic-perfect/%s", b.Profile.Name, kindTag),
-			prog, baseConfig(0, false))
-		if err != nil {
-			return nil, err
-		}
-		row := []any{b.Profile.Name}
-		for j, sz := range ICacheSizes {
+		// One batch per benchmark: the perfect-icache reference and every
+		// sweep point replay the same trace.
+		keys := []string{fmt.Sprintf("%s/ic-perfect/%s", b.Profile.Name, kindTag)}
+		cfgs := []uarch.Config{baseConfig(0, false)}
+		for _, sz := range ICacheSizes {
 			h.Opts.progress("run %-8s icache %s (%s)", b.Profile.Name, PaperICacheLabel(sz), kindTag)
-			res, err := h.Run(fmt.Sprintf("%s/ic-%d/%s", b.Profile.Name, sz, kindTag),
-				prog, baseConfig(sz, false))
-			if err != nil {
-				return nil, err
-			}
-			rel := float64(res.Cycles-perfect.Cycles) / float64(perfect.Cycles)
+			keys = append(keys, fmt.Sprintf("%s/ic-%d/%s", b.Profile.Name, sz, kindTag))
+			cfgs = append(cfgs, baseConfig(sz, false))
+		}
+		res, err := h.runMany(keys, prog, cfgs)
+		if err != nil {
+			return err
+		}
+		perfect := res[0]
+		row := []any{b.Profile.Name}
+		mu.Lock()
+		defer mu.Unlock()
+		for j, r := range res[1:] {
+			rel := float64(r.Cycles-perfect.Cycles) / float64(perfect.Cycles)
 			means[j] += rel / float64(len(h.Benches))
 			row = append(row, rel)
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	meanRow := []any{"MEAN"}

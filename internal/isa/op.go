@@ -313,18 +313,27 @@ type Op struct {
 // included when named (readers treat it as always-ready). A conditional
 // move also reads its destination (the not-taken value).
 func (o *Op) Reads() []Reg {
+	regs, n := o.ReadRegs()
+	return regs[:n:n]
+}
+
+// ReadRegs is the allocation-free form of Reads for hot paths: the first n
+// entries of regs are the registers the operation reads.
+func (o *Op) ReadRegs() (regs [3]Reg, n int) {
 	info := &opcodeInfo[o.Opcode]
-	var rs []Reg
 	if o.Opcode == CMOVNZ {
-		rs = append(rs, o.Rd)
+		regs[n] = o.Rd
+		n++
 	}
 	if info.hasRs1 {
-		rs = append(rs, o.Rs1)
+		regs[n] = o.Rs1
+		n++
 	}
 	if info.hasRs2 {
-		rs = append(rs, o.Rs2)
+		regs[n] = o.Rs2
+		n++
 	}
-	return rs
+	return regs, n
 }
 
 // Writes returns the register the operation writes, or (0, false) if none.

@@ -1,0 +1,82 @@
+package uarch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bsisa/internal/emu"
+)
+
+// ReplayTrace drives a fresh timing simulator from a recorded committed-block
+// trace instead of re-running functional emulation. Because the timing model
+// is execution-driven — it consumes only the committed stream, which is
+// independent of the timing configuration — the result is identical to
+// RunProgram with the trace's program and emulation budget, at a fraction of
+// the cost when one trace is replayed under many configurations.
+func ReplayTrace(t *emu.Trace, cfg Config) (*Result, error) {
+	sim, err := New(t.Program(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Replay(sim.OnBlock); err != nil {
+		return nil, err
+	}
+	return sim.Finish(), nil
+}
+
+// SimulateMany replays one trace through an independent timing simulator per
+// configuration, fanning the replays out over a bounded worker pool (at most
+// GOMAXPROCS workers). Results are returned in configuration order; each is
+// identical to a standalone ReplayTrace (simulators share only the
+// read-only trace and program).
+func SimulateMany(t *emu.Trace, cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			r, err := ReplayTrace(t, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("uarch: config %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	var (
+		wg   sync.WaitGroup
+		idx  = make(chan int)
+		mu   sync.Mutex
+		ferr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r, err := ReplayTrace(t, cfgs[i])
+				if err != nil {
+					mu.Lock()
+					if ferr == nil {
+						ferr = fmt.Errorf("uarch: config %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if ferr != nil {
+		return nil, ferr
+	}
+	return results, nil
+}

@@ -155,9 +155,11 @@ type Sim struct {
 	tc             *traceCache
 	mb             *multiBlock
 	regReady       [isa.NumRegs]int64
-	fuBusy         map[int64]int
-	fuSweep        int64
-	window         []windowEntry
+	fu             fuRing
+	win            []windowEntry // ring buffer of in-flight blocks
+	winHead        int
+	winLen         int
+	winOps         int // running in-flight operation count
 	lastRetire     int64
 	res            Result
 	shadowRegReady [isa.NumRegs]int64
@@ -166,6 +168,53 @@ type Sim struct {
 type windowEntry struct {
 	retire int64
 	ops    int
+}
+
+// fuRing is the functional-unit scoreboard: a fixed-size ring of busy counts
+// indexed by cycle. It replaces a map[int64]int — the scheduler only ever
+// claims cycles in a bounded window at or after the current fetch cycle, so
+// a power-of-two ring with a sliding base covers every access without
+// hashing or periodic sweeps.
+type fuRing struct {
+	counts []int32
+	mask   int64
+	base   int64 // counts hold cycles in [base, base+len(counts))
+}
+
+func newFURing() fuRing {
+	const size = 2048 // power of two; grows on demand
+	return fuRing{counts: make([]int32, size), mask: size - 1}
+}
+
+// advance slides the window start to cycle, clearing vacated slots. Cycles
+// before the current fetch cycle can never be claimed again (operations
+// issue strictly after fetch), so their counts are dead.
+func (r *fuRing) advance(cycle int64) {
+	if cycle <= r.base {
+		return
+	}
+	if cycle-r.base >= int64(len(r.counts)) {
+		clear(r.counts)
+	} else {
+		for c := r.base; c < cycle; c++ {
+			r.counts[c&r.mask] = 0
+		}
+	}
+	r.base = cycle
+}
+
+// grow doubles the ring until cycle fits, re-placing live counts.
+func (r *fuRing) grow(cycle int64) {
+	n := len(r.counts)
+	for int64(n) <= cycle-r.base {
+		n *= 2
+	}
+	nc := make([]int32, n)
+	nm := int64(n - 1)
+	for c := r.base; c < r.base+int64(len(r.counts)); c++ {
+		nc[c&nm] = r.counts[c&r.mask]
+	}
+	r.counts, r.mask = nc, nm
 }
 
 // New builds a timing simulator for the program. The predictor kind follows
@@ -181,11 +230,15 @@ func New(prog *isa.Program, cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("uarch: dcache: %w", err)
 	}
 	s := &Sim{
-		cfg:    cfg,
-		prog:   prog,
-		ic:     ic,
-		dc:     dc,
-		fuBusy: map[int64]int{},
+		cfg:  cfg,
+		prog: prog,
+		ic:   ic,
+		dc:   dc,
+		fu:   newFURing(),
+		// The pop-before-push discipline in OnBlock keeps at most
+		// WindowBlocks entries in flight; one spare slot keeps the ring
+		// arithmetic simple.
+		win: make([]windowEntry, cfg.WindowBlocks+1),
 	}
 	if !cfg.PerfectBP {
 		if prog.Kind == isa.BlockStructured {
@@ -209,26 +262,24 @@ func New(prog *isa.Program, cfg Config) (*Sim, error) {
 // allocFU returns the first cycle at or after ready with a free functional
 // unit, and claims it.
 func (s *Sim) allocFU(ready int64) int64 {
-	c := ready
-	for s.fuBusy[c] >= s.cfg.NumFUs {
-		c++
+	r := &s.fu
+	if ready < r.base {
+		// Defensive: operations always issue after the current fetch cycle,
+		// which is where the ring base sits.
+		ready = r.base
 	}
-	s.fuBusy[c]++
-	return c
-}
-
-// sweepFU drops stale FU bookkeeping (nothing can schedule before the
-// current fetch cycle).
-func (s *Sim) sweepFU() {
-	if s.cycle-s.fuSweep < 8192 {
-		return
-	}
-	for c := range s.fuBusy {
-		if c < s.cycle-int64(s.cfg.L2Latency)-64 {
-			delete(s.fuBusy, c)
+	limit := int32(s.cfg.NumFUs)
+	for {
+		if ready-r.base >= int64(len(r.counts)) {
+			r.grow(ready)
 		}
+		if r.counts[ready&r.mask] < limit {
+			break
+		}
+		ready++
 	}
-	s.fuSweep = s.cycle
+	r.counts[ready&r.mask]++
+	return ready
 }
 
 // fetchCycles returns how many cycles fetching a block takes (long
@@ -248,17 +299,18 @@ func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 
 	// Fetch: wait for window capacity, then access the icache.
 	fetch := s.nextFetch
-	for len(s.window) > 0 {
-		if len(s.window) >= s.cfg.WindowBlocks || s.windowOps()+len(b.Ops) > s.cfg.WindowOps {
-			if s.window[0].retire > fetch {
-				s.res.FetchStallWindow += s.window[0].retire - fetch
-				fetch = s.window[0].retire
+	for s.winLen > 0 {
+		head := s.win[s.winHead].retire
+		if s.winLen >= s.cfg.WindowBlocks || s.winOps+len(b.Ops) > s.cfg.WindowOps {
+			if head > fetch {
+				s.res.FetchStallWindow += head - fetch
+				fetch = head
 			}
-			s.window = s.window[1:]
+			s.popWindow()
 			continue
 		}
-		if s.window[0].retire <= fetch {
-			s.window = s.window[1:]
+		if head <= fetch {
+			s.popWindow()
 			continue
 		}
 		break
@@ -298,7 +350,7 @@ func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 		}
 	}
 	s.cycle = fetch
-	s.sweepFU()
+	s.fu.advance(fetch)
 
 	issue := fetch + int64(s.cfg.FrontEndDepth)
 
@@ -312,7 +364,7 @@ func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 		retire = s.lastRetire + 1
 	}
 	s.lastRetire = retire
-	s.window = append(s.window, windowEntry{retire: retire, ops: len(b.Ops)})
+	s.pushWindow(windowEntry{retire: retire, ops: len(b.Ops)})
 	s.res.Ops += int64(len(b.Ops))
 	s.res.Blocks++
 
@@ -351,13 +403,25 @@ func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 	return nil
 }
 
-// windowOps counts in-flight operations.
-func (s *Sim) windowOps() int {
-	n := 0
-	for _, w := range s.window {
-		n += w.ops
+// popWindow retires the oldest in-flight block from the window ring.
+func (s *Sim) popWindow() {
+	s.winOps -= s.win[s.winHead].ops
+	s.winHead++
+	if s.winHead == len(s.win) {
+		s.winHead = 0
 	}
-	return n
+	s.winLen--
+}
+
+// pushWindow adds a newly fetched block to the window ring.
+func (s *Sim) pushWindow(e windowEntry) {
+	i := s.winHead + s.winLen
+	if i >= len(s.win) {
+		i -= len(s.win)
+	}
+	s.win[i] = e
+	s.winLen++
+	s.winOps += e.ops
 }
 
 // schedTimes reports when a scheduled block's pieces resolve.
@@ -376,8 +440,9 @@ func (s *Sim) scheduleOps(b *isa.Block, memAddrs []uint32, issue int64, regReady
 	for i := range b.Ops {
 		op := &b.Ops[i]
 		ready := issue
-		for _, r := range op.Reads() {
-			if r != isa.RegZero && regReady[r] > ready {
+		reads, nr := op.ReadRegs()
+		for k := 0; k < nr; k++ {
+			if r := reads[k]; r != isa.RegZero && regReady[r] > ready {
 				ready = regReady[r]
 			}
 		}
