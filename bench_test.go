@@ -130,7 +130,11 @@ func BenchmarkAblateMinBias(b *testing.B) {
 
 func liSource() string {
 	p, _ := workload.ProfileByName("li", 0.05)
-	return workload.Source(p)
+	src, err := workload.Source(p)
+	if err != nil {
+		panic(err)
+	}
+	return src
 }
 
 // BenchmarkCompileConventional measures full compilation throughput for the

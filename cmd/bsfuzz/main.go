@@ -1,0 +1,238 @@
+// bsfuzz is the differential-fuzzing driver: it fans testgen seeds across
+// worker goroutines, runs each program through internal/check's differential
+// oracle (conventional vs block-structured compilation, emu-direct vs
+// trace-replay vs timing paths, structural and provenance invariants), and
+// on divergence minimizes the program and dumps a self-contained repro
+// directory.
+//
+// Usage:
+//
+//	bsfuzz [-seeds N] [-start S] [-workers W] [-budget OPS] [-timing=false]
+//	       [-out DIR] [-inject MODE] [-v]
+//
+// A clean tree exits 0 with zero divergences. -inject deliberately breaks
+// one enlargement rule to prove the checker catches it:
+//
+//	-inject rule1   enlarge with a 48-op budget but audit the paper's 16-op
+//	                bound (rule 1 violations expected)
+//	-inject rule4   disable the pass's back-edge guards (rule 4 violations
+//	                expected, caught by the provenance audit)
+//
+// In inject mode the exit status is inverted: 0 when the checker caught the
+// injection on at least one seed, 1 when every violation escaped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"bsisa/internal/check"
+	"bsisa/internal/core"
+	"bsisa/internal/testgen"
+	"bsisa/internal/uarch"
+)
+
+// paramSets rotates enlargement parameterizations across seeds, mirroring
+// the corners the repo's differential tests cover.
+var paramSets = []core.Params{
+	{},
+	{MaxOps: 8},
+	{MaxOps: 32, MaxFaults: 1},
+	{MaxFaults: -1},
+	{MaxOps: 24, MaxFaults: 3, MaxSuccs: 12},
+}
+
+type finding struct {
+	seed   int64
+	report *check.Report
+}
+
+func main() {
+	seeds := flag.Int64("seeds", 500, "number of testgen seeds to run")
+	start := flag.Int64("start", 1, "first seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers")
+	budget := flag.Int64("budget", 20_000_000, "committed-op budget per emulation")
+	timing := flag.Bool("timing", true, "cross-check the timing model (direct vs trace replay)")
+	outDir := flag.String("out", "bsfuzz-artifacts", "repro artifact directory")
+	inject := flag.String("inject", "", "fault injection mode: rule1 or rule4")
+	verbose := flag.Bool("v", false, "per-seed progress")
+	flag.Parse()
+
+	if *inject != "" && *inject != "rule1" && *inject != "rule4" {
+		fmt.Fprintf(os.Stderr, "bsfuzz: unknown -inject mode %q (want rule1 or rule4)\n", *inject)
+		os.Exit(2)
+	}
+
+	var (
+		mu       sync.Mutex
+		findings []finding
+		done     int64
+	)
+	seedCh := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				rep := runSeed(seed, *budget, *timing, *inject)
+				mu.Lock()
+				done++
+				if rep.Failed() {
+					findings = append(findings, finding{seed, rep})
+					if *verbose {
+						fmt.Printf("seed %d: %s\n", seed, rep)
+					}
+				} else if *verbose {
+					fmt.Printf("seed %d: ok\n", seed)
+				}
+				if !*verbose && done%100 == 0 {
+					fmt.Printf("%d/%d seeds, %d finding(s)\n", done, *seeds, len(findings))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for s := *start; s < *start+*seeds; s++ {
+		seedCh <- s
+	}
+	close(seedCh)
+	wg.Wait()
+	sort.Slice(findings, func(i, j int) bool { return findings[i].seed < findings[j].seed })
+
+	if *inject != "" {
+		reportInjection(*inject, *outDir, *seeds, *budget, *timing, findings)
+		return
+	}
+	if len(findings) == 0 {
+		fmt.Printf("bsfuzz: %d seeds, 0 divergences, 0 invariant violations\n", *seeds)
+		return
+	}
+	fmt.Printf("bsfuzz: %d seeds, %d with divergences\n", *seeds, len(findings))
+	for _, f := range findings {
+		dir, err := dumpRepro(*outDir, f, *budget, *timing, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsfuzz: dumping seed %d: %v\n", f.seed, err)
+			continue
+		}
+		fmt.Printf("  seed %d: %d divergence(s), repro in %s\n", f.seed, len(f.report.Divergences), dir)
+	}
+	os.Exit(1)
+}
+
+// diffConfig builds the oracle configuration for one seed, applying any
+// fault injection.
+func diffConfig(seed, budget int64, timing bool, inject string) check.DiffConfig {
+	cfg := check.DiffConfig{
+		Name:       fmt.Sprintf("seed%d", seed),
+		Params:     paramSets[int(seed)%len(paramSets)],
+		EmuBudget:  budget,
+		Uarch:      uarch.Config{},
+		SkipTiming: !timing,
+	}
+	switch inject {
+	case "rule1":
+		cfg.Params.MaxOps = 48
+		lim := check.PaperLimits()
+		cfg.Limits = &lim
+	case "rule4":
+		cfg.Params.UnsafeDisableRule4 = true
+	}
+	return cfg
+}
+
+// runSeed runs one seed through the differential oracle.
+func runSeed(seed, budget int64, timing bool, inject string) *check.Report {
+	return check.Differential(testgen.Program(seed), diffConfig(seed, budget, timing, inject))
+}
+
+// reportInjection summarizes an injection campaign and dumps one minimized
+// repro as a sample; exit 0 means the checker caught the injection.
+func reportInjection(mode, outDir string, seeds, budget int64, timing bool, findings []finding) {
+	fmt.Printf("bsfuzz: injection %s: checker flagged %d of %d seeds\n", mode, len(findings), seeds)
+	if len(findings) == 0 {
+		fmt.Println("bsfuzz: INJECTION ESCAPED — the checker caught nothing")
+		os.Exit(1)
+	}
+	f := findings[0]
+	fmt.Printf("  e.g. seed %d: %s\n", f.seed, f.report.Divergences[0])
+	dir, err := dumpRepro(outDir, f, budget, timing, mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bsfuzz: dumping sample repro: %v\n", err)
+		return
+	}
+	fmt.Printf("  sample repro in %s\n", dir)
+}
+
+// timingRelevant reports whether any divergence involves the timing stages;
+// if not, minimization can skip them for speed.
+func timingRelevant(rep *check.Report) bool {
+	for _, d := range rep.Divergences {
+		switch {
+		case strings.HasPrefix(d.Stage, "replay"),
+			strings.HasPrefix(d.Stage, "uarch"),
+			strings.HasPrefix(d.Stage, "retire"),
+			d.Stage == "latency":
+			return true
+		}
+	}
+	return false
+}
+
+// dumpRepro minimizes the failing program and writes a self-contained repro
+// directory: the original and minimized sources, the divergence report, and
+// the exact configuration needed to re-run it.
+func dumpRepro(outDir string, f finding, budget int64, timing bool, inject string) (string, error) {
+	dir := filepath.Join(outDir, fmt.Sprintf("seed%d", f.seed))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	src := testgen.Program(f.seed)
+	if err := os.WriteFile(filepath.Join(dir, "program.mc"), []byte(src), 0o644); err != nil {
+		return "", err
+	}
+
+	minCfg := diffConfig(f.seed, budget, timing && timingRelevant(f.report), inject)
+	minCfg.Name = "minimize"
+	// A candidate counts as still-failing only if it reproduces one of the
+	// original divergence stages — otherwise ddmin happily shrinks any
+	// program down to one that merely fails to compile.
+	wantStages := make(map[string]bool, len(f.report.Divergences))
+	for _, d := range f.report.Divergences {
+		wantStages[d.Stage] = true
+	}
+	fails := func(cand string) bool {
+		for _, d := range check.Differential(cand, minCfg).Divergences {
+			if wantStages[d.Stage] {
+				return true
+			}
+		}
+		return false
+	}
+	min := testgen.Minimize(src, fails)
+	if err := os.WriteFile(filepath.Join(dir, "minimized.mc"), []byte(min), 0o644); err != nil {
+		return "", err
+	}
+
+	report := f.report.String() + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte(report), 0o644); err != nil {
+		return "", err
+	}
+	injectFlag := ""
+	if inject != "" {
+		injectFlag = " -inject " + inject
+	}
+	config := fmt.Sprintf(
+		"seed: %d\nparams: %+v\nemu budget: %d\ntiming cross-check: %v\nreproduce: go run ./cmd/bsfuzz -start %d -seeds 1 -budget %d -timing=%v%s\n",
+		f.seed, paramSets[int(f.seed)%len(paramSets)], budget, timing, f.seed, budget, timing, injectFlag)
+	if err := os.WriteFile(filepath.Join(dir, "config.txt"), []byte(config), 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}

@@ -37,5 +37,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bsgen: unknown benchmark %q (try -list)\n", flag.Arg(0))
 		os.Exit(1)
 	}
-	fmt.Print(workload.Source(p))
+	src, err := workload.Source(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bsgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(src)
 }

@@ -23,7 +23,10 @@ func main() {
 	// The m88ksim profile: highly predictable branches, the paper's best
 	// case for enlargement.
 	prof, _ := workload.ProfileByName("m88ksim", 0.1)
-	src := workload.Source(prof)
+	src, err := workload.Source(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("workload: synthetic %s profile\n\n", prof.Name)
 	fmt.Printf("%-28s %10s %10s %10s %10s\n",

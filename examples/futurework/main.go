@@ -23,7 +23,10 @@ import (
 
 func main() {
 	prof, _ := workload.ProfileByName("m88ksim", 0.1)
-	src := workload.Source(prof)
+	src, err := workload.Source(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload: synthetic %s profile (predictable branches)\n\n", prof.Name)
 	fmt.Printf("%-40s %10s %10s %8s %8s\n", "configuration", "cycles", "blocksize", "IPC", "code")
 

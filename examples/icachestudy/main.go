@@ -23,7 +23,10 @@ import (
 
 func main() {
 	prof, _ := workload.ProfileByName("go", 0.1)
-	src := workload.Source(prof)
+	src, err := workload.Source(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	conv, err := compile.Compile(src, prof.Name, compile.DefaultOptions(isa.Conventional))
 	if err != nil {

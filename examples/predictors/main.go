@@ -86,7 +86,10 @@ func main() {
 	fmt.Println("== part 2: end-to-end misprediction behavior (perl profile) ==")
 	fmt.Println()
 	prof, _ := workload.ProfileByName("perl", 0.1)
-	src := workload.Source(prof)
+	src, err := workload.Source(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
 	conv, err := compile.Compile(src, prof.Name, compile.DefaultOptions(isa.Conventional))
 	if err != nil {
 		log.Fatal(err)

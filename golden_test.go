@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"bsisa/internal/harness"
+	"bsisa/internal/stats"
+)
+
+// TestGoldenFigures regenerates the Figure 3, 6 and 7 tables at the
+// reference scale and asserts they are byte-identical to the recorded run in
+// bench_results.txt. Any change to the predictors, the enlarger or the
+// timing model that shifts a recorded number must re-record the file and
+// explain the delta in EXPERIMENTS.md — this test is what makes a silent
+// shift impossible.
+//
+// The full-scale run takes a few minutes; -short skips it.
+func TestGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale golden comparison skipped in -short mode")
+	}
+	data, err := os.ReadFile("bench_results.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := string(data)
+
+	h, err := harness.New(harness.Options{Scale: 1.0, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figures := []struct {
+		name string
+		gen  func() (*stats.Table, error)
+	}{
+		{"Figure 3", h.Figure3},
+		{"Figure 6", h.Figure6},
+		{"Figure 7", h.Figure7},
+	}
+	for _, fig := range figures {
+		tbl, err := fig.gen()
+		if err != nil {
+			t.Fatalf("%s: %v", fig.name, err)
+		}
+		got := tbl.Render()
+		if !strings.Contains(recorded, got) {
+			t.Errorf("%s no longer matches bench_results.txt.\nRegenerated:\n%s\n"+
+				"Re-record with `go run ./cmd/bsbench -scale 1.0 -exp all` and explain the delta in EXPERIMENTS.md.",
+				fig.name, got)
+		}
+	}
+}

@@ -85,7 +85,13 @@ func selectIn(group []isa.BlockID, c *bsaCounters) isa.BlockID {
 		sel |= 1
 	}
 	if sel >= len(group) {
-		sel %= len(group)
+		// The counters name a variant that does not exist in this group.
+		// Fall back to the canonical variant (index 0), the trap's explicit
+		// target. Folding with a modulo instead would alias the out-of-range
+		// counter states unevenly onto non-canonical variants whenever the
+		// group size is not a power of two, biasing selection away from the
+		// canonical variant the training loop saturates toward.
+		sel = 0
 	}
 	return group[sel]
 }
@@ -105,6 +111,12 @@ func (p *BSA) Predict(b *isa.Block) isa.BlockID {
 			}
 			return isa.NoBlock
 		case isa.JR:
+			// An indirect jump is a real multi-way prediction (the BTB entry
+			// holds up to eight discovered targets), so the probe counts as a
+			// lookup whether it hits or not; otherwise BTBMisses accumulate
+			// against a Lookups denominator that never saw the probes and the
+			// indirect-jump hit/miss rates are skewed.
+			p.stats.Lookups++
 			if e := p.btb.lookup(pcOf(b)); e != nil && len(e.targets) > 0 {
 				return e.targets[0]
 			}

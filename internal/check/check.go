@@ -1,0 +1,177 @@
+// Package check is the repo's differential-fuzzing and invariant-checking
+// subsystem. It verifies three layers of the pipeline against the paper's
+// stated rules, independently of the code that enforces them:
+//
+//   - Program: structural invariants of a compiled (and optionally enlarged)
+//     block-structured executable — §4.2's termination rules as properties of
+//     the final binary (op/fault/successor caps, trap-terminated variant
+//     sets, HistBits encoding, untouched library blocks).
+//
+//   - Enlargement: a provenance audit of the enlargement pass. core.Enlarge
+//     exports its bookkeeping (which original blocks each final block
+//     absorbed, the original back edges, the original library set); the
+//     audit re-derives rules 3–5 from that trail without trusting the pass's
+//     own mergeable() logic.
+//
+//   - Differential: an end-to-end oracle. One MiniC source is compiled for
+//     both ISAs; the conventional and block-structured executables must
+//     produce identical architectural results, and within each ISA the
+//     direct-emulation, trace-replay and timing-simulation paths must agree
+//     with each other (see diff.go). Machine-side invariants (window
+//     occupancy, Table-1 latencies) are monitored during the timing runs.
+//
+// The package is pure verification: it never mutates a program and has no
+// knobs that change simulation results, so tests and cmd/bsfuzz can run it
+// over anything the pipeline produces.
+package check
+
+import (
+	"fmt"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/isa"
+)
+
+// Limits are the structural bounds (paper §4.2, Table 1 machine) a
+// block-structured executable must respect.
+type Limits struct {
+	MaxOps    int // rule 1: operations per atomic block
+	MaxFaults int // rule 2: fault operations per block
+	MaxSuccs  int // rule 2 corollary: successor-list length
+}
+
+// PaperLimits returns the paper's bounds: 16 operations (the issue width),
+// 2 faults, 8 successors.
+func PaperLimits() Limits {
+	return Limits{MaxOps: 16, MaxFaults: 2, MaxSuccs: 8}
+}
+
+// ParamLimits derives the bounds a given enlargement parameterization
+// guarantees, mirroring the pass's own defaulting. The op cap is at least
+// the compiler's block-formation cap: the pass only limits blocks it
+// *builds*, never shrinks originals.
+func ParamLimits(p core.Params) Limits {
+	l := PaperLimits()
+	if p.MaxOps != 0 {
+		l.MaxOps = p.MaxOps
+	}
+	if l.MaxOps < compile.DefaultMaxBlockOps {
+		l.MaxOps = compile.DefaultMaxBlockOps
+	}
+	switch {
+	case p.MaxFaults > 0:
+		l.MaxFaults = p.MaxFaults
+	case p.MaxFaults < 0:
+		l.MaxFaults = 0
+	}
+	if p.MaxSuccs != 0 {
+		l.MaxSuccs = p.MaxSuccs
+	}
+	return l
+}
+
+// Program verifies structural invariants of an executable. For a
+// block-structured program every live block must satisfy the limits and the
+// trap/fault encoding rules below; for a conventional program only the
+// ISA-level wellformedness (isa.Validate) applies. The first violation is
+// returned as an error.
+func Program(p *isa.Program, lim Limits) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	if p.Kind != isa.BlockStructured {
+		return nil
+	}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		if err := checkBlock(p, b, lim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkBlock(p *isa.Program, b *isa.Block, lim Limits) error {
+	// Rule 1: the block fits the machine's issue width.
+	if n := b.NumOps(); n > lim.MaxOps {
+		return fmt.Errorf("check: B%d has %d ops, limit %d (rule 1)", b.ID, n, lim.MaxOps)
+	}
+	// Rule 2: bounded fault count, and therefore bounded variant fan-out.
+	if n := b.NumFaults(); n > lim.MaxFaults {
+		return fmt.Errorf("check: B%d has %d fault ops, limit %d (rule 2)", b.ID, n, lim.MaxFaults)
+	}
+	// Rule 2's successor bound applies to trap variant sets (the predictor
+	// stores at most MaxSuccs targets per entry); indirect-jump tables list
+	// their targets in Succs too but are never enlarged, so they are exempt.
+	term := b.Terminator()
+	isJR := term != nil && term.Opcode == isa.JR
+	if n := len(b.Succs); n > lim.MaxSuccs && !isJR {
+		return fmt.Errorf("check: B%d has %d successors, limit %d (rule 2)", b.ID, n, lim.MaxSuccs)
+	}
+	// A multi-way choice between a taken and a not-taken variant group must
+	// be resolved by a trap operation — nothing else encodes the direction.
+	if b.TakenCount > 0 && b.TakenCount < len(b.Succs) {
+		if term == nil || term.Opcode != isa.TRAP {
+			return fmt.Errorf("check: B%d has split successor groups (%d/%d) but no trap terminator",
+				b.ID, b.TakenCount, len(b.Succs)-b.TakenCount)
+		}
+	}
+	// HistBits must encode ceil(log2(successors)) so predictor history
+	// insertion (paper §4.3) stays consistent across hardware and software.
+	want := 0
+	for (1 << want) < len(b.Succs) {
+		want++
+	}
+	if len(b.Succs) <= 1 {
+		want = 0
+	}
+	if b.HistBits != want {
+		return fmt.Errorf("check: B%d HistBits %d, want %d for %d successors", b.ID, b.HistBits, want, len(b.Succs))
+	}
+	// Fault operations must precede the terminator and target a live block
+	// in the same function (the recovery variant).
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		if op.Opcode != isa.FAULT {
+			continue
+		}
+		tgt := p.Block(op.Target)
+		if tgt == nil {
+			return fmt.Errorf("check: B%d fault %d targets missing B%d", b.ID, i, op.Target)
+		}
+		if tgt.Func != b.Func {
+			return fmt.Errorf("check: B%d fault targets B%d in another function", b.ID, op.Target)
+		}
+	}
+	// Rule 5 shadow: a library block carrying fault ops has necessarily been
+	// combined (faults only appear via enlargement forking).
+	if b.Library && b.NumFaults() > 0 {
+		return fmt.Errorf("check: library B%d carries %d fault ops — it was enlarged (rule 5)", b.ID, b.NumFaults())
+	}
+	return nil
+}
+
+// Latencies asserts the timing model's operation-class latencies match the
+// paper's Table 1. It guards against drive-by edits to the latency table
+// silently invalidating every recorded figure.
+func Latencies() error {
+	want := map[isa.Class]int{
+		isa.ClassInt:      1,
+		isa.ClassFPAdd:    3,
+		isa.ClassMul:      3,
+		isa.ClassDiv:      8,
+		isa.ClassLoad:     2,
+		isa.ClassStore:    1,
+		isa.ClassBitField: 1,
+		isa.ClassBranch:   1,
+	}
+	for class, lat := range want {
+		if got := class.Latency(); got != lat {
+			return fmt.Errorf("check: class %s latency %d, Table 1 says %d", class, got, lat)
+		}
+	}
+	return nil
+}

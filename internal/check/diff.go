@@ -1,0 +1,239 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/uarch"
+)
+
+// DiffConfig parameterizes one differential run.
+type DiffConfig struct {
+	// Name labels the program in diagnostics.
+	Name string
+	// Params configures block enlargement for the block-structured side.
+	Params core.Params
+	// EmuBudget bounds committed operations per emulation (0 = emu default).
+	EmuBudget int64
+	// Uarch configures the timing cross-check; the zero value is the
+	// paper's machine. Ignored when SkipTiming is set.
+	Uarch uarch.Config
+	// SkipTiming skips the timing-model stages (direct-vs-replay cycle
+	// equality, window monitoring), leaving the cheaper functional oracle.
+	SkipTiming bool
+	// Limits overrides the structural bounds used for auditing; nil means
+	// ParamLimits(Params). cmd/bsfuzz's -inject rule1 mode uses it to audit
+	// an over-budget enlargement against the paper's bounds.
+	Limits *Limits
+}
+
+// Divergence is one oracle failure: a stage of the pipeline disagreeing with
+// another stage or violating an invariant.
+type Divergence struct {
+	Stage  string // e.g. "compile-conv", "invariant-bsa", "output", "replay-cycles"
+	Detail string
+}
+
+func (d Divergence) String() string { return d.Stage + ": " + d.Detail }
+
+// Report is the outcome of one differential run.
+type Report struct {
+	Name        string
+	Divergences []Divergence
+
+	// Conv and BSA are the functional results of the two executables (nil
+	// if the corresponding stage never ran).
+	Conv, BSA *emu.Result
+	// EnlargeStats reports what the enlargement pass did.
+	EnlargeStats *core.Stats
+}
+
+// Failed reports whether any stage diverged.
+func (r *Report) Failed() bool { return len(r.Divergences) > 0 }
+
+func (r *Report) String() string {
+	if !r.Failed() {
+		return fmt.Sprintf("%s: ok", r.Name)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d divergence(s)", r.Name, len(r.Divergences))
+	for _, d := range r.Divergences {
+		sb.WriteString("\n  ")
+		sb.WriteString(d.String())
+	}
+	return sb.String()
+}
+
+func (r *Report) failf(stage, format string, args ...any) {
+	r.Divergences = append(r.Divergences, Divergence{Stage: stage, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Differential compiles one MiniC source for both ISAs and cross-checks
+// every execution path the repo has:
+//
+//  1. conventional compile → emulate (recording a trace);
+//  2. block-structured compile → enlarge → structural + provenance
+//     invariants → emulate (recording a trace);
+//  3. the two ISAs' architectural results (out() stream, main's return
+//     value) must be identical;
+//  4. for each ISA, the timing model must retire the same cycle/op/block
+//     counts whether driven online by the emulator or by replaying the
+//     recorded trace, with window-occupancy invariants monitored throughout.
+//
+// All failures are reported as divergences on the Report; the run never
+// panics on malformed generated programs.
+func Differential(src string, cfg DiffConfig) *Report {
+	rep := &Report{Name: cfg.Name}
+	if rep.Name == "" {
+		rep.Name = "program"
+	}
+	emuCfg := emu.Config{MaxOps: cfg.EmuBudget}
+
+	conv, err := compile.Compile(src, rep.Name, compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		rep.failf("compile-conv", "%v", err)
+		return rep
+	}
+	bsa, err := compile.Compile(src, rep.Name, compile.DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		rep.failf("compile-bsa", "%v", err)
+		return rep
+	}
+	lim := ParamLimits(cfg.Params)
+	if cfg.Limits != nil {
+		lim = *cfg.Limits
+	}
+	if err := Program(conv, lim); err != nil {
+		rep.failf("invariant-conv", "%v", err)
+	}
+	if err := Program(bsa, lim); err != nil {
+		rep.failf("invariant-bsa-base", "%v", err)
+	}
+
+	params := cfg.Params
+	if params.Static && params.Profile == nil {
+		prof, err := traceProfile(bsa, emuCfg)
+		if err != nil {
+			rep.failf("profile-bsa", "%v", err)
+			return rep
+		}
+		params.Profile = prof
+	}
+	stats, err := core.Enlarge(bsa, params)
+	if err != nil {
+		rep.failf("enlarge", "%v", err)
+		return rep
+	}
+	rep.EnlargeStats = stats
+	if err := Program(bsa, lim); err != nil {
+		rep.failf("invariant-bsa", "%v", err)
+	}
+	if err := Enlargement(bsa, stats.Provenance, lim); err != nil {
+		rep.failf("provenance", "%v", err)
+	}
+	bsa.Layout()
+
+	convTrace, err := emu.Record(conv, emuCfg)
+	if err != nil {
+		rep.failf("emu-conv", "%v", err)
+		return rep
+	}
+	rep.Conv = convTrace.EmuResult()
+	bsaTrace, err := emu.Record(bsa, emuCfg)
+	if err != nil {
+		rep.failf("emu-bsa", "%v", err)
+		return rep
+	}
+	rep.BSA = bsaTrace.EmuResult()
+
+	compareOutputs(rep, rep.Conv, rep.BSA)
+
+	if !cfg.SkipTiming {
+		crossCheckTiming(rep, "conv", conv, convTrace, cfg.Uarch, emuCfg)
+		crossCheckTiming(rep, "bsa", bsa, bsaTrace, cfg.Uarch, emuCfg)
+	}
+	return rep
+}
+
+// compareOutputs asserts the two ISAs computed the same thing.
+func compareOutputs(rep *Report, conv, bsa *emu.Result) {
+	if conv.ReturnValue != bsa.ReturnValue {
+		rep.failf("output", "return value: conv %d, bsa %d", conv.ReturnValue, bsa.ReturnValue)
+	}
+	if len(conv.Output) != len(bsa.Output) {
+		rep.failf("output", "out() count: conv %d, bsa %d", len(conv.Output), len(bsa.Output))
+		return
+	}
+	for i := range conv.Output {
+		if conv.Output[i] != bsa.Output[i] {
+			rep.failf("output", "out()[%d]: conv %d, bsa %d", i, conv.Output[i], bsa.Output[i])
+			return
+		}
+	}
+}
+
+// crossCheckTiming runs the timing model twice — online behind the emulator
+// and offline from the recorded trace (under the window monitor) — and
+// asserts both agree with each other and with the committed stream.
+func crossCheckTiming(rep *Report, tag string, prog *isa.Program, trace *emu.Trace, ucfg uarch.Config, emuCfg emu.Config) {
+	direct, _, err := uarch.RunProgram(prog, ucfg, emuCfg)
+	if err != nil {
+		rep.failf("uarch-"+tag, "%v", err)
+		return
+	}
+	sim, err := uarch.New(prog, ucfg)
+	if err != nil {
+		rep.failf("replay-"+tag, "%v", err)
+		return
+	}
+	mon, err := Monitor(sim)
+	if err != nil {
+		rep.failf("latency", "%v", err)
+		return
+	}
+	if err := trace.Replay(mon.OnBlock); err != nil {
+		rep.failf("replay-"+tag, "%v", err)
+		return
+	}
+	replayed := sim.Finish()
+	if direct.Cycles != replayed.Cycles {
+		rep.failf("replay-"+tag, "cycles: direct %d, trace-replay %d", direct.Cycles, replayed.Cycles)
+	}
+	if direct.Ops != replayed.Ops || direct.Blocks != replayed.Blocks {
+		rep.failf("replay-"+tag, "retired: direct %d ops/%d blocks, trace-replay %d ops/%d blocks",
+			direct.Ops, direct.Blocks, replayed.Ops, replayed.Blocks)
+	}
+	emuStats := trace.EmuResult().Stats
+	if replayed.Ops != emuStats.Ops || replayed.Blocks != emuStats.Blocks {
+		rep.failf("retire-"+tag, "timing model retired %d ops/%d blocks, emulator committed %d/%d",
+			replayed.Ops, replayed.Blocks, emuStats.Ops, emuStats.Blocks)
+	}
+}
+
+// traceProfile records per-block trap outcomes for static enlargement.
+func traceProfile(p *isa.Program, cfg emu.Config) (core.Profile, error) {
+	prof := make(core.Profile)
+	em := emu.New(p, cfg)
+	_, err := em.Run(func(ev *emu.BlockEvent) error {
+		t := ev.Block.Terminator()
+		if t == nil || t.Opcode != isa.TRAP {
+			return nil
+		}
+		bp := prof[ev.Block.ID]
+		if ev.Taken {
+			bp.Taken++
+		} else {
+			bp.NotTaken++
+		}
+		prof[ev.Block.ID] = bp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prof, nil
+}

@@ -1,0 +1,63 @@
+package check
+
+import (
+	"fmt"
+
+	"bsisa/internal/core"
+	"bsisa/internal/isa"
+)
+
+// Enlargement audits the enlargement pass's provenance trail against the
+// paper's §4.2 termination rules. It re-derives the rules from first
+// principles — the original CFG's back edges and library set, and the chain
+// of original blocks each final block absorbed — rather than trusting the
+// pass's own merge predicate. Program() covers rules 1 and 2 on the final
+// binary; this audit covers the rules only visible in the pass's history:
+//
+//   - rule 4: no merge across a loop back edge, and no original block
+//     absorbed twice into one enlarged block (combining loop iterations);
+//   - rule 5: library blocks are never combined with anything.
+//
+// Call it with the Provenance published in core.Stats.
+func Enlargement(p *isa.Program, prov *core.Provenance, lim Limits) error {
+	if prov == nil {
+		return fmt.Errorf("check: enlargement stats carry no provenance")
+	}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		chain := prov.Chains[b.ID]
+		if len(chain) == 0 {
+			return fmt.Errorf("check: B%d has no provenance chain", b.ID)
+		}
+		// Rule 4, second half: each original block appears at most once in a
+		// chain. A repeat means the pass unrolled a cycle into one block.
+		seen := make(map[isa.BlockID]bool, len(chain))
+		for _, orig := range chain {
+			if seen[orig] {
+				return fmt.Errorf("check: B%d absorbed original B%d twice (rule 4: loop iterations combined)",
+					b.ID, orig)
+			}
+			seen[orig] = true
+		}
+		// Rule 4, first half: consecutive chain entries are original CFG
+		// edges the pass merged across; none may be a back edge.
+		for i := 0; i+1 < len(chain); i++ {
+			if prov.BackEdges[[2]isa.BlockID{chain[i], chain[i+1]}] {
+				return fmt.Errorf("check: B%d merged across back edge B%d->B%d (rule 4)",
+					b.ID, chain[i], chain[i+1])
+			}
+		}
+		// Rule 5: a chain that grew past one element combined blocks; no
+		// library block may take part on either side.
+		if len(chain) > 1 {
+			for _, orig := range chain {
+				if prov.Library[orig] {
+					return fmt.Errorf("check: B%d combined library block B%d (rule 5)", b.ID, orig)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package check
+
+import (
+	"testing"
+
+	"bsisa/internal/core"
+	"bsisa/internal/testgen"
+	"bsisa/internal/uarch"
+)
+
+// fuzzParams maps three fuzzed integers onto an enlargement
+// parameterization, covering the paper's configuration and off-nominal
+// corners (tiny op budgets, disabled faults, wide successor lists).
+func fuzzParams(maxOps, maxFaults, maxSuccs int64) core.Params {
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	p := core.Params{
+		MaxOps:   int(4 + abs(maxOps)%61),   // 4..64
+		MaxSuccs: int(2 + abs(maxSuccs)%15), // 2..16
+	}
+	switch abs(maxFaults) % 5 {
+	case 4:
+		p.MaxFaults = -1 // unconditional merging only
+	default:
+		p.MaxFaults = int(abs(maxFaults) % 5) // 0 (default 2) .. 3
+	}
+	return p
+}
+
+// FuzzPipeline is the end-to-end differential target: a testgen seed is
+// compiled for both ISAs, enlarged, and cross-checked across the
+// emu-direct, trace-replay and timing paths (see Differential).
+func FuzzPipeline(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rep := Differential(testgen.Program(seed), DiffConfig{
+			Name:      "fuzz",
+			Params:    fuzzParams(seed, seed>>3, seed>>6),
+			EmuBudget: 2_000_000,
+			Uarch:     uarch.Config{},
+		})
+		if rep.Failed() {
+			t.Fatalf("seed %d: %s", seed, rep)
+		}
+	})
+}
+
+// FuzzEnlarger hammers the enlargement pass with random programs and random
+// parameterizations, checking the structural invariants, the provenance
+// audit, and functional equivalence (timing paths are skipped to keep the
+// iteration rate high — FuzzPipeline covers those).
+func FuzzEnlarger(f *testing.F) {
+	f.Add(int64(1), int64(0), int64(0), int64(0))
+	f.Add(int64(2), int64(3), int64(1), int64(2))
+	f.Add(int64(3), int64(60), int64(4), int64(14))
+	f.Add(int64(5), int64(7), int64(3), int64(6))
+	f.Fuzz(func(t *testing.T, seed, maxOps, maxFaults, maxSuccs int64) {
+		rep := Differential(testgen.Program(seed), DiffConfig{
+			Name:       "fuzz-enlarge",
+			Params:     fuzzParams(maxOps, maxFaults, maxSuccs),
+			EmuBudget:  2_000_000,
+			SkipTiming: true,
+		})
+		if rep.Failed() {
+			t.Fatalf("seed %d params (%d,%d,%d): %s", seed, maxOps, maxFaults, maxSuccs, rep)
+		}
+	})
+}

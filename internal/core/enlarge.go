@@ -56,6 +56,12 @@ type Params struct {
 	// below the threshold — the paper's §6 proposal for reducing icache
 	// pressure from duplicating unbiased branches.
 	MinBias float64
+	// UnsafeDisableRule4, when set, skips rule 4's back-edge and
+	// repeated-origin guards so the pass merges separate loop iterations.
+	// FOR FAULT INJECTION ONLY: cmd/bsfuzz's -inject mode uses it to prove
+	// the internal/check provenance audit catches rule violations. Never set
+	// it in a real build.
+	UnsafeDisableRule4 bool
 }
 
 func (p Params) withDefaults() Params {
@@ -107,6 +113,26 @@ type Stats struct {
 	OpsAfter      int
 	BytesBefore   uint32
 	BytesAfter    uint32
+	// Provenance records how the pass composed each surviving block, for
+	// post-hoc rule auditing (internal/check.Enlargement).
+	Provenance *Provenance
+}
+
+// Provenance is the enlargement pass's audit trail: enough of the pass's
+// internal bookkeeping to re-verify the §4.2 termination rules on the final
+// program without re-running the pass.
+type Provenance struct {
+	// Chains maps every live block to the ordered list of original block IDs
+	// whose operations it now contains (a one-element chain for blocks the
+	// pass never touched). Consecutive chain entries are original CFG edges
+	// the pass merged across.
+	Chains map[isa.BlockID][]isa.BlockID
+	// BackEdges holds the loop-closing edges of the original intra-function
+	// CFG (keyed [from, to] in original block IDs).
+	BackEdges map[[2]isa.BlockID]bool
+	// Library marks original block IDs that belonged to library code
+	// (rule 5: these may never be combined).
+	Library map[isa.BlockID]bool
 }
 
 // CodeGrowth returns static code expansion (bytes after / bytes before).
@@ -137,6 +163,9 @@ type enlarger struct {
 	// chain lists the original blocks merged into each block, for rule 4's
 	// no-self-absorption check.
 	chain map[isa.BlockID][]isa.BlockID
+	// origLibrary records which original blocks were library code, for the
+	// provenance snapshot (originals may be swept before it is taken).
+	origLibrary map[isa.BlockID]bool
 	// processed guards the worklist.
 	processed map[isa.BlockID]bool
 	stats     Stats
@@ -154,14 +183,15 @@ func Enlarge(p *isa.Program, params Params) (*Stats, error) {
 		return nil, fmt.Errorf("core: static (superblock) enlargement requires a profile")
 	}
 	e := &enlarger{
-		p:          p,
-		params:     params,
-		preds:      map[isa.BlockID][]isa.BlockID{},
-		noFork:     map[isa.BlockID]bool{},
-		backEdge:   map[[2]isa.BlockID]bool{},
-		tailOrigin: map[isa.BlockID]isa.BlockID{},
-		chain:      map[isa.BlockID][]isa.BlockID{},
-		processed:  map[isa.BlockID]bool{},
+		p:           p,
+		params:      params,
+		preds:       map[isa.BlockID][]isa.BlockID{},
+		noFork:      map[isa.BlockID]bool{},
+		backEdge:    map[[2]isa.BlockID]bool{},
+		tailOrigin:  map[isa.BlockID]isa.BlockID{},
+		chain:       map[isa.BlockID][]isa.BlockID{},
+		origLibrary: map[isa.BlockID]bool{},
+		processed:   map[isa.BlockID]bool{},
 	}
 	p.Layout()
 	e.stats.OpsBefore = p.StaticOps()
@@ -196,10 +226,32 @@ func Enlarge(p *isa.Program, params Params) (*Stats, error) {
 	p.Layout()
 	e.stats.OpsAfter = p.StaticOps()
 	e.stats.BytesAfter = p.CodeBytes()
+	e.stats.Provenance = e.provenance()
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: enlargement produced invalid program: %w", err)
 	}
 	return &e.stats, nil
+}
+
+// provenance snapshots the pass bookkeeping for surviving blocks.
+func (e *enlarger) provenance() *Provenance {
+	prov := &Provenance{
+		Chains:    make(map[isa.BlockID][]isa.BlockID),
+		BackEdges: make(map[[2]isa.BlockID]bool, len(e.backEdge)),
+		Library:   e.origLibrary,
+	}
+	for _, b := range e.p.Blocks {
+		if b == nil {
+			continue
+		}
+		prov.Chains[b.ID] = append([]isa.BlockID(nil), e.chain[b.ID]...)
+	}
+	for k, v := range e.backEdge {
+		if v {
+			prov.BackEdges[k] = true
+		}
+	}
+	return prov
 }
 
 // buildIndexes fills preds, noFork, backEdge and provenance maps.
@@ -214,6 +266,9 @@ func (e *enlarger) buildIndexes() {
 		}
 		e.tailOrigin[b.ID] = b.ID
 		e.chain[b.ID] = []isa.BlockID{b.ID}
+		if b.Library {
+			e.origLibrary[b.ID] = true
+		}
 		if b.Cont != isa.NoBlock {
 			e.noFork[b.Cont] = true
 		}
@@ -419,12 +474,30 @@ func (e *enlarger) mergeable(b *isa.Block, sid isa.BlockID, conditional bool) bo
 	}
 	// Rule 4: no merging along loop back edges, and a block never absorbs
 	// a copy of a block already in its chain (separate iterations).
-	if e.backEdge[[2]isa.BlockID{e.tailOrigin[b.ID], e.tailOrigin[sid]}] {
-		return false
-	}
-	for _, o := range e.chain[b.ID] {
-		if o == e.tailOrigin[sid] {
+	if !e.params.UnsafeDisableRule4 {
+		// The evolving edge b->s stands for the original CFG edge from b's
+		// tail origin to the HEAD of s's chain: s begins with the code of
+		// the first original it absorbed. Testing s's tail origin instead
+		// checks an edge that never existed — it both misses real back
+		// edges (s's head closes the loop, its tail does not) and
+		// spuriously blocks legal merges.
+		head := sid
+		if ch := e.chain[sid]; len(ch) > 0 {
+			head = ch[0]
+		}
+		if e.backEdge[[2]isa.BlockID{e.tailOrigin[b.ID], head}] {
 			return false
+		}
+		// No original block may appear twice in the combined chain
+		// (absorbing a copy combines separate loop iterations). s's chain
+		// may already hold several originals, so the whole chains must be
+		// disjoint, not just b's chain versus s's tail.
+		for _, o := range e.chain[b.ID] {
+			for _, so := range e.chain[sid] {
+				if o == so {
+					return false
+				}
+			}
 		}
 	}
 	// Rule 1: size.

@@ -150,7 +150,10 @@ func New(opts Options) (*Harness, error) {
 }
 
 func prepare(p workload.Profile) (*Bench, error) {
-	src := workload.Source(p)
+	src, err := workload.Source(p)
+	if err != nil {
+		return nil, err
+	}
 	conv, err := compile.Compile(src, p.Name, compile.DefaultOptions(isa.Conventional))
 	if err != nil {
 		return nil, fmt.Errorf("conventional: %w", err)

@@ -1,0 +1,41 @@
+package testgen
+
+import "strings"
+
+// maxMinimizeProbes bounds how many times Minimize may invoke the fails
+// callback: each probe re-runs the caller's whole oracle (typically a full
+// differential pipeline), so an unbounded ddmin on a large program could run
+// for hours.
+const maxMinimizeProbes = 3000
+
+// Minimize shrinks a failing MiniC program by line-window delta debugging.
+// fails must report whether a candidate source still exhibits the failure
+// being chased (it should return true for src itself); candidates that stop
+// failing — including ones the deletion made unparsable — are discarded.
+// The window starts at half the program and halves down to single lines,
+// re-scanning after every successful deletion, so the result is 1-line
+// minimal with respect to the final window pass.
+func Minimize(src string, fails func(string) bool) string {
+	lines := strings.Split(src, "\n")
+	probes := 0
+	probe := func(cand []string) bool {
+		if probes >= maxMinimizeProbes {
+			return false
+		}
+		probes++
+		return fails(strings.Join(cand, "\n"))
+	}
+	for win := (len(lines) + 1) / 2; win >= 1; win /= 2 {
+		for i := 0; i+win <= len(lines); {
+			cand := make([]string, 0, len(lines)-win)
+			cand = append(cand, lines[:i]...)
+			cand = append(cand, lines[i+win:]...)
+			if probe(cand) {
+				lines = cand // window removed; the next window slid into place at i
+			} else {
+				i++
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,58 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/isa"
+	"bsisa/internal/lang"
+)
+
+func TestMinimizeKeepsFailure(t *testing.T) {
+	// Failure of interest: the program contains a shift by 63. Minimize
+	// must keep a parsable program exhibiting it while dropping the noise.
+	var sb strings.Builder
+	sb.WriteString("var gdata[16];\nvar gscalar;\n\n")
+	sb.WriteString(Program(7))
+	src := strings.Replace(sb.String(), "func main() {", "func main() {\n\tgscalar = 1 << 63;", 1)
+
+	fails := func(cand string) bool {
+		if _, err := lang.Parse(cand); err != nil {
+			return false
+		}
+		return strings.Contains(cand, "1 << 63")
+	}
+	if !fails(src) {
+		t.Fatal("seed source does not fail")
+	}
+	min := Minimize(src, fails)
+	if !fails(min) {
+		t.Fatal("minimized source lost the failure")
+	}
+	if len(min) >= len(src) {
+		t.Fatalf("no shrinkage: %d -> %d bytes", len(src), len(min))
+	}
+	t.Logf("minimized %d -> %d bytes (%d -> %d lines)", len(src), len(min),
+		strings.Count(src, "\n"), strings.Count(min, "\n"))
+}
+
+func TestMinimizeCompilableOracle(t *testing.T) {
+	// An oracle that requires full compilation: minimization must respect
+	// semantic validity, not just syntax.
+	src := Program(3)
+	fails := func(cand string) bool {
+		p, err := compile.Compile(cand, "min", compile.DefaultOptions(isa.BlockStructured))
+		return err == nil && p.NumLiveBlocks() > 3
+	}
+	if !fails(src) {
+		t.Skip("seed 3 too small for this oracle")
+	}
+	min := Minimize(src, fails)
+	if !fails(min) {
+		t.Fatal("minimized source no longer satisfies the oracle")
+	}
+	if len(min) > len(src) {
+		t.Fatal("minimization grew the program")
+	}
+}

@@ -562,6 +562,15 @@ func (s *Sim) recover(b *isa.Block, predicted, actual isa.BlockID, trapResolve, 
 	return faultResolve, true
 }
 
+// Window reports the in-flight occupancy — blocks and operations the window
+// currently holds — after the last consumed event. internal/check uses it to
+// audit the machine's capacity invariants (at most WindowBlocks blocks and
+// WindowOps operations in flight) during a simulation.
+func (s *Sim) Window() (blocks, ops int) { return s.winLen, s.winOps }
+
+// ResolvedConfig returns the simulator's configuration with defaults applied.
+func (s *Sim) ResolvedConfig() Config { return s.cfg }
+
 // Finish returns the accumulated result. Call after the emulator completes.
 func (s *Sim) Finish() *Result {
 	s.res.Cycles = s.lastRetire

@@ -7,10 +7,16 @@ import (
 )
 
 // Source generates the MiniC program for a profile. Generation is fully
-// deterministic in the profile (including its Seed).
-func Source(p Profile) string {
+// deterministic in the profile (including its Seed). Invalid profiles are
+// rejected: the generator indexes the data array through a power-of-two mask
+// (DataWords-1), so a non-power-of-two DataWords would silently corrupt every
+// data index rather than fail.
+func Source(p Profile) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
 	g := &gen{p: p, rng: rand.New(rand.NewSource(p.Seed))}
-	return g.program()
+	return g.program(), nil
 }
 
 type gen struct {

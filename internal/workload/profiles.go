@@ -18,6 +18,8 @@
 // never traps.
 package workload
 
+import "fmt"
+
 // Profile parameterizes one synthetic benchmark.
 type Profile struct {
 	// Name is the SPECint95 benchmark this profile models.
@@ -54,6 +56,36 @@ type Profile struct {
 	PhaseSpan int
 	// LibFuncs is the number of library helper functions (rule-5 code).
 	LibFuncs int
+}
+
+// Validate rejects profiles the generator cannot render faithfully. The
+// critical constraint is DataWords: every data access is masked with
+// DataWords-1, which only selects in-range indices when DataWords is a power
+// of two — anything else would silently alias data indices and corrupt the
+// branch-outcome stream the profile is tuned to produce.
+func (p Profile) Validate() error {
+	if p.DataWords <= 0 || p.DataWords&(p.DataWords-1) != 0 {
+		return fmt.Errorf("workload: profile %q: DataWords %d must be a positive power of two",
+			p.Name, p.DataWords)
+	}
+	if p.Funcs < 1 {
+		return fmt.Errorf("workload: profile %q: Funcs %d must be >= 1", p.Name, p.Funcs)
+	}
+	if p.OuterIters < 1 {
+		return fmt.Errorf("workload: profile %q: OuterIters %d must be >= 1", p.Name, p.OuterIters)
+	}
+	if p.BiasPercent < 0 || p.BiasPercent > 100 {
+		return fmt.Errorf("workload: profile %q: BiasPercent %d must be in [0,100]", p.Name, p.BiasPercent)
+	}
+	if p.PatternedFrac1000 < 0 || p.PatternedFrac1000 > 1000 {
+		return fmt.Errorf("workload: profile %q: PatternedFrac1000 %d must be in [0,1000]",
+			p.Name, p.PatternedFrac1000)
+	}
+	if p.CondsPerFunc < 0 || p.StmtsPerArm < 0 || p.CallDepth < 0 || p.InnerIters < 0 ||
+		p.PhaseSpan < 0 || p.LibFuncs < 0 {
+		return fmt.Errorf("workload: profile %q: negative size parameter", p.Name)
+	}
+	return nil
 }
 
 // Profiles returns the eight benchmark profiles in the paper's Table 2

@@ -10,6 +10,17 @@ import (
 	"bsisa/internal/isa"
 )
 
+// mustSource generates a profile's source, failing the test on a rejected
+// profile.
+func mustSource(t *testing.T, p Profile) string {
+	t.Helper()
+	src, err := Source(p)
+	if err != nil {
+		t.Fatalf("Source(%s): %v", p.Name, err)
+	}
+	return src
+}
+
 func TestProfilesCoverTable2(t *testing.T) {
 	want := []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
 	ps := Profiles(1)
@@ -31,7 +42,7 @@ func TestProfilesCoverTable2(t *testing.T) {
 
 func TestSourceDeterministic(t *testing.T) {
 	p, _ := ProfileByName("gcc", 0.1)
-	a, b := Source(p), Source(p)
+	a, b := mustSource(t, p), mustSource(t, p)
 	if a != b {
 		t.Error("generation is not deterministic")
 	}
@@ -47,7 +58,7 @@ func TestScaleAffectsOnlyDynamicWork(t *testing.T) {
 		t.Error("scale did not change dynamic work")
 	}
 	// Same static source modulo the iteration bound.
-	srcSmall, srcBig := Source(small), Source(big)
+	srcSmall, srcBig := mustSource(t, small), mustSource(t, big)
 	if len(srcSmall) == 0 || len(srcBig) == 0 {
 		t.Fatal("empty source")
 	}
@@ -63,7 +74,7 @@ func TestAllProfilesCompileAndAgree(t *testing.T) {
 	for _, p := range Profiles(0.02) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			src := Source(p)
+			src := mustSource(t, p)
 			conv, err := compile.Compile(src, p.Name, compile.DefaultOptions(isa.Conventional))
 			if err != nil {
 				t.Fatalf("compile conventional: %v", err)
@@ -105,7 +116,7 @@ func TestAllProfilesCompileAndAgree(t *testing.T) {
 func TestBlockSizeRegime(t *testing.T) {
 	for _, name := range []string{"gcc", "li", "vortex"} {
 		p, _ := ProfileByName(name, 0.02)
-		conv, err := compile.Compile(Source(p), p.Name, compile.DefaultOptions(isa.Conventional))
+		conv, err := compile.Compile(mustSource(t, p), p.Name, compile.DefaultOptions(isa.Conventional))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +148,7 @@ func TestBranchBiasRealized(t *testing.T) {
 	biased, _ := ProfileByName("vortex", 0.02) // 93% bias
 	unbiased, _ := ProfileByName("go", 0.02)   // 52% bias
 	rate := func(p Profile) float64 {
-		conv, err := compile.Compile(Source(p), p.Name, compile.DefaultOptions(isa.Conventional))
+		conv, err := compile.Compile(mustSource(t, p), p.Name, compile.DefaultOptions(isa.Conventional))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +181,7 @@ func TestBranchBiasRealized(t *testing.T) {
 func TestStaticFootprints(t *testing.T) {
 	size := func(name string) uint32 {
 		p, _ := ProfileByName(name, 0.02)
-		conv, err := compile.Compile(Source(p), p.Name, compile.DefaultOptions(isa.Conventional))
+		conv, err := compile.Compile(mustSource(t, p), p.Name, compile.DefaultOptions(isa.Conventional))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,4 +195,34 @@ func TestStaticFootprints(t *testing.T) {
 		t.Errorf("gcc (%d) should exceed li (%d)", gcc, li)
 	}
 	t.Logf("footprints: gcc=%dB go=%dB li=%dB compress=%dB", gcc, goSz, li, compress)
+}
+
+// TestProfileValidationRejectsBadProfiles covers the Validate guard: the
+// generator masks data indices with DataWords-1, so a non-power-of-two
+// DataWords must be rejected rather than silently corrupting indices.
+func TestProfileValidationRejectsBadProfiles(t *testing.T) {
+	good, _ := ProfileByName("compress", 0.02)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("reference profile rejected: %v", err)
+	}
+	bad := []func(p *Profile){
+		func(p *Profile) { p.DataWords = 1000 }, // not a power of two
+		func(p *Profile) { p.DataWords = 0 },
+		func(p *Profile) { p.DataWords = -2048 },
+		func(p *Profile) { p.Funcs = 0 },
+		func(p *Profile) { p.OuterIters = 0 },
+		func(p *Profile) { p.BiasPercent = 101 },
+		func(p *Profile) { p.PatternedFrac1000 = -1 },
+		func(p *Profile) { p.InnerIters = -1 },
+	}
+	for i, mutate := range bad {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad profile %+v passed validation", i, p)
+		}
+		if _, err := Source(p); err == nil {
+			t.Errorf("case %d: Source accepted an invalid profile", i)
+		}
+	}
 }
