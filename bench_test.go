@@ -30,7 +30,7 @@ var (
 func benchHarness(b *testing.B) *harness.Harness {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchH, benchErr = harness.New(harness.Options{Scale: benchScale, Parallel: true})
+		benchH, benchErr = harness.New(harness.Options{Scale: benchScale})
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -237,6 +237,62 @@ func BenchmarkTraceReplay(b *testing.B) {
 		ops += res.Ops
 	}
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// sweepBenchGrid is a dense icache sensitivity sweep at reference geometry:
+// a perfect-icache baseline plus every power-of-two size from 1KB to 64KB
+// (the Figure 6/7 sizes and their surrounding octaves), all sharing one
+// recorded trace. Dense grids are the fused engine's natural workload — the
+// stack-distance profiler prices every extra power-of-two size at one cheap
+// timing lane.
+func sweepBenchGrid() []uarch.Config {
+	cfgs := []uarch.Config{{}}
+	for sz := 1024; sz <= 65536; sz *= 2 {
+		var cfg uarch.Config
+		cfg.ICache.SizeBytes = sz
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+func sweepBenchTrace(b *testing.B) *emu.Trace {
+	b.Helper()
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkICacheSweepLegacy times the pre-fusion icache sweep: one full
+// trace replay per configuration via SimulateMany.
+func BenchmarkICacheSweepLegacy(b *testing.B) {
+	tr := sweepBenchTrace(b)
+	cfgs := sweepBenchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.SimulateMany(tr, cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkICacheSweepFused times the fused engine on the identical grid:
+// one enriched decode pass shared by all sweep points, then per-config
+// timing lanes.
+func BenchmarkICacheSweepFused(b *testing.B) {
+	tr := sweepBenchTrace(b)
+	cfgs := sweepBenchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.SweepICache(tr, cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkTimingSim measures the full emulate+time pipeline.

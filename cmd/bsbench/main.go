@@ -3,18 +3,22 @@
 //
 // Usage:
 //
-//	bsbench [-scale F] [-exp name[,name...]] [-v] [-cpuprofile F] [-memprofile F]
+//	bsbench [-scale F] [-exp name[,name...]] [-workers N] [-json] [-v]
+//	        [-cpuprofile F] [-memprofile F]
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 mispredicts
 // ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
-// all (default: the paper's tables and figures).
+// sweepspeed summary all (default: the paper's tables and figures).
 //
-// -cpuprofile and -memprofile write pprof data covering the whole run
-// (compilation, trace recording, and simulation), so performance work on the
-// pipeline can be grounded in measured hot paths.
+// -json additionally writes each experiment's results to BENCH_<name>.json —
+// machine-readable columns/rows plus the wall time — so the perf trajectory
+// is tracked across changes. -cpuprofile and -memprofile write pprof data
+// covering the whole run (compilation, trace recording, and simulation), so
+// performance work on the pipeline can be grounded in measured hot paths.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +31,21 @@ import (
 	"bsisa/internal/stats"
 )
 
+// benchJSON is the machine-readable form of one experiment run.
+type benchJSON struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Scale      float64    `json:"scale"`
+	WallMs     int64      `json:"wall_ms"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size scale factor")
 	exps := flag.String("exp", "paper", "comma-separated experiments, 'paper', or 'all'")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "write each experiment to BENCH_<name>.json")
 	verbose := flag.Bool("v", false, "progress output")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -60,7 +76,7 @@ func main() {
 		}()
 	}
 
-	opts := harness.Options{Scale: *scale, Parallel: true}
+	opts := harness.Options{Scale: *scale, Workers: *workers}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -72,7 +88,8 @@ func main() {
 
 	paper := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7"}
 	extra := []string{"mispredicts", "ablate-size", "ablate-faults", "ablate-superblock",
-		"ablate-history", "ablate-minbias", "ablate-tracecache", "ablate-ifconvert", "ablate-inline", "ablate-hotlayout", "ablate-multiblock"}
+		"ablate-history", "ablate-minbias", "ablate-tracecache", "ablate-ifconvert",
+		"ablate-inline", "ablate-hotlayout", "ablate-multiblock", "sweepspeed", "summary"}
 
 	var names []string
 	switch *exps {
@@ -85,13 +102,39 @@ func main() {
 	}
 
 	for _, name := range names {
-		tbl, err := run(h, strings.TrimSpace(name))
+		name = strings.TrimSpace(name)
+		expStart := time.Now()
+		tbl, err := run(h, name)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
+		wall := time.Since(expStart)
 		fmt.Println(tbl.Render())
+		if *jsonOut {
+			if err := writeJSON(name, *scale, wall, tbl); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "bsbench: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+}
+
+// writeJSON records one experiment's table and wall time as
+// BENCH_<name>.json in the current directory.
+func writeJSON(name string, scale float64, wall time.Duration, tbl *stats.Table) error {
+	out := benchJSON{
+		Experiment: name,
+		Title:      tbl.Title,
+		Scale:      scale,
+		WallMs:     wall.Milliseconds(),
+		Columns:    tbl.Columns,
+		Rows:       tbl.Rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+name+".json", append(data, '\n'), 0o644)
 }
 
 func run(h *harness.Harness, name string) (*stats.Table, error) {
@@ -132,8 +175,12 @@ func run(h *harness.Harness, name string) (*stats.Table, error) {
 		return h.AblateProfileLayout()
 	case "ablate-multiblock":
 		return h.AblateMultiBlock()
+	case "sweepspeed":
+		return h.SweepSpeed()
+	case "summary":
+		return h.Summary()
 	default:
-		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-*)")
+		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-* sweepspeed summary)")
 	}
 }
 

@@ -100,9 +100,10 @@ func main() {
 		tres.FetchStallICache, tres.FetchStallWindow, tres.RecoveryStall)
 }
 
-// sweepICache is the trace-once, simulate-many path: one functional
-// emulation records the committed-block trace, then every icache size
-// replays it through an independent timing simulator.
+// sweepICache is the trace-once path: one functional emulation records the
+// committed-block trace, then every icache size is timed from it — through
+// the fused single-pass sweep engine when the size list qualifies (two or
+// more sizes, at least one finite), falling back to one replay per size.
 func sweepICache(prog *isa.Program, emuCfg emu.Config, list string, perfectBP bool, quiet *bool) error {
 	var sizes []int
 	for _, f := range strings.Split(list, ",") {
@@ -117,8 +118,6 @@ func sweepICache(prog *isa.Program, emuCfg emu.Config, list string, perfectBP bo
 		return err
 	}
 	report(prog, tr.EmuResult(), quiet)
-	fmt.Printf("trace:             %d blocks recorded (%d KB), replayed %d times\n",
-		tr.NumEvents(), tr.Footprint()/1024, len(sizes))
 	cfgs := make([]uarch.Config, len(sizes))
 	for i, sz := range sizes {
 		cfgs[i] = uarch.Config{
@@ -126,7 +125,16 @@ func sweepICache(prog *isa.Program, emuCfg emu.Config, list string, perfectBP bo
 			PerfectBP: perfectBP,
 		}
 	}
-	results, err := uarch.SimulateMany(tr, cfgs)
+	var results []*uarch.Result
+	if uarch.CanSweepICache(cfgs) {
+		fmt.Printf("trace:             %d blocks recorded (%d KB), fused sweep over %d sizes\n",
+			tr.NumEvents(), tr.Footprint()/1024, len(sizes))
+		results, err = uarch.SweepICache(tr, cfgs, 0)
+	} else {
+		fmt.Printf("trace:             %d blocks recorded (%d KB), replayed %d times\n",
+			tr.NumEvents(), tr.Footprint()/1024, len(sizes))
+		results, err = uarch.SimulateMany(tr, cfgs, 0)
+	}
 	if err != nil {
 		return err
 	}

@@ -27,7 +27,7 @@ func TestGoldenFigures(t *testing.T) {
 	}
 	recorded := string(data)
 
-	h, err := harness.New(harness.Options{Scale: 1.0, Parallel: true})
+	h, err := harness.New(harness.Options{Scale: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}

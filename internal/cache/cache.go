@@ -3,15 +3,23 @@
 // icache size is the experimental variable (its Figures 6 and 7 sweep it),
 // the L1 dcache is 16 KB, and the L2 is perfect with a six-cycle access
 // time.
+//
+// Two evaluation modes are provided: Cache simulates one concrete
+// configuration, and StackDist (stackdist.go) profiles an address stream
+// once to produce exact LRU hit/miss counts for a whole range of cache
+// sizes simultaneously — the engine behind the single-pass icache sweeps.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one cache.
 type Config struct {
 	SizeBytes int // total capacity; 0 means a perfect cache
-	Ways      int // associativity (default 4)
-	LineBytes int // line size (default 64)
+	Ways      int // associativity (default 4, must be a power of two)
+	LineBytes int // line size (default 64, must be a power of two)
 }
 
 func (c Config) withDefaults() Config {
@@ -22,6 +30,31 @@ func (c Config) withDefaults() Config {
 		c.LineBytes = 64
 	}
 	return c
+}
+
+// Normalize returns the configuration with defaults applied, so two configs
+// describing the same geometry compare equal.
+func (c Config) Normalize() Config { return c.withDefaults() }
+
+// validate rejects geometry that would silently produce a nonsense set
+// count: non-positive or non-power-of-two associativity or line size, and a
+// capacity that is not an exact power-of-two number of sets.
+func (c Config) validate() error {
+	if c.Ways <= 0 || c.Ways&(c.Ways-1) != 0 {
+		return fmt.Errorf("cache: associativity %d is not a positive power of two", c.Ways)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %dB is not a positive power of two", c.LineBytes)
+	}
+	if c.SizeBytes == 0 {
+		return nil // perfect cache: no geometry
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 || sets*c.Ways*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: %dB/%d-way/%dB lines yields non-power-of-two set count %d",
+			c.SizeBytes, c.Ways, c.LineBytes, sets)
+	}
+	return nil
 }
 
 // Stats counts cache traffic in lines.
@@ -41,12 +74,14 @@ func (s Stats) MissRate() float64 {
 // Cache is a set-associative LRU cache. A zero SizeBytes configures a
 // perfect cache (every access hits).
 type Cache struct {
-	cfg     Config
-	perfect bool
-	sets    int
-	lines   []line // sets*ways
-	clock   uint64
-	stats   Stats
+	cfg       Config
+	perfect   bool
+	sets      int
+	lineShift uint32 // log2(LineBytes): addr -> line address
+	setBits   uint32 // log2(sets): line address -> tag
+	lines     []line // sets*ways
+	clock     uint64
+	stats     Stats
 }
 
 type line struct {
@@ -55,19 +90,23 @@ type line struct {
 	lastUse uint64
 }
 
-// New builds a cache. SizeBytes must be a multiple of Ways*LineBytes and the
-// resulting set count a power of two.
+// New builds a cache. Ways and LineBytes must be positive powers of two and
+// SizeBytes an exact power-of-two multiple of Ways*LineBytes (or zero for a
+// perfect cache).
 func New(cfg Config) (*Cache, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg, lineShift: uint32(bits.TrailingZeros32(uint32(cfg.LineBytes)))}
 	if cfg.SizeBytes == 0 {
-		return &Cache{cfg: cfg, perfect: true}, nil
+		c.perfect = true
+		return c, nil
 	}
-	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
-	if sets <= 0 || sets&(sets-1) != 0 {
-		return nil, fmt.Errorf("cache: %dB/%d-way/%dB lines yields non-power-of-two set count %d",
-			cfg.SizeBytes, cfg.Ways, cfg.LineBytes, sets)
-	}
-	return &Cache{cfg: cfg, sets: sets, lines: make([]line, sets*cfg.Ways)}, nil
+	c.sets = cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	c.setBits = uint32(bits.TrailingZeros32(uint32(c.sets)))
+	c.lines = make([]line, c.sets*cfg.Ways)
+	return c, nil
 }
 
 // MustNew is New, panicking on configuration errors (for tables of fixed
@@ -87,10 +126,15 @@ func (c *Cache) Access(addr uint32) bool {
 	if c.perfect {
 		return true
 	}
+	return c.accessLine(addr >> c.lineShift)
+}
+
+// accessLine probes and (on miss) fills the set for one line address. The
+// caller has already counted the access.
+func (c *Cache) accessLine(lineAddr uint32) bool {
 	c.clock++
-	lineAddr := addr / uint32(c.cfg.LineBytes)
 	set := int(lineAddr) & (c.sets - 1)
-	tag := lineAddr / uint32(c.sets)
+	tag := lineAddr >> c.setBits
 	base := set * c.cfg.Ways
 	victim := base
 	for i := 0; i < c.cfg.Ways; i++ {
@@ -116,16 +160,22 @@ func (c *Cache) Access(addr uint32) bool {
 // AccessRange touches every line overlapping [addr, addr+size), returning
 // the number of missing lines. The fetch path uses this for multi-line
 // blocks (consecutive lines; the block-structured ISA's point is precisely
-// that it never needs non-consecutive lines in one cycle).
+// that it never needs non-consecutive lines in one cycle). Line, set and
+// tag are derived incrementally from the running line address rather than
+// re-split per byte address.
 func (c *Cache) AccessRange(addr, size uint32) int {
 	if size == 0 {
 		size = 1
 	}
-	first := addr / uint32(c.cfg.LineBytes)
-	last := (addr + size - 1) / uint32(c.cfg.LineBytes)
+	first := addr >> c.lineShift
+	last := (addr + size - 1) >> c.lineShift
 	misses := 0
 	for l := first; l <= last; l++ {
-		if !c.Access(l * uint32(c.cfg.LineBytes)) {
+		c.stats.Accesses++
+		if c.perfect {
+			continue
+		}
+		if !c.accessLine(l) {
 			misses++
 		}
 	}

@@ -70,11 +70,55 @@ func TestAccessRangeCountsLines(t *testing.T) {
 }
 
 func TestBadGeometryRejected(t *testing.T) {
-	if _, err := New(Config{SizeBytes: 1000, Ways: 3, LineBytes: 64}); err == nil {
-		t.Error("non-power-of-two sets should be rejected")
+	bad := []Config{
+		{SizeBytes: 1000, Ways: 3, LineBytes: 64},  // non-power-of-two ways
+		{SizeBytes: 64, Ways: 4, LineBytes: 64},    // zero sets
+		{SizeBytes: 1024, Ways: -2, LineBytes: 64}, // negative ways
+		{SizeBytes: 1024, Ways: 6, LineBytes: 64},  // non-power-of-two ways
+		{SizeBytes: 1024, Ways: 4, LineBytes: 48},  // non-power-of-two line
+		{SizeBytes: 1024, Ways: 4, LineBytes: -8},  // negative line
+		{SizeBytes: 1025, Ways: 4, LineBytes: 64},  // not a multiple of ways*line
+		{SizeBytes: 768, Ways: 4, LineBytes: 64},   // 3 sets
+		{Ways: 3},                                  // perfect cache still validates ways
+		{LineBytes: 100},                           // perfect cache still validates line
 	}
-	if _, err := New(Config{SizeBytes: 64, Ways: 4, LineBytes: 64}); err == nil {
-		t.Error("zero sets should be rejected")
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) should have been rejected", cfg)
+		}
+	}
+	// Perfect cache with defaulted geometry stays legal.
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("New(Config{}) = %v, want nil", err)
+	}
+}
+
+// AccessRange must be observably identical to looping Access over each line
+// start — same misses, same stats, same resident lines afterwards.
+func TestAccessRangeMatchesPerLineAccess(t *testing.T) {
+	fast := MustNew(Config{SizeBytes: 2048, Ways: 2, LineBytes: 32})
+	slow := MustNew(Config{SizeBytes: 2048, Ways: 2, LineBytes: 32})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		addr := uint32(r.Intn(1 << 16))
+		size := uint32(r.Intn(200))
+		got := fast.AccessRange(addr, size)
+		want := 0
+		sz := size
+		if sz == 0 {
+			sz = 1
+		}
+		for l := addr / 32; l <= (addr+sz-1)/32; l++ {
+			if !slow.Access(l * 32) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("access %d: AccessRange(%d,%d) = %d misses, per-line = %d", i, addr, size, got, want)
+		}
+	}
+	if fast.Stats() != slow.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", fast.Stats(), slow.Stats())
 	}
 }
 

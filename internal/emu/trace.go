@@ -105,6 +105,12 @@ func (t *Trace) Replay(handler Handler) error {
 // the program (including its block layout) has not been modified since.
 func (t *Trace) Program() *isa.Program { return t.prog }
 
+// BlockIDs returns the recorded committed block ID sequence, one entry per
+// event. The slice aliases the trace's internal storage and must not be
+// mutated; it lets batch engines (uarch.SweepICache) iterate the stream
+// without reconstructing BlockEvents.
+func (t *Trace) BlockIDs() []isa.BlockID { return t.blocks }
+
 // EmuConfig returns the emulation configuration the trace was recorded
 // under. Traces are only interchangeable with direct runs of the same
 // budget.

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"sync"
 
 	"bsisa/internal/compile"
 	"bsisa/internal/core"
@@ -144,16 +143,15 @@ func (h *Harness) AblateHistory() (*stats.Table, error) {
 		Columns: []string{"History Bits", "Mean Conv Cycles", "Mean BSA Cycles"},
 	}
 	histBits := []int{2, 4, 8, 12, 16}
-	cc := make([]float64, len(histBits))
-	cb := make([]float64, len(histBits))
-	var mu sync.Mutex
+	convCyc := make([][]int64, len(h.Benches))
+	bsaCyc := make([][]int64, len(h.Benches))
 	err := h.forEachBench(func(i int) error {
 		b := h.Benches[i]
 		for _, side := range []struct {
 			tag  string
 			prog *isa.Program
-			mean []float64
-		}{{"conv", b.Conv, cc}, {"bsa", b.BSA, cb}} {
+			out  *[]int64
+		}{{"conv", b.Conv, &convCyc[i]}, {"bsa", b.BSA, &bsaCyc[i]}} {
 			keys := make([]string, len(histBits))
 			cfgs := make([]uarch.Config, len(histBits))
 			for j, hb := range histBits {
@@ -166,16 +164,26 @@ func (h *Harness) AblateHistory() (*stats.Table, error) {
 			if err != nil {
 				return err
 			}
-			mu.Lock()
+			cyc := make([]int64, len(res))
 			for j, r := range res {
-				side.mean[j] += float64(r.Cycles) / float64(len(h.Benches))
+				cyc[j] = r.Cycles
 			}
-			mu.Unlock()
+			*side.out = cyc
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Reduce means in benchmark order so the table is identical at every
+	// worker count.
+	cc := make([]float64, len(histBits))
+	cb := make([]float64, len(histBits))
+	for i := range h.Benches {
+		for j := range histBits {
+			cc[j] += float64(convCyc[i][j]) / float64(len(h.Benches))
+			cb[j] += float64(bsaCyc[i][j]) / float64(len(h.Benches))
+		}
 	}
 	for j, hb := range histBits {
 		t.AddRow(hb, int64(cc[j]), int64(cb[j]))

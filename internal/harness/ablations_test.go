@@ -12,7 +12,7 @@ var ablH *Harness
 func getAblationHarness(t *testing.T) *Harness {
 	t.Helper()
 	if ablH == nil {
-		h, err := New(Options{Scale: 0.015, Parallel: true})
+		h, err := New(Options{Scale: 0.015})
 		if err != nil {
 			t.Fatalf("harness: %v", err)
 		}

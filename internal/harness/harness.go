@@ -15,6 +15,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"bsisa/internal/cache"
@@ -58,8 +59,59 @@ type Options struct {
 	Progress io.Writer
 	// EmuBudget bounds each functional run (0 = emulator default).
 	EmuBudget int64
-	// Parallel runs benchmark simulations concurrently.
-	Parallel bool
+	// Workers bounds concurrency across benchmark preparation, simulation
+	// fan-out and ablation sweeps: 0 means GOMAXPROCS, 1 forces serial
+	// execution. Results are identical at every worker count (the
+	// determinism test in replay_test.go pins this).
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// forEachIndex runs fn(0..n-1) over at most `workers` goroutines and returns
+// the first error. Each index is handed to exactly one worker, so writes to
+// index-i slots need no locking.
+func forEachIndex(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 func (o Options) progress(format string, args ...any) {
@@ -95,8 +147,8 @@ type Harness struct {
 	traces map[*isa.Program]*traceEntry
 }
 
-// traceEntry memoizes one recording with single-flight semantics: under
-// Options.Parallel several goroutines may want the same trace at once, and
+// traceEntry memoizes one recording with single-flight semantics: with more
+// than one worker several goroutines may want the same trace at once, and
 // exactly one of them must pay for the recording.
 type traceEntry struct {
 	once sync.Once
@@ -104,9 +156,9 @@ type traceEntry struct {
 	err  error
 }
 
-// New prepares all eight benchmarks, compiling them concurrently when
-// Options.Parallel is set. Preparation order does not affect results:
-// benchmarks are compiled independently and placed at fixed positions.
+// New prepares all eight benchmarks, compiling them across the configured
+// worker pool. Preparation order does not affect results: benchmarks are
+// compiled independently and placed at fixed positions.
 func New(opts Options) (*Harness, error) {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
@@ -114,32 +166,17 @@ func New(opts Options) (*Harness, error) {
 	h := &Harness{Opts: opts, results: map[string]*uarch.Result{}}
 	profiles := workload.Profiles(opts.Scale)
 	h.Benches = make([]*Bench, len(profiles))
-	if opts.Parallel {
-		errs := make([]error, len(profiles))
-		var wg sync.WaitGroup
-		for i, p := range profiles {
-			wg.Add(1)
-			go func(i int, p workload.Profile) {
-				defer wg.Done()
-				opts.progress("compile %-8s ...", p.Name)
-				h.Benches[i], errs[i] = prepare(p)
-			}(i, p)
+	err := forEachIndex(len(profiles), opts.workers(), func(i int) error {
+		opts.progress("compile %-8s ...", profiles[i].Name)
+		b, err := prepare(profiles[i])
+		if err != nil {
+			return fmt.Errorf("harness: prepare %s: %w", profiles[i].Name, err)
 		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("harness: prepare %s: %w", profiles[i].Name, err)
-			}
-		}
-	} else {
-		for i, p := range profiles {
-			opts.progress("compile %-8s ...", p.Name)
-			b, err := prepare(p)
-			if err != nil {
-				return nil, fmt.Errorf("harness: prepare %s: %w", p.Name, err)
-			}
-			h.Benches[i] = b
-		}
+		h.Benches[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	h.traces = make(map[*isa.Program]*traceEntry, 2*len(h.Benches))
 	for _, b := range h.Benches {
@@ -230,9 +267,10 @@ func (h *Harness) Run(key string, prog *isa.Program, cfg uarch.Config) (*uarch.R
 
 // runMany simulates one program under several configs at once, memoizing
 // each by its key. Missing configurations share a single committed-block
-// trace (recorded on first need) and fan out over uarch.SimulateMany's
-// worker pool; programs without a trace slot are emulated directly, once per
-// missing config.
+// trace (recorded on first need): pure icache-size batches go through the
+// fused single-pass sweep engine (uarch.SweepICache), everything else fans
+// out over uarch.SimulateMany's worker pool. Programs without a trace slot
+// are emulated directly, once per missing config.
 func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config) ([]*uarch.Result, error) {
 	if len(keys) != len(cfgs) {
 		return nil, fmt.Errorf("harness: runMany: %d keys, %d configs", len(keys), len(cfgs))
@@ -260,7 +298,12 @@ func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config)
 		for j, i := range missing {
 			need[j] = cfgs[i]
 		}
-		rs, err := uarch.SimulateMany(tr, need)
+		var rs []*uarch.Result
+		if uarch.CanSweepICache(need) {
+			rs, err = uarch.SweepICache(tr, need, h.Opts.workers())
+		} else {
+			rs, err = uarch.SimulateMany(tr, need, h.Opts.workers())
+		}
 		if err != nil {
 			return nil, fmt.Errorf("harness: run %s: %w", keys[missing[0]], err)
 		}
@@ -284,33 +327,10 @@ func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config)
 	return results, nil
 }
 
-// forEachBench runs fn for every benchmark index, concurrently when
-// Options.Parallel is set, and returns the first error.
+// forEachBench runs fn for every benchmark index over the configured worker
+// pool and returns the first error.
 func (h *Harness) forEachBench(fn func(i int) error) error {
-	if !h.Opts.Parallel {
-		for i := range h.Benches {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, len(h.Benches))
-	var wg sync.WaitGroup
-	for i := range h.Benches {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
+	return forEachIndex(len(h.Benches), h.Opts.workers(), fn)
 }
 
 // pairResults runs conventional and block-structured executables of every
@@ -449,9 +469,7 @@ func (h *Harness) icacheSensitivity(title string, useBSA bool) (*stats.Table, er
 		Columns: cols,
 		Note:    "Cells: (cycles(size) - cycles(perfect icache)) / cycles(perfect icache).",
 	}
-	means := make([]float64, len(ICacheSizes))
-	rows := make([][]any, len(h.Benches))
-	var mu sync.Mutex
+	rels := make([][]float64, len(h.Benches))
 	err := h.forEachBench(func(i int) error {
 		b := h.Benches[i]
 		prog := b.Conv
@@ -459,7 +477,7 @@ func (h *Harness) icacheSensitivity(title string, useBSA bool) (*stats.Table, er
 			prog = b.BSA
 		}
 		// One batch per benchmark: the perfect-icache reference and every
-		// sweep point replay the same trace.
+		// sweep point share one fused replay of the same trace.
 		keys := []string{fmt.Sprintf("%s/ic-perfect/%s", b.Profile.Name, kindTag)}
 		cfgs := []uarch.Config{baseConfig(0, false)}
 		for _, sz := range ICacheSizes {
@@ -472,21 +490,24 @@ func (h *Harness) icacheSensitivity(title string, useBSA bool) (*stats.Table, er
 			return err
 		}
 		perfect := res[0]
-		row := []any{b.Profile.Name}
-		mu.Lock()
-		defer mu.Unlock()
+		rels[i] = make([]float64, len(res)-1)
 		for j, r := range res[1:] {
-			rel := float64(r.Cycles-perfect.Cycles) / float64(perfect.Cycles)
-			means[j] += rel / float64(len(h.Benches))
-			row = append(row, rel)
+			rels[i][j] = float64(r.Cycles-perfect.Cycles) / float64(perfect.Cycles)
 		}
-		rows[i] = row
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rows {
+	// Means reduce in benchmark order regardless of which worker finished
+	// first, so the rendered table is identical at every worker count.
+	means := make([]float64, len(ICacheSizes))
+	for i, b := range h.Benches {
+		row := []any{b.Profile.Name}
+		for j, rel := range rels[i] {
+			means[j] += rel / float64(len(h.Benches))
+			row = append(row, rel)
+		}
 		t.AddRow(row...)
 	}
 	meanRow := []any{"MEAN"}

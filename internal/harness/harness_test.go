@@ -12,7 +12,7 @@ var testH *Harness
 func getHarness(t *testing.T) *Harness {
 	t.Helper()
 	if testH == nil {
-		h, err := New(Options{Scale: 0.06, Parallel: true})
+		h, err := New(Options{Scale: 0.06})
 		if err != nil {
 			t.Fatalf("harness: %v", err)
 		}

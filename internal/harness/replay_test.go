@@ -7,6 +7,7 @@ import (
 	"bsisa/internal/core"
 	"bsisa/internal/emu"
 	"bsisa/internal/isa"
+	"bsisa/internal/stats"
 	"bsisa/internal/uarch"
 )
 
@@ -15,11 +16,11 @@ import (
 // compilation is deterministic and per-benchmark, so the order (and
 // concurrency) of preparation must not leak into results.
 func TestPreparationOrderIndependence(t *testing.T) {
-	serial, err := New(Options{Scale: 0.02, Parallel: false})
+	serial, err := New(Options{Scale: 0.02, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := New(Options{Scale: 0.02, Parallel: true})
+	parallel, err := New(Options{Scale: 0.02, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,5 +86,41 @@ func TestHarnessReplayMatchesDirect(t *testing.T) {
 	}
 	if *gotFresh != *wantFresh {
 		t.Errorf("direct-path result differs: %+v vs %+v", *gotFresh, *wantFresh)
+	}
+}
+
+// TestWorkerCountDeterminism pins Options.Workers as a pure throughput knob:
+// the rendered figures — including the float mean rows, which are reduced in
+// benchmark order rather than goroutine completion order — must be
+// byte-identical at every worker count.
+func TestWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-harness determinism comparison skipped in -short mode")
+	}
+	render := func(workers int) []string {
+		t.Helper()
+		h, err := New(Options{Scale: 0.02, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, gen := range []func() (*stats.Table, error){h.Figure3, h.Figure6, h.Figure7, h.AblateHistory} {
+			tbl, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, tbl.Render())
+		}
+		return out
+	}
+	want := render(1)
+	for _, workers := range []int{2, 5} {
+		got := render(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: table %d differs from serial run\nserial:\n%s\nworkers=%d:\n%s",
+					workers, i, want[i], workers, got[i])
+			}
+		}
 	}
 }

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"bsisa/internal/isa"
+	"bsisa/internal/stats"
+	"bsisa/internal/uarch"
+)
+
+// SweepSpeed times a dense icache sensitivity sweep — a perfect icache plus
+// every power-of-two size from three octaves below the Figure 6/7 grid up to
+// an octave above it — both ways: one independent replay per configuration
+// (uarch.SimulateMany) versus the fused single-pass engine
+// (uarch.SweepICache), over every benchmark and both ISAs, verifying on the
+// way that the two engines return identical results. Dense grids are the
+// fused engine's designed workload (the stack-distance profiler prices every
+// extra power-of-two size at one cheap timing lane). It deliberately ignores
+// the result memo: every cell is real simulation work, so the table is the
+// perf trajectory record for the sweep path.
+func (h *Harness) SweepSpeed() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Sweep speed: per-config replay (legacy) vs fused single-pass sweep",
+		Columns: []string{"Benchmark", "ISA", "Configs", "Legacy (ms)", "Fused (ms)", "Speedup"},
+		Note:    "Dense grid (perfect + power-of-two sizes around Figure 6/7); engines verified to return identical results.",
+	}
+	minSize, maxSize := ICacheSizes[0], ICacheSizes[0]
+	for _, sz := range ICacheSizes[1:] {
+		if sz < minSize {
+			minSize = sz
+		}
+		if sz > maxSize {
+			maxSize = sz
+		}
+	}
+	cfgs := []uarch.Config{baseConfig(0, false)}
+	for sz := minSize / 8; sz <= maxSize*2; sz *= 2 {
+		cfgs = append(cfgs, baseConfig(sz, false))
+	}
+	var legacyTotal, fusedTotal time.Duration
+	for _, b := range h.Benches {
+		for _, side := range []struct {
+			tag  string
+			prog *isa.Program
+		}{{"conv", b.Conv}, {"bsa", b.BSA}} {
+			tr, traced, err := h.Trace(side.prog)
+			if err != nil {
+				return nil, err
+			}
+			if !traced {
+				return nil, fmt.Errorf("harness: sweepspeed: %s/%s has no trace slot", b.Profile.Name, side.tag)
+			}
+			h.Opts.progress("sweepspeed %-8s %s", b.Profile.Name, side.tag)
+			start := time.Now()
+			legacy, err := uarch.SimulateMany(tr, cfgs, h.Opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			legacyMs := time.Since(start)
+			start = time.Now()
+			fused, err := uarch.SweepICache(tr, cfgs, h.Opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			fusedMs := time.Since(start)
+			for i := range legacy {
+				if *legacy[i] != *fused[i] {
+					return nil, fmt.Errorf("harness: sweepspeed: %s/%s config %d: fused result diverges:\nlegacy %+v\nfused  %+v",
+						b.Profile.Name, side.tag, i, *legacy[i], *fused[i])
+				}
+			}
+			legacyTotal += legacyMs
+			fusedTotal += fusedMs
+			t.AddRow(b.Profile.Name, side.tag, len(cfgs),
+				legacyMs.Milliseconds(), fusedMs.Milliseconds(),
+				fmt.Sprintf("%.2fx", float64(legacyMs)/float64(fusedMs)))
+		}
+	}
+	t.AddRow("TOTAL", "", len(cfgs), legacyTotal.Milliseconds(), fusedTotal.Milliseconds(),
+		fmt.Sprintf("%.2fx", float64(legacyTotal)/float64(fusedTotal)))
+	return t, nil
+}
+
+// Summary reports per-benchmark headline metrics at the Figure-3
+// configuration for both ISAs: the machine-readable companion to the
+// figures (bsbench -json exports it as BENCH_summary.json).
+func (h *Harness) Summary() (*stats.Table, error) {
+	conv, bsa, err := h.pairResults("fig3", LargeICache, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: "Summary: per-benchmark metrics (Figure 3 configuration)",
+		Columns: []string{"Benchmark", "ISA", "Cycles", "Ops", "IPC",
+			"ICacheMiss%", "DCacheMiss%", "Mispredicts"},
+	}
+	for i, b := range h.Benches {
+		for _, side := range []struct {
+			tag string
+			r   *uarch.Result
+		}{{"conv", conv[i]}, {"bsa", bsa[i]}} {
+			t.AddRow(b.Profile.Name, side.tag, side.r.Cycles, side.r.Ops, side.r.IPC(),
+				fmt.Sprintf("%.3f", 100*side.r.ICache.MissRate()),
+				fmt.Sprintf("%.3f", 100*side.r.DCache.MissRate()),
+				side.r.Mispredicts())
+		}
+	}
+	return t, nil
+}

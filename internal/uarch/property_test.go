@@ -60,7 +60,7 @@ func TestReplayMatchesDirectSimulation(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %s: record: %v", seed, kind, err)
 			}
-			many, err := SimulateMany(tr, cfgs)
+			many, err := SimulateMany(tr, cfgs, 0)
 			if err != nil {
 				t.Fatalf("seed %d %s: simulate many: %v", seed, kind, err)
 			}

@@ -25,26 +25,25 @@ func ReplayTrace(t *emu.Trace, cfg Config) (*Result, error) {
 	return sim.Finish(), nil
 }
 
-// SimulateMany replays one trace through an independent timing simulator per
-// configuration, fanning the replays out over a bounded worker pool (at most
-// GOMAXPROCS workers). Results are returned in configuration order; each is
-// identical to a standalone ReplayTrace (simulators share only the
-// read-only trace and program).
-func SimulateMany(t *emu.Trace, cfgs []Config) ([]*Result, error) {
-	results := make([]*Result, len(cfgs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+// fanOut runs fn(0..n-1) across a bounded worker pool. workers <= 0 means
+// GOMAXPROCS; the pool never exceeds n. The first error wins; remaining
+// items still run. Results indexed by i are race-free because each index is
+// handed to exactly one worker.
+func fanOut(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, cfg := range cfgs {
-			r, err := ReplayTrace(t, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("uarch: config %d: %w", i, err)
+		var ferr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && ferr == nil {
+				ferr = err
 			}
-			results[i] = r
 		}
-		return results, nil
+		return ferr
 	}
 	var (
 		wg   sync.WaitGroup
@@ -57,26 +56,41 @@ func SimulateMany(t *emu.Trace, cfgs []Config) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				r, err := ReplayTrace(t, cfgs[i])
-				if err != nil {
+				if err := fn(i); err != nil {
 					mu.Lock()
 					if ferr == nil {
-						ferr = fmt.Errorf("uarch: config %d: %w", i, err)
+						ferr = err
 					}
 					mu.Unlock()
-					continue
 				}
-				results[i] = r
 			}
 		}()
 	}
-	for i := range cfgs {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	if ferr != nil {
-		return nil, ferr
+	return ferr
+}
+
+// SimulateMany replays one trace through an independent timing simulator per
+// configuration, fanning the replays out over a bounded worker pool (workers
+// <= 0 means GOMAXPROCS). Results are returned in configuration order; each
+// is identical to a standalone ReplayTrace regardless of the worker count
+// (simulators share only the read-only trace and program).
+func SimulateMany(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	err := fanOut(len(cfgs), workers, func(i int) error {
+		r, err := ReplayTrace(t, cfgs[i])
+		if err != nil {
+			return fmt.Errorf("uarch: config %d: %w", i, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,659 @@
+package uarch
+
+import (
+	"fmt"
+	"runtime"
+
+	"bsisa/internal/bpred"
+	"bsisa/internal/cache"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+// This file implements the single-pass icache sweep engine. An icache
+// sensitivity sweep (Figures 6 and 7) runs the same trace under N
+// configurations that differ only in ICache.SizeBytes. Under SimulateMany
+// that costs N full replays, but almost all of the work those replays do is
+// identical: the committed stream fixes the fetch order, so the predictor
+// sees the same history (its tables never observe timing), the dcache sees
+// the same address sequence, the misprediction of every event classifies the
+// same way, and even the icache's address stream — fetches plus wrong-path
+// pollution — is the same; only the *outcome* of each icache access and the
+// resulting stall arithmetic differ per size.
+//
+// SweepICache therefore splits the sweep into one shared "enrich" pass and N
+// cheap per-config "lanes". The enrich pass replays the trace once, driving
+// a cache.StackDist profiler with the exact icache address stream (which
+// yields per-access miss counts for every sweep size simultaneously), the
+// real dcache, and the real predictor; it records per event the fetch miss
+// count at each size, the misprediction kind, the per-load dcache outcome,
+// and for fault mispredictions the wrongly fetched block and its fetch miss
+// counts. Each lane then re-runs only the timing arithmetic — window, FU
+// scoreboard, rename ready times, retire — against those precomputed
+// outcomes, over a flattened operation table that strips decode work out of
+// the hot loop. Lane results are identical, field for field, to ReplayTrace
+// under the same configuration (sweep_test.go enforces this exhaustively).
+
+// laneOp is a predecoded operation: exactly the fields laneSchedule needs,
+// with zero-register reads/writes already dropped (reading or writing
+// isa.RegZero never touches the ready table). The struct is packed to eight
+// bytes so a block's operation table stays dense in cache; lat fits a byte
+// because Table 1 latencies top out at 8 cycles.
+type laneOp struct {
+	reads  [3]uint8
+	nReads uint8
+	w1     uint8 // destination register, 0 = none
+	w2     uint8 // link register for CALL, 0 = none
+	flags  uint8
+	lat    uint8
+}
+
+const (
+	laneLD uint8 = 1 << iota
+	laneTerm
+	laneFault
+)
+
+// laneBlock is a predecoded block, indexed by BlockID in a laneProg slice.
+type laneBlock struct {
+	ops         []laneOp
+	numOps      int
+	fetchCycles int64
+}
+
+// flattenSweepProgram predecodes every block once for all lanes.
+func flattenSweepProgram(prog *isa.Program, issueWidth int) []laneBlock {
+	lp := make([]laneBlock, len(prog.Blocks))
+	for id, b := range prog.Blocks {
+		if b == nil {
+			continue
+		}
+		lb := &lp[id]
+		lb.numOps = len(b.Ops)
+		n := (len(b.Ops) + issueWidth - 1) / issueWidth
+		if n < 1 {
+			n = 1
+		}
+		lb.fetchCycles = int64(n)
+		lb.ops = make([]laneOp, len(b.Ops))
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			lo := &lb.ops[i]
+			reads, nr := op.ReadRegs()
+			for k := 0; k < nr; k++ {
+				if reads[k] != isa.RegZero {
+					lo.reads[lo.nReads] = uint8(reads[k])
+					lo.nReads++
+				}
+			}
+			if rd, ok := op.Writes(); ok && rd != isa.RegZero {
+				lo.w1 = uint8(rd)
+			}
+			if op.Opcode == isa.CALL {
+				lo.w2 = uint8(isa.RegLR)
+			}
+			lo.lat = uint8(op.Opcode.Latency())
+			if op.Opcode == isa.LD {
+				lo.flags |= laneLD
+			}
+			if op.Opcode.IsBlockEnd() {
+				lo.flags |= laneTerm
+			}
+			if op.Opcode == isa.FAULT {
+				lo.flags |= laneFault
+			}
+		}
+	}
+	return lp
+}
+
+// Per-event misprediction kinds as stored by the enrich pass. swFaultNoBlock
+// is mpFault whose predicted block does not exist (nothing to shadow-issue).
+const (
+	swNone uint8 = iota
+	swMisfetch
+	swTrap
+	swFault
+	swFaultNoBlock
+)
+
+// sweepShared is the enrich pass's output: everything config-dependent work
+// needs, precomputed once. Lanes read it concurrently and never write it.
+type sweepShared struct {
+	levels int // profiler levels; stride of fetchMiss/wrongMiss
+
+	// Per event (trace order). fetchMiss is transposed — [level*numEvents +
+	// event] — so each lane walks one contiguous per-level run instead of
+	// striding through all levels' data.
+	mpKind    []uint8
+	fetchMiss []uint8
+
+	// Per fault-kind event, in trace order (lanes keep a running cursor);
+	// wrongMiss is per level for the same locality reason.
+	faultBlock []isa.BlockID
+	wrongMiss  [][]uint8
+
+	// Per committed LD, in stream order:
+	ldHit []bool
+
+	icStats    []cache.Stats // per level
+	icAccesses int64         // line accesses (identical at every level)
+	dcStats    cache.Stats
+	bpStats    bpred.Stats
+}
+
+// laneRing is a lane's functional-unit scoreboard: the same ring arithmetic
+// as fuRing with byte-sized counts, so the rings of a whole lockstep lane
+// group stay L1-resident together. Byte counts are safe because a slot's
+// count never exceeds NumFUs, which sweepCheck bounds at 255.
+type laneRing struct {
+	counts []uint8
+	mask   int64
+	base   int64 // counts hold cycles in [base, base+len(counts))
+}
+
+func newLaneRing() laneRing {
+	const size = 2048 // power of two; grows on demand, mirroring fuRing
+	return laneRing{counts: make([]uint8, size), mask: size - 1}
+}
+
+func (r *laneRing) advance(cycle int64) {
+	if cycle <= r.base {
+		return
+	}
+	if cycle-r.base >= int64(len(r.counts)) {
+		clear(r.counts)
+	} else {
+		for c := r.base; c < cycle; c++ {
+			r.counts[c&r.mask] = 0
+		}
+	}
+	r.base = cycle
+}
+
+func (r *laneRing) grow(cycle int64) {
+	n := len(r.counts)
+	for int64(n) <= cycle-r.base {
+		n *= 2
+	}
+	nc := make([]uint8, n)
+	nm := int64(n - 1)
+	for c := r.base; c < r.base+int64(len(r.counts)); c++ {
+		nc[c&nm] = r.counts[c&r.mask]
+	}
+	r.counts, r.mask = nc, nm
+}
+
+// sweepLane is one configuration's view of the shared pass. fm and wm are
+// this lane's level slices of sh.fetchMiss / sh.wrongMiss (nil for a perfect
+// icache).
+type sweepLane struct {
+	sh       *sweepShared
+	lp       []laneBlock
+	fm       []uint8
+	wm       []uint8
+	ring     laneRing
+	level    int // profiler level of this config's icache size; -1 = perfect
+	ldOff    int // cursor into sh.ldHit
+	faultOff int // cursor into sh.faultBlock / wm
+}
+
+// enrichSweep replays the trace once through the profiler, dcache and
+// predictor, recording per-event outcomes. base carries the shared
+// configuration (ICache.SizeBytes is ignored); sizes are the nonzero sweep
+// sizes.
+func enrichSweep(t *emu.Trace, base Config, sizes []int) (*sweepShared, error) {
+	minSize, maxSize := sizes[0], sizes[0]
+	for _, sz := range sizes[1:] {
+		if sz < minSize {
+			minSize = sz
+		}
+		if sz > maxSize {
+			maxSize = sz
+		}
+	}
+	prof, err := cache.NewStackDist(base.ICache, minSize, maxSize)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: sweep: %w", err)
+	}
+	dc, err := cache.New(base.DCache)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: sweep: dcache: %w", err)
+	}
+	prog := t.Program()
+	var pred bpred.Predictor
+	if !base.PerfectBP {
+		if prog.Kind == isa.BlockStructured {
+			pred = bpred.NewBSA(base.Predictor)
+		} else {
+			pred = bpred.NewTwoLevel(base.Predictor)
+		}
+	}
+
+	ne := t.NumEvents()
+	levels := prof.Levels()
+	sh := &sweepShared{
+		levels:    levels,
+		mpKind:    make([]uint8, ne),
+		fetchMiss: make([]uint8, ne*levels),
+		wrongMiss: make([][]uint8, levels),
+	}
+	scratch := make([]int, levels)
+	check := func() error {
+		for _, m := range scratch {
+			if m > 255 {
+				return fmt.Errorf("uarch: sweep: block spans %d missing lines, exceeds encoding", m)
+			}
+		}
+		return nil
+	}
+	ei := 0
+	err = t.Replay(func(ev *emu.BlockEvent) error {
+		b := ev.Block
+		clear(scratch)
+		prof.AccessRange(b.Addr, b.Size, scratch)
+		if err := check(); err != nil {
+			return err
+		}
+		for l, m := range scratch {
+			sh.fetchMiss[l*ne+ei] = uint8(m)
+		}
+		memIdx := 0
+		for i := range b.Ops {
+			switch b.Ops[i].Opcode {
+			case isa.LD:
+				hit := true
+				if memIdx < len(ev.MemAddrs) {
+					hit = dc.Access(ev.MemAddrs[memIdx])
+					memIdx++
+				}
+				sh.ldHit = append(sh.ldHit, hit)
+			case isa.ST:
+				if memIdx < len(ev.MemAddrs) {
+					dc.Access(ev.MemAddrs[memIdx])
+					memIdx++
+				}
+			}
+		}
+		if ev.Next != isa.NoBlock && !base.PerfectBP {
+			predicted := pred.Predict(b)
+			pred.Update(b, ev.Next, ev.Taken, ev.SuccIdx)
+			if predicted != ev.Next {
+				switch classifyMispredict(b, predicted, ev.Next) {
+				case mpMisfetch:
+					sh.mpKind[ei] = swMisfetch
+				case mpTrap:
+					sh.mpKind[ei] = swTrap
+					if wb := prog.Block(predicted); wb != nil {
+						prof.AccessRange(wb.Addr, wb.Size, nil)
+					}
+				case mpFault:
+					pb := prog.Block(predicted)
+					if pb == nil {
+						sh.mpKind[ei] = swFaultNoBlock
+						break
+					}
+					sh.mpKind[ei] = swFault
+					sh.faultBlock = append(sh.faultBlock, predicted)
+					clear(scratch)
+					prof.AccessRange(pb.Addr, pb.Size, scratch)
+					if err := check(); err != nil {
+						return err
+					}
+					for l, m := range scratch {
+						sh.wrongMiss[l] = append(sh.wrongMiss[l], uint8(m))
+					}
+				}
+			}
+		}
+		ei++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh.icStats = make([]cache.Stats, levels)
+	for l := 0; l < levels; l++ {
+		sh.icStats[l] = prof.StatsAt(l)
+	}
+	sh.icAccesses = prof.Accesses()
+	sh.dcStats = dc.Stats()
+	if pred != nil {
+		sh.bpStats = pred.Stats()
+	}
+	return sh, nil
+}
+
+// laneSchedule is scheduleOps for a lane: identical dataflow/FU arithmetic
+// over the predecoded operation table, with dcache outcomes read from the
+// shared pass instead of a live cache. Shadow (commit=false) passes assume
+// L1 load hits, exactly like scheduleOps.
+func (s *Sim) laneSchedule(lb *laneBlock, issue int64, regReady *[isa.NumRegs]int64, commit bool) schedTimes {
+	st := schedTimes{done: issue, term: issue + 1}
+	// The FU ring allocation (allocFU) is inlined with the ring state held in
+	// locals: this loop runs once per operation per lane and dominates sweep
+	// time. grow is the only call that moves counts/mask; advance (which moves
+	// base) never runs mid-block.
+	r := &s.sw.ring
+	base, mask, counts := r.base, r.mask, r.counts
+	limit := uint8(s.cfg.NumFUs)
+	var ldHit []bool
+	ldOff := 0
+	if commit {
+		ldHit = s.sw.sh.ldHit
+		ldOff = s.sw.ldOff
+	}
+	l2 := int64(s.cfg.L2Latency)
+	for i := range lb.ops {
+		op := &lb.ops[i]
+		ready := issue
+		for k := uint8(0); k < op.nReads; k++ {
+			// reads hold valid register numbers (< NumRegs) by construction;
+			// the mask only elides the bounds check.
+			if rr := regReady[op.reads[k]%isa.NumRegs]; rr > ready {
+				ready = rr
+			}
+		}
+		// No ready < base clamp is needed here (unlike allocFU): ready starts
+		// at issue, which is at or past the fetch cycle the ring base was
+		// advanced to.
+		for {
+			if ready-base >= int64(len(counts)) {
+				r.grow(ready)
+				mask, counts = r.mask, r.counts
+			}
+			if counts[ready&mask] < limit {
+				break
+			}
+			ready++
+		}
+		counts[ready&mask]++
+		lat := int64(op.lat)
+		if op.flags&laneLD != 0 && commit {
+			if !ldHit[ldOff] {
+				lat += l2
+			}
+			ldOff++
+		}
+		done := ready + lat
+		if op.w1 != 0 {
+			regReady[op.w1%isa.NumRegs] = done
+		}
+		if op.w2 != 0 {
+			regReady[op.w2%isa.NumRegs] = done
+		}
+		if op.flags&laneTerm != 0 {
+			st.term = done
+		}
+		if op.flags&laneFault != 0 && st.firstFault == 0 {
+			st.firstFault = done
+		}
+		if done > st.done {
+			st.done = done
+		}
+	}
+	if commit {
+		s.sw.ldOff = ldOff
+	}
+	return st
+}
+
+// sweepRecover is recover for a lane: the kind and the wrong-path icache
+// outcome come from the shared pass.
+func (s *Sim) sweepRecover(ei int, kind uint8, trapResolve, issue int64) (int64, bool) {
+	sw := s.sw
+	switch kind {
+	case swMisfetch:
+		s.res.Misfetches++
+		return trapResolve, false
+	case swTrap:
+		s.res.TrapMispredicts++
+		return trapResolve, false
+	case swFaultNoBlock:
+		s.res.FaultMispredicts++
+		return trapResolve, true
+	}
+	s.res.FaultMispredicts++
+	pb := &sw.lp[sw.sh.faultBlock[sw.faultOff]]
+	s.shadowRegReady = s.regReady
+	shadowIssue := issue + 1
+	if sw.wm != nil {
+		if misses := int(sw.wm[sw.faultOff]); misses > 0 {
+			shadowIssue += int64(s.cfg.L2Latency + (misses - 1))
+		}
+	}
+	sw.faultOff++
+	shadow := s.laneSchedule(pb, shadowIssue, &s.shadowRegReady, false)
+	faultResolve := shadow.firstFault
+	if faultResolve == 0 {
+		faultResolve = shadow.done
+	}
+	if faultResolve < trapResolve {
+		faultResolve = trapResolve
+	}
+	return faultResolve, true
+}
+
+// sweepStep is OnBlock for a lane: the same window, stall, retire and
+// recovery arithmetic, with every cache/predictor outcome precomputed.
+func (s *Sim) sweepStep(lb *laneBlock, ei int) {
+	sw := s.sw
+	sh := sw.sh
+
+	fetch := s.nextFetch
+	for s.winLen > 0 {
+		head := s.win[s.winHead].retire
+		if s.winLen >= s.cfg.WindowBlocks || s.winOps+lb.numOps > s.cfg.WindowOps {
+			if head > fetch {
+				s.res.FetchStallWindow += head - fetch
+				fetch = head
+			}
+			s.popWindow()
+			continue
+		}
+		if head <= fetch {
+			s.popWindow()
+			continue
+		}
+		break
+	}
+	if sw.fm != nil {
+		if misses := int(sw.fm[ei]); misses > 0 {
+			stall := int64(s.cfg.L2Latency + (misses - 1))
+			s.res.FetchStallICache += stall
+			fetch += stall
+		}
+	}
+	s.cycle = fetch
+	sw.ring.advance(fetch)
+
+	issue := fetch + int64(s.cfg.FrontEndDepth)
+	sched := s.laneSchedule(lb, issue, &s.regReady, true)
+	blockDone, trapResolve := sched.done, sched.term
+
+	retire := blockDone + 1
+	if retire <= s.lastRetire {
+		retire = s.lastRetire + 1
+	}
+	s.lastRetire = retire
+	s.pushWindow(windowEntry{retire: retire, ops: lb.numOps})
+	s.res.Ops += int64(lb.numOps)
+	s.res.Blocks++
+
+	nextFetch := fetch + lb.fetchCycles
+	if kind := sh.mpKind[ei]; kind != swNone {
+		resolve, wasFault := s.sweepRecover(ei, kind, trapResolve, issue)
+		restart := resolve + int64(s.cfg.FrontEndDepth)
+		if wasFault {
+			restart += int64(s.cfg.FaultSquashPenalty)
+		}
+		if restart > nextFetch {
+			s.res.RecoveryStall += restart - nextFetch
+			nextFetch = restart
+		}
+	}
+	s.nextFetch = nextFetch
+}
+
+// sweepFinish is Finish for a lane: shared statistics are copied into the
+// per-config result. A perfect icache reports the stream's line accesses
+// with zero misses, exactly like a live perfect cache.
+func (s *Sim) sweepFinish() *Result {
+	s.res.Cycles = s.lastRetire
+	sh := s.sw.sh
+	if s.sw.level >= 0 {
+		s.res.ICache = sh.icStats[s.sw.level]
+	} else {
+		s.res.ICache = cache.Stats{Accesses: sh.icAccesses}
+	}
+	s.res.DCache = sh.dcStats
+	s.res.Bpred = sh.bpStats
+	return &s.res
+}
+
+// normalizeSweepConfigs applies Config and cache-geometry defaults so
+// equality comparison is meaningful.
+func normalizeSweepConfigs(cfgs []Config) []Config {
+	norm := make([]Config, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg = cfg.withDefaults()
+		cfg.ICache = cfg.ICache.Normalize()
+		cfg.DCache = cfg.DCache.Normalize()
+		norm[i] = cfg
+	}
+	return norm
+}
+
+// sweepCheck validates that normalized configs are a pure icache-size sweep.
+func sweepCheck(norm []Config) error {
+	if len(norm) < 2 {
+		return fmt.Errorf("uarch: sweep: need at least 2 configurations, got %d", len(norm))
+	}
+	if norm[0].NumFUs > 255 {
+		// The lane FU scoreboard holds per-cycle byte counts.
+		return fmt.Errorf("uarch: sweep: %d functional units exceed the lane scoreboard range", norm[0].NumFUs)
+	}
+	ref := norm[0]
+	ref.ICache.SizeBytes = 0
+	nonzero := 0
+	for i, cfg := range norm {
+		if cfg.TraceCache.Enabled() || cfg.MultiBlock.Enabled() {
+			return fmt.Errorf("uarch: sweep: config %d uses a trace cache or multi-block fetch", i)
+		}
+		sz := cfg.ICache.SizeBytes
+		cfg.ICache.SizeBytes = 0
+		if cfg != ref {
+			return fmt.Errorf("uarch: sweep: config %d differs from config 0 beyond ICache.SizeBytes", i)
+		}
+		if sz != 0 {
+			nonzero++
+			ic := norm[i].ICache
+			if _, err := cache.New(ic); err != nil {
+				return fmt.Errorf("uarch: sweep: config %d: %w", i, err)
+			}
+		}
+	}
+	if nonzero == 0 {
+		return fmt.Errorf("uarch: sweep: all configurations have a perfect icache")
+	}
+	return nil
+}
+
+// CanSweepICache reports whether SweepICache accepts cfgs: at least two
+// configurations, identical except for ICache.SizeBytes (perfect allowed),
+// valid icache geometries, and no trace cache or multi-block fetch (their
+// fetch paths observe per-config timing, which breaks the shared pass).
+func CanSweepICache(cfgs []Config) bool {
+	return sweepCheck(normalizeSweepConfigs(cfgs)) == nil
+}
+
+// SweepICache simulates one trace under configurations differing only in
+// ICache.SizeBytes, replaying the trace once (plus one cheap timing lane per
+// configuration) instead of once per configuration. Results are returned in
+// configuration order and are identical, field for field, to SimulateMany on
+// the same inputs. workers bounds lane concurrency as in SimulateMany.
+func SweepICache(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	norm := normalizeSweepConfigs(cfgs)
+	if err := sweepCheck(norm); err != nil {
+		return nil, err
+	}
+	var sizes []int
+	for _, cfg := range norm {
+		if cfg.ICache.SizeBytes != 0 {
+			sizes = append(sizes, cfg.ICache.SizeBytes)
+		}
+	}
+	sh, err := enrichSweep(t, norm[0], sizes)
+	if err != nil {
+		return nil, err
+	}
+	lp := flattenSweepProgram(t.Program(), norm[0].IssueWidth)
+	ids := t.BlockIDs()
+
+	// Levels double in size starting at the smallest swept size; map each
+	// config's size to its level (validated as a legal geometry by
+	// sweepCheck, hence a power-of-two multiple of the smallest).
+	minSize := sizes[0]
+	for _, sz := range sizes[1:] {
+		if sz < minSize {
+			minSize = sz
+		}
+	}
+	levelOf := make(map[int]int)
+	for sz, lvl := minSize, 0; lvl < sh.levels; sz, lvl = sz*2, lvl+1 {
+		levelOf[sz] = lvl
+	}
+
+	sims := make([]*Sim, len(norm))
+	for i, cfg := range norm {
+		lane := &sweepLane{sh: sh, lp: lp, level: -1}
+		if cfg.ICache.SizeBytes != 0 {
+			lvl, ok := levelOf[cfg.ICache.SizeBytes]
+			if !ok {
+				return nil, fmt.Errorf("uarch: sweep: config %d: size %dB is not a profiled level", i, cfg.ICache.SizeBytes)
+			}
+			ne := len(sh.mpKind)
+			lane.level = lvl
+			lane.fm = sh.fetchMiss[lvl*ne : (lvl+1)*ne]
+			lane.wm = sh.wrongMiss[lvl]
+		}
+		lane.ring = newLaneRing()
+		sims[i] = &Sim{
+			cfg: cfg,
+			win: make([]windowEntry, cfg.WindowBlocks+1),
+			sw:  lane,
+		}
+	}
+
+	// Lanes advance through the trace in lockstep, grouped by worker: every
+	// lane in a group consumes each predecoded block back to back while it is
+	// hot in cache, instead of streaming the whole trace once per lane. Lanes
+	// never interact, so the grouping (and group count) cannot change results.
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(sims) {
+		w = len(sims)
+	}
+	results := make([]*Result, len(norm))
+	err = fanOut(w, w, func(g int) error {
+		lo := g * len(sims) / w
+		hi := (g + 1) * len(sims) / w
+		group := sims[lo:hi]
+		for ei, id := range ids {
+			lb := &lp[id]
+			for _, s := range group {
+				s.sweepStep(lb, ei)
+			}
+		}
+		for i, s := range group {
+			results[lo+i] = s.sweepFinish()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,132 @@
+package uarch
+
+import (
+	"testing"
+
+	"bsisa/internal/bpred"
+	"bsisa/internal/cache"
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// sweepGrid is the test-scale Figure 6/7 grid: a perfect reference plus
+// three sizes (listed out of order to exercise the level mapping).
+func sweepGrid(perfectBP bool) []Config {
+	var cfgs []Config
+	for _, sz := range []int{0, 2048, 1024, 4096} {
+		cfgs = append(cfgs, Config{
+			ICache:    cache.Config{SizeBytes: sz, Ways: 4},
+			PerfectBP: perfectBP,
+		})
+	}
+	return cfgs
+}
+
+// TestSweepMatchesSimulateMany is the tentpole equivalence property: over
+// randomized programs for both ISAs, SweepICache must return results
+// bitwise-identical to SimulateMany on the same trace — every field,
+// including cache statistics, misprediction counts and stall breakdowns —
+// with real and perfect branch prediction, at any worker count.
+func TestSweepMatchesSimulateMany(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(4000); seed < 4000+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		for _, kind := range []isa.Kind{isa.Conventional, isa.BlockStructured} {
+			prog, err := compile.Compile(src, "sweep", compile.DefaultOptions(kind))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if kind == isa.BlockStructured {
+				if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			tr, err := emu.Record(prog, emu.Config{MaxOps: 80_000_000})
+			if err != nil {
+				t.Fatalf("seed %d %s: record: %v", seed, kind, err)
+			}
+			for _, perfectBP := range []bool{false, true} {
+				cfgs := sweepGrid(perfectBP)
+				if !CanSweepICache(cfgs) {
+					t.Fatalf("seed %d %s: grid should be sweepable", seed, kind)
+				}
+				want, err := SimulateMany(tr, cfgs, 0)
+				if err != nil {
+					t.Fatalf("seed %d %s: simulate many: %v", seed, kind, err)
+				}
+				for _, workers := range []int{1, 3} {
+					got, err := SweepICache(tr, cfgs, workers)
+					if err != nil {
+						t.Fatalf("seed %d %s workers %d: sweep: %v", seed, kind, workers, err)
+					}
+					for i := range cfgs {
+						if *got[i] != *want[i] {
+							t.Errorf("seed %d %s perfectBP=%v workers=%d cfg %d (%dB): sweep differs\nsweep:  %+v\nreplay: %+v",
+								seed, kind, perfectBP, workers, i, cfgs[i].ICache.SizeBytes, *got[i], *want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepConfigValidation pins the accept/reject boundary of the fused
+// engine.
+func TestSweepConfigValidation(t *testing.T) {
+	ic := func(sz int) Config {
+		return Config{ICache: cache.Config{SizeBytes: sz, Ways: 4}}
+	}
+	good := [][]Config{
+		{ic(1024), ic(2048)},
+		{ic(0), ic(1024), ic(4096)},
+		{ic(2048), ic(2048)}, // duplicates are fine
+	}
+	for i, cfgs := range good {
+		if !CanSweepICache(cfgs) {
+			t.Errorf("good[%d]: CanSweepICache = false", i)
+		}
+	}
+	withPred := ic(1024)
+	withPred.Predictor = bpred.Config{HistoryBits: 4}
+	tc := ic(1024)
+	tc.TraceCache = TraceCacheConfig{Sets: 64, Ways: 4}
+	mb := ic(1024)
+	mb.MultiBlock = MultiBlockConfig{Blocks: 4}
+	bad := [][]Config{
+		{},
+		{ic(2048)},           // single config: nothing to fuse
+		{ic(0), ic(0)},       // all perfect: nothing to profile
+		{ic(1024), withPred}, // differs beyond icache size
+		{ic(1024), tc},       // trace cache observes per-config timing
+		{ic(1024), mb},       // multi-block fetch ditto
+		{ic(1024), ic(3000)}, // invalid geometry
+		{ic(1024), {ICache: cache.Config{SizeBytes: 2048, Ways: 8}}}, // ways differ
+	}
+	for i, cfgs := range bad {
+		if CanSweepICache(cfgs) {
+			t.Errorf("bad[%d]: CanSweepICache = true", i)
+		}
+		if _, err := SweepICache(nil, cfgs, 1); err == nil {
+			t.Errorf("bad[%d]: SweepICache accepted", i)
+		}
+	}
+}
+
+// TestSweepDefaultedGeometry checks that configs written with and without
+// explicit cache defaults fuse together (Ways 0 means 4).
+func TestSweepDefaultedGeometry(t *testing.T) {
+	cfgs := []Config{
+		{ICache: cache.Config{SizeBytes: 1024}},
+		{ICache: cache.Config{SizeBytes: 2048, Ways: 4, LineBytes: 64}},
+	}
+	if !CanSweepICache(cfgs) {
+		t.Error("defaulted and explicit geometries should normalize together")
+	}
+}

@@ -163,6 +163,12 @@ type Sim struct {
 	lastRetire     int64
 	res            Result
 	shadowRegReady [isa.NumRegs]int64
+
+	// sw, when non-nil, marks this Sim as a sweep lane: per-config timing
+	// state driven from shared precomputed cache/predictor outcomes instead
+	// of live ic/dc/pred models (see sweep.go). Lanes never touch ic, dc or
+	// pred.
+	sw *sweepLane
 }
 
 type windowEntry struct {
@@ -486,26 +492,37 @@ func (s *Sim) scheduleOps(b *isa.Block, memAddrs []uint32, issue int64, regReady
 	return st
 }
 
-// recover models misprediction recovery after block b predicted `predicted`
-// but the machine should fetch `actual`. It classifies the event and returns
-// the cycle at which the misprediction resolves, and whether it was a fault
-// (variant) misprediction, which carries the block-squash penalty.
-func (s *Sim) recover(b *isa.Block, predicted, actual isa.BlockID, trapResolve, issue int64) (int64, bool) {
+// mpKind classifies a misprediction event. The classification depends only
+// on the program structure and the predicted/actual block IDs — never on
+// timing state — so the sweep engine computes it once per event and every
+// lane replays the same kind (see sweep.go).
+type mpKind uint8
+
+const (
+	mpNone mpKind = iota
+	// mpMisfetch: the frontend had no target (BTB/RAS miss); fetch waits
+	// for the transfer to execute.
+	mpMisfetch
+	// mpTrap: wrong direction or wrong indirect target; resolved when the
+	// terminator executes. The wrong-path block still went through the
+	// icache (pollution).
+	mpTrap
+	// mpFault: right direction, wrong enlarged variant; the wrongly fetched
+	// block shadow-issues until its firing fault resolves.
+	mpFault
+)
+
+// classifyMispredict determines how block b's misprediction of `predicted`
+// (actual next block `actual`, known unequal) recovers.
+func classifyMispredict(b *isa.Block, predicted, actual isa.BlockID) mpKind {
 	if predicted == isa.NoBlock {
-		// The frontend had no target (BTB/RAS miss): fetch waits for the
-		// transfer to execute.
-		s.res.Misfetches++
-		return trapResolve, false
+		return mpMisfetch
 	}
 	if t := b.Terminator(); t != nil && t.Opcode == isa.JR {
 		// A mispredicted indirect jump resolves when the jump executes: an
 		// ordinary misprediction, not a block squash (the jump-table target
 		// is not an enlarged variant of anything).
-		s.res.TrapMispredicts++
-		if wb := s.prog.Block(predicted); wb != nil {
-			s.ic.AccessRange(wb.Addr, wb.Size)
-		}
-		return trapResolve, false
+		return mpTrap
 	}
 	idxP := b.SuccIndex(predicted)
 	idxA := b.SuccIndex(actual)
@@ -521,8 +538,21 @@ func (s *Sim) recover(b *isa.Block, predicted, actual isa.BlockID, trapResolve, 
 		}
 	}
 	if !sameGroup {
-		// Direction misprediction: resolved when the trap/branch executes.
-		// The wrong-path block still went through the icache (pollution).
+		return mpTrap
+	}
+	return mpFault
+}
+
+// recover models misprediction recovery after block b predicted `predicted`
+// but the machine should fetch `actual`. It classifies the event and returns
+// the cycle at which the misprediction resolves, and whether it was a fault
+// (variant) misprediction, which carries the block-squash penalty.
+func (s *Sim) recover(b *isa.Block, predicted, actual isa.BlockID, trapResolve, issue int64) (int64, bool) {
+	switch classifyMispredict(b, predicted, actual) {
+	case mpMisfetch:
+		s.res.Misfetches++
+		return trapResolve, false
+	case mpTrap:
 		s.res.TrapMispredicts++
 		if wb := s.prog.Block(predicted); wb != nil {
 			s.ic.AccessRange(wb.Addr, wb.Size)
