@@ -10,9 +10,11 @@
 // ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
 // sweepspeed summary all (default: the paper's tables and figures).
 //
-// -json additionally writes each experiment's results to BENCH_<name>.json —
-// machine-readable columns/rows plus the wall time — so the perf trajectory
-// is tracked across changes. -cpuprofile and -memprofile write pprof data
+// -json additionally writes each experiment's results to BENCH_<name>.json
+// using the same versioned svc.SimResponse envelope the bsimd service
+// answers with — machine-readable columns/rows plus the wall time — so the
+// perf trajectory is tracked across changes and one schema covers both
+// offline and service output. -cpuprofile and -memprofile write pprof data
 // covering the whole run (compilation, trace recording, and simulation), so
 // performance work on the pipeline can be grounded in measured hot paths.
 package main
@@ -29,17 +31,8 @@ import (
 
 	"bsisa/internal/harness"
 	"bsisa/internal/stats"
+	"bsisa/internal/svc"
 )
-
-// benchJSON is the machine-readable form of one experiment run.
-type benchJSON struct {
-	Experiment string     `json:"experiment"`
-	Title      string     `json:"title"`
-	Scale      float64    `json:"scale"`
-	WallMs     int64      `json:"wall_ms"`
-	Columns    []string   `json:"columns"`
-	Rows       [][]string `json:"rows"`
-}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size scale factor")
@@ -120,15 +113,15 @@ func main() {
 }
 
 // writeJSON records one experiment's table and wall time as
-// BENCH_<name>.json in the current directory.
+// BENCH_<name>.json in the current directory, in the same versioned
+// envelope the bsimd service answers with.
 func writeJSON(name string, scale float64, wall time.Duration, tbl *stats.Table) error {
-	out := benchJSON{
+	out := svc.SimResponse{
+		Version:    svc.SchemaVersion,
 		Experiment: name,
-		Title:      tbl.Title,
 		Scale:      scale,
 		WallMs:     wall.Milliseconds(),
-		Columns:    tbl.Columns,
-		Rows:       tbl.Rows,
+		Table:      svc.TableOf(tbl),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -1,0 +1,111 @@
+// bsimd is the simulation service daemon: an HTTP/JSON API over the
+// compile → enlarge → trace → simulate pipeline, with a bounded worker
+// pool, per-job deadlines, an artifact cache that lets repeated sweeps over
+// the same program skip compilation and trace recording, Prometheus-text
+// metrics, pprof, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	bsimd [-addr :8023] [-workers N] [-queue N] [-job-workers N]
+//	      [-timeout D] [-cache-programs N] [-cache-traces N]
+//	      [-log text|json] [-smoke]
+//
+// Endpoints:
+//
+//	POST /v1/sim        submit a svc.SimRequest, receive a svc.SimResponse
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text format
+//	     /debug/pprof/  runtime profiling
+//
+// -smoke runs the self-check the CI service-smoke stage uses: it starts a
+// server on an ephemeral port, submits a Figure-6-style icache sweep over
+// HTTP, recomputes the same sweep through the direct library path, and
+// fails unless the answers match field for field; it then fires 32
+// concurrent requests at the now-cached program and verifies the artifact
+// cache hits are visible on /metrics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bsisa/internal/svc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8023", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 2*workers)")
+	jobWorkers := flag.Int("job-workers", 0, "per-job engine concurrency (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+	cacheProgs := flag.Int("cache-programs", 0, "compiled-program cache entries (0 = default)")
+	cacheTraces := flag.Int("cache-traces", 0, "recorded-trace cache entries (0 = default)")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	smoke := flag.Bool("smoke", false, "run the self-check against an ephemeral server and exit")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "bsimd: unknown -log format %q\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	cfg := svc.ServerConfig{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		JobWorkers:          *jobWorkers,
+		DefaultTimeout:      *timeout,
+		ProgramCacheEntries: *cacheProgs,
+		TraceCacheEntries:   *cacheTraces,
+		Logger:              logger,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "bsimd: smoke FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bsimd: smoke PASS")
+		return
+	}
+
+	server := svc.NewServer(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("bsimd listening", "addr", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logger.Info("shutting down: draining in-flight jobs", "signal", sig.String())
+		// Stop accepting connections and wait for in-flight handlers —
+		// each of which is waiting on its job — then drain the pool.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Warn("http shutdown", "err", err)
+		}
+		server.Close()
+		logger.Info("drained, exiting")
+	case err := <-errCh:
+		logger.Error("serve failed", "err", err)
+		server.Close()
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/svc"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+// smokeScale keeps the smoke run fast: the same reduced scale the CI
+// bench-smoke stage uses.
+const smokeScale = 0.05
+
+// smokeRequest is a Figure-6-style question: the compress benchmark,
+// conventional ISA, perfect reference plus the scaled 8/16/32 KB icache
+// grid.
+func smokeRequest(id string) *svc.SimRequest {
+	return &svc.SimRequest{
+		Version: svc.SchemaVersion,
+		ID:      id,
+		Program: svc.ProgramSpec{Workload: "compress", Scale: smokeScale, ISA: "conv"},
+		Sweep:   &svc.SweepSpec{ICacheSizes: []int{0, 8 * 1024, 16 * 1024, 32 * 1024}},
+	}
+}
+
+// runSmoke is the CI service-smoke stage: equivalence against the direct
+// library path, then a 32-way concurrent load against the cached program
+// with the hit rate checked on /metrics.
+func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
+	server := svc.NewServer(cfg)
+	defer server.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: server.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	if err := checkHealth(base); err != nil {
+		return err
+	}
+
+	// 1. Figure-6-style sweep over HTTP vs the direct library path.
+	got, err := postSim(base, smokeRequest("smoke-equivalence"))
+	if err != nil {
+		return err
+	}
+	want, err := directSweep(smokeRequest(""))
+	if err != nil {
+		return fmt.Errorf("direct path: %w", err)
+	}
+	if got.Engine != "sweep-icache" {
+		return fmt.Errorf("service routed the sweep through %q, want the fused engine", got.Engine)
+	}
+	if len(got.Results) != len(want) {
+		return fmt.Errorf("service returned %d results, want %d", len(got.Results), len(want))
+	}
+	for i := range want {
+		if got.Results[i] != want[i] {
+			return fmt.Errorf("config %d diverges from the CLI path\nservice: %+v\ndirect:  %+v",
+				i, got.Results[i], want[i])
+		}
+	}
+	logger.Info("smoke: service sweep matches direct path field-for-field", "configs", len(want))
+
+	// 2. 32 concurrent requests against the now-cached program.
+	const load = 32
+	var wg sync.WaitGroup
+	errs := make([]error, load)
+	start := time.Now()
+	for i := 0; i < load; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := postSim(base, smokeRequest(fmt.Sprintf("smoke-load-%d", i)))
+			if err == nil && resp.ArtifactCache != nil && !resp.ArtifactCache.Trace {
+				err = fmt.Errorf("request %d missed the trace cache", i)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	logger.Info("smoke: concurrent load done", "requests", load, "wall", time.Since(start).Round(time.Millisecond))
+
+	// 3. The cache hit rate must be visible on /metrics.
+	metrics, err := fetch(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, needle := range []string{
+		`bsimd_artifact_cache_events_total{cache="trace",event="hit"}`,
+		`bsimd_artifact_cache_events_total{cache="program",event="hit"}`,
+		`bsimd_stage_seconds_count{stage="sweep"}`,
+	} {
+		v, ok := metricValue(metrics, needle)
+		if !ok {
+			return fmt.Errorf("metric %s missing from /metrics", needle)
+		}
+		if v < float64(load) {
+			return fmt.Errorf("metric %s = %g, want >= %d", needle, v, load)
+		}
+	}
+	logger.Info("smoke: cache hit rate visible on /metrics")
+	return nil
+}
+
+// directSweep computes the same answer bsim -sweep-icache would: compile,
+// record, and run the sweep engine directly, using svc.BuildConfig for the
+// configs so the service and the check share one config-assembly path.
+func directSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
+	plan, err := svc.BuildConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	prof, ok := workload.ProfileByName("compress", smokeScale)
+	if !ok {
+		return nil, fmt.Errorf("no compress profile")
+	}
+	src, err := workload.Source(prof)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compile.Compile(src, "compress", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if !uarch.CanSweepICache(plan.Configs) {
+		return nil, fmt.Errorf("smoke grid should be sweepable")
+	}
+	rs, err := uarch.SweepICache(tr, plan.Configs, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]svc.SimResult, len(rs))
+	for i, r := range rs {
+		out[i] = svc.ResultOf(plan.ICacheBytes[i], r)
+	}
+	return out, nil
+}
+
+func postSim(base string, req *svc.SimRequest) (*svc.SimResponse, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := http.Post(base+"/v1/sim", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var resp svc.SimResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("bad response body: %v\n%s", err, body)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", httpResp.StatusCode, resp.Error)
+	}
+	return &resp, nil
+}
+
+func checkHealth(base string) error {
+	body, err := fetch(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, "ok") {
+		return fmt.Errorf("healthz: %q", body)
+	}
+	return nil
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// metricValue extracts a sample value from Prometheus text format by exact
+// series-name prefix.
+func metricValue(text, series string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -36,6 +36,11 @@ func (c Config) withDefaults() Config {
 // describing the same geometry compare equal.
 func (c Config) Normalize() Config { return c.withDefaults() }
 
+// Validate reports whether the configuration (after defaulting) describes a
+// legal geometry: the same check New applies, exposed so callers can reject
+// a bad config before building anything.
+func (c Config) Validate() error { return c.withDefaults().validate() }
+
 // validate rejects geometry that would silently produce a nonsense set
 // count: non-positive or non-power-of-two associativity or line size, and a
 // capacity that is not an exact power-of-two number of sets.

@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,12 +78,33 @@ func Record(prog *isa.Program, cfg Config) (*Trace, error) {
 // is reused between invocations and must not be retained; MemAddrs slices
 // alias the trace and must not be mutated.
 func (t *Trace) Replay(handler Handler) error {
+	return t.ReplayContext(context.Background(), handler)
+}
+
+// replayChunk is how many events ReplayContext delivers between context
+// checks: large enough that the check is free against the per-event work,
+// small enough that cancellation of a multi-million-block replay lands
+// within microseconds. Power of two so the check is a mask, not a modulo.
+const replayChunk = 4096
+
+// ReplayContext is Replay with cooperative cancellation: between chunks of
+// replayChunk events it checks ctx and stops with ctx.Err() as soon as the
+// context is done. A nil ctx replays to completion.
+func (t *Trace) ReplayContext(ctx context.Context, handler Handler) error {
 	if handler == nil {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var ev BlockEvent
 	memPos := 0
 	for i, id := range t.blocks {
+		if i&(replayChunk-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ev.Block = t.prog.Blocks[id]
 		n := int(t.memCnt[id])
 		ev.MemAddrs = t.mem[memPos : memPos+n : memPos+n]

@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -64,6 +65,20 @@ type Options struct {
 	// execution. Results are identical at every worker count (the
 	// determinism test in replay_test.go pins this).
 	Workers int
+	// Context, when non-nil, cancels in-flight experiment fan-outs
+	// cooperatively: preparation and simulation workers stop between work
+	// items (and mid-replay, between trace chunks) once it is done, and the
+	// harness call returns an error matching the context's. Nil means
+	// context.Background() — run to completion.
+	Context context.Context
+}
+
+// ctx resolves the effective cancellation context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // workers resolves the effective worker count.
@@ -76,13 +91,17 @@ func (o Options) workers() int {
 
 // forEachIndex runs fn(0..n-1) over at most `workers` goroutines and returns
 // the first error. Each index is handed to exactly one worker, so writes to
-// index-i slots need no locking.
-func forEachIndex(n, workers int, fn func(i int) error) error {
+// index-i slots need no locking. A done context stops the dispatch of
+// further indices; the call returns only after every worker has exited.
+func forEachIndex(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -101,8 +120,14 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -111,7 +136,7 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 			return e
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 func (o Options) progress(format string, args ...any) {
@@ -166,7 +191,7 @@ func New(opts Options) (*Harness, error) {
 	h := &Harness{Opts: opts, results: map[string]*uarch.Result{}}
 	profiles := workload.Profiles(opts.Scale)
 	h.Benches = make([]*Bench, len(profiles))
-	err := forEachIndex(len(profiles), opts.workers(), func(i int) error {
+	err := forEachIndex(opts.ctx(), len(profiles), opts.workers(), func(i int) error {
 		opts.progress("compile %-8s ...", profiles[i].Name)
 		b, err := prepare(profiles[i])
 		if err != nil {
@@ -300,9 +325,9 @@ func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config)
 		}
 		var rs []*uarch.Result
 		if uarch.CanSweepICache(need) {
-			rs, err = uarch.SweepICache(tr, need, h.Opts.workers())
+			rs, err = uarch.SweepICacheContext(h.Opts.ctx(), tr, need, h.Opts.workers())
 		} else {
-			rs, err = uarch.SimulateMany(tr, need, h.Opts.workers())
+			rs, err = uarch.SimulateManyContext(h.Opts.ctx(), tr, need, h.Opts.workers())
 		}
 		if err != nil {
 			return nil, fmt.Errorf("harness: run %s: %w", keys[missing[0]], err)
@@ -330,7 +355,7 @@ func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config)
 // forEachBench runs fn for every benchmark index over the configured worker
 // pool and returns the first error.
 func (h *Harness) forEachBench(fn func(i int) error) error {
-	return forEachIndex(len(h.Benches), h.Opts.workers(), fn)
+	return forEachIndex(h.Opts.ctx(), len(h.Benches), h.Opts.workers(), fn)
 }
 
 // pairResults runs conventional and block-structured executables of every

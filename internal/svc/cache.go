@@ -1,0 +1,124 @@
+package svc
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// artifactCache is a keyed, bounded, single-flight LRU cache for expensive
+// request-independent artifacts: compiled programs and recorded
+// committed-block traces. Concurrent requests for the same key share one
+// build (the PR-1 trace memo's single-flight discipline, promoted to a
+// cross-request subsystem); completed entries are reused in LRU order up to
+// the capacity bound.
+//
+// Eviction is by entry count, not bytes: entries (traces especially) vary in
+// size, but the service's working set is "programs under active sweep", for
+// which a small count bound is the honest knob. An in-flight entry can be
+// evicted by a burst of new keys; its waiters keep a direct pointer and
+// still receive the value, the artifact just is not reused afterwards.
+//
+// Build failures are never cached: the failed entry is removed so a
+// transient failure does not poison the key.
+type artifactCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed once val/err are set
+	val   any
+	err   error
+}
+
+func newArtifactCache(capacity int) *artifactCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &artifactCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// do returns the cached value for key, building it with build on a miss.
+// Exactly one caller builds a given key at a time; the rest block until the
+// build completes. hit reports whether this call reused an existing entry
+// (possibly waiting for an in-flight build).
+func (c *artifactCache) do(key string, build func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, true, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(e)
+	c.entries[key] = el
+	c.misses++
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	e.val, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.val, false, e.err
+}
+
+// cacheCounters is a consistent snapshot of the cache's counters.
+type cacheCounters struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+func (c *artifactCache) counters() cacheCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheCounters{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
+// programKey derives the artifact key of a normalized ProgramSpec: a hash of
+// its canonical JSON, so two requests describing the same program — source
+// text, seed or workload+scale, ISA, enlargement parameters — collide onto
+// one compiled artifact regardless of field order or aliases in the wire
+// form (BuildConfig normalized those already).
+func programKey(p ProgramSpec) string {
+	blob, err := json.Marshal(p)
+	if err != nil {
+		// ProgramSpec contains only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("svc: programKey: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
+// traceKey derives the trace artifact key: the program plus the emulation
+// budget (the committed stream depends on both, and nothing else).
+func traceKey(progKey string, emuMaxOps int64) string {
+	return fmt.Sprintf("%s/emu=%d", progKey, emuMaxOps)
+}

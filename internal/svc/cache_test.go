@@ -1,0 +1,151 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestArtifactCacheSingleFlight hammers one key from many goroutines and
+// requires exactly one build: the single-flight property under -race.
+func TestArtifactCacheSingleFlight(t *testing.T) {
+	c := newArtifactCache(4)
+	var builds atomic.Int64
+	release := make(chan struct{})
+
+	const callers = 64
+	var wg sync.WaitGroup
+	vals := make([]any, callers)
+	hits := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.do("k", func() (any, error) {
+				builds.Add(1)
+				<-release // hold the build open so every caller piles up
+				return "artifact", nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i], hits[i] = v, hit
+		}(i)
+	}
+	// Let callers accumulate, then release the one in-flight build.
+	for c.counters().Misses == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("built %d times, want 1", n)
+	}
+	misses := 0
+	for i := range vals {
+		if vals[i] != "artifact" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d callers report a miss, want exactly 1 (the builder)", misses)
+	}
+	cc := c.counters()
+	if cc.Misses != 1 || cc.Hits != callers-1 || cc.Entries != 1 {
+		t.Fatalf("counters = %+v, want 1 miss / %d hits / 1 entry", cc, callers-1)
+	}
+}
+
+func TestArtifactCacheLRUEviction(t *testing.T) {
+	c := newArtifactCache(2)
+	get := func(key string) {
+		t.Helper()
+		if _, _, err := c.do(key, func() (any, error) { return key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a, so c must evict b
+	get("c")
+	cc := c.counters()
+	if cc.Entries != 2 || cc.Evictions != 1 {
+		t.Fatalf("counters = %+v, want 2 entries / 1 eviction", cc)
+	}
+	before := c.counters().Misses
+	get("a") // still resident
+	get("b") // evicted: rebuilds
+	cc = c.counters()
+	if cc.Misses != before+1 {
+		t.Fatalf("misses went %d -> %d, want exactly one new miss (b)", before, cc.Misses)
+	}
+}
+
+func TestArtifactCacheFailureNotCached(t *testing.T) {
+	c := newArtifactCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	build := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := c.do("k", build); !errors.Is(err, boom) {
+		t.Fatalf("first call: %v, want boom", err)
+	}
+	v, hit, err := c.do("k", build)
+	if err != nil || v != "ok" {
+		t.Fatalf("second call: %v, %v", v, err)
+	}
+	if hit {
+		t.Fatal("second call reported a hit; the failed entry should have been dropped")
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2", calls)
+	}
+}
+
+// TestArtifactCacheConcurrentChurn races many goroutines over a keyspace
+// larger than the capacity so hits, misses, in-flight sharing, and eviction
+// all interleave. The invariants: every caller gets its key's value, and the
+// resident set never exceeds capacity. Run with -race.
+func TestArtifactCacheConcurrentChurn(t *testing.T) {
+	const capEntries = 4
+	c := newArtifactCache(capEntries)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%10)
+				v, _, err := c.do(key, func() (any, error) { return "v-" + key, nil })
+				if err != nil {
+					t.Errorf("do(%s): %v", key, err)
+					return
+				}
+				if v != "v-"+key {
+					t.Errorf("do(%s) = %v", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	cc := c.counters()
+	if cc.Entries > capEntries {
+		t.Fatalf("resident entries %d exceed capacity %d", cc.Entries, capEntries)
+	}
+	if cc.Hits+cc.Misses != 16*200 {
+		t.Fatalf("hits+misses = %d, want %d", cc.Hits+cc.Misses, 16*200)
+	}
+}

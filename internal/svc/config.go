@@ -1,0 +1,199 @@
+package svc
+
+import (
+	"fmt"
+	"time"
+
+	"bsisa/internal/cache"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+// Plan is a fully validated execution plan compiled from a SimRequest: the
+// normalized program spec, the emulation budget, and the concrete timing
+// configurations to run. Everything downstream (worker, artifact cache,
+// engines) consumes the Plan; nothing re-validates.
+type Plan struct {
+	// Program is the request's program spec with aliases and defaults
+	// resolved (canonical ISA name, workload scale filled in). It is the
+	// artifact cache key material.
+	Program ProgramSpec
+	// EmuCfg bounds trace recording.
+	EmuCfg emu.Config
+	// Configs are the validated timing configurations, in response order.
+	Configs []uarch.Config
+	// ICacheBytes echoes each config's icache size for the response.
+	ICacheBytes []int
+	// Sweep records whether the request was a SweepSpec (the response
+	// renders a sweep table).
+	Sweep bool
+	// Timeout is the requested per-job deadline (0 = server default).
+	Timeout time.Duration
+}
+
+// Kind returns the plan's target ISA.
+func (p *Plan) Kind() isa.Kind {
+	if p.Program.ISA == isaBlockStructured {
+		return isa.BlockStructured
+	}
+	return isa.Conventional
+}
+
+// EnlargeParams returns the core enlargement parameters for block-structured
+// plans.
+func (p *Plan) EnlargeParams() core.Params {
+	if p.Program.Enlarge == nil {
+		return core.Params{}
+	}
+	e := p.Program.Enlarge
+	return core.Params{MaxOps: e.MaxOps, MaxFaults: e.MaxFaults, MaxSuccs: e.MaxSuccs}
+}
+
+// Canonical ISA names (aliases "conv" and "bsa" normalize to these).
+const (
+	isaConventional    = "conventional"
+	isaBlockStructured = "block-structured"
+)
+
+// BuildConfig validates a decoded SimRequest and compiles it into a Plan.
+// It is the single config-assembly path for the service: every failure
+// wraps one of the typed sentinels (ErrBadProgram, ErrBadGeometry,
+// ErrBadSweep, ErrBadRequest), so callers classify with errors.Is instead
+// of parsing message text.
+func BuildConfig(req *SimRequest) (*Plan, error) {
+	if req.Version != SchemaVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, req.Version, SchemaVersion)
+	}
+	prog, err := normalizeProgram(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	if req.EmuMaxOps < 0 {
+		return nil, fmt.Errorf("%w: negative emulation budget %d", ErrBadRequest, req.EmuMaxOps)
+	}
+	if req.TimeoutMs < 0 {
+		return nil, fmt.Errorf("%w: negative timeout %dms", ErrBadRequest, req.TimeoutMs)
+	}
+	plan := &Plan{
+		Program: prog,
+		EmuCfg:  emu.Config{MaxOps: req.EmuMaxOps},
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	}
+	switch {
+	case req.Config != nil && req.Sweep != nil:
+		return nil, fmt.Errorf("%w: request sets both config and sweep", ErrBadRequest)
+	case req.Config != nil:
+		cfg := req.Config.toUarch()
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadGeometry, err)
+		}
+		plan.Configs = []uarch.Config{cfg}
+		plan.ICacheBytes = []int{cfg.ICache.SizeBytes}
+	case req.Sweep != nil:
+		if len(req.Sweep.ICacheSizes) == 0 {
+			return nil, fmt.Errorf("%w: no icache sizes", ErrBadSweep)
+		}
+		base := ConfigSpec{}
+		if req.Sweep.Base != nil {
+			base = *req.Sweep.Base
+		}
+		if base.ICache == nil {
+			// The bsbench/bsim sweep geometry: 4-way, default lines.
+			base.ICache = &CacheSpec{Ways: 4}
+		}
+		for _, sz := range req.Sweep.ICacheSizes {
+			if sz < 0 {
+				return nil, fmt.Errorf("%w: negative icache size %d", ErrBadSweep, sz)
+			}
+			spec := base
+			ic := *base.ICache
+			ic.SizeBytes = sz
+			spec.ICache = &ic
+			cfg := spec.toUarch()
+			if err := cfg.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: size %dB: %v", ErrBadSweep, sz, err)
+			}
+			plan.Configs = append(plan.Configs, cfg)
+			plan.ICacheBytes = append(plan.ICacheBytes, sz)
+		}
+		plan.Sweep = true
+	default:
+		return nil, fmt.Errorf("%w: request sets neither config nor sweep", ErrBadRequest)
+	}
+	return plan, nil
+}
+
+// normalizeProgram validates a ProgramSpec and resolves aliases/defaults.
+func normalizeProgram(p ProgramSpec) (ProgramSpec, error) {
+	sources := 0
+	if p.Source != "" {
+		sources++
+	}
+	if p.Seed != nil {
+		sources++
+	}
+	if p.Workload != "" {
+		sources++
+	}
+	if sources != 1 {
+		return p, fmt.Errorf("%w: exactly one of source, seed, workload must be set (got %d)",
+			ErrBadProgram, sources)
+	}
+	if p.Workload != "" {
+		if p.Scale == 0 {
+			p.Scale = 1
+		}
+		if p.Scale < 0 {
+			return p, fmt.Errorf("%w: negative workload scale %g", ErrBadProgram, p.Scale)
+		}
+		if _, ok := workload.ProfileByName(p.Workload, p.Scale); !ok {
+			return p, fmt.Errorf("%w: unknown workload %q", ErrBadProgram, p.Workload)
+		}
+	} else if p.Scale != 0 {
+		return p, fmt.Errorf("%w: scale is only valid with a workload program", ErrBadProgram)
+	}
+	switch p.ISA {
+	case isaConventional, "conv":
+		p.ISA = isaConventional
+	case isaBlockStructured, "bsa":
+		p.ISA = isaBlockStructured
+	default:
+		return p, fmt.Errorf("%w: unknown ISA %q (want %q or %q)",
+			ErrBadProgram, p.ISA, isaConventional, isaBlockStructured)
+	}
+	if p.Enlarge != nil {
+		if p.ISA != isaBlockStructured {
+			return p, fmt.Errorf("%w: enlargement parameters require the block-structured ISA", ErrBadProgram)
+		}
+		e := p.Enlarge
+		if e.MaxOps < 0 || e.MaxFaults < -1 || e.MaxSuccs < 0 {
+			return p, fmt.Errorf("%w: negative enlargement parameter", ErrBadProgram)
+		}
+	}
+	return p, nil
+}
+
+// toUarch maps a ConfigSpec onto uarch.Config (zero fields keep the paper's
+// defaults, exactly as the CLI tools' flag defaults do).
+func (c ConfigSpec) toUarch() uarch.Config {
+	cfg := uarch.Config{
+		IssueWidth:         c.IssueWidth,
+		WindowBlocks:       c.WindowBlocks,
+		WindowOps:          c.WindowOps,
+		NumFUs:             c.NumFUs,
+		FrontEndDepth:      c.FrontEndDepth,
+		L2Latency:          c.L2Latency,
+		FaultSquashPenalty: c.FaultSquashPenalty,
+		PerfectBP:          c.PerfectBP,
+	}
+	if c.ICache != nil {
+		cfg.ICache = cache.Config{SizeBytes: c.ICache.SizeBytes, Ways: c.ICache.Ways, LineBytes: c.ICache.LineBytes}
+	}
+	if c.DCache != nil {
+		cfg.DCache = cache.Config{SizeBytes: c.DCache.SizeBytes, Ways: c.DCache.Ways, LineBytes: c.DCache.LineBytes}
+	}
+	return cfg
+}

@@ -1,0 +1,184 @@
+package svc
+
+import (
+	"fmt"
+	"time"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/stats"
+	"bsisa/internal/testgen"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+// Engine names reported in responses and logs.
+const (
+	engineSweep = "sweep-icache"
+	engineMany  = "simulate-many"
+)
+
+// builtProgram is the program artifact cached across requests.
+type builtProgram struct {
+	prog    *isa.Program
+	enlarge *core.Stats // nil for conventional programs
+}
+
+// execute runs one job end to end: program (cached) → trace (cached) →
+// timing engine, with the same routing rule as the CLI tools — the fused
+// single-pass sweep engine whenever the config batch qualifies, per-config
+// replay otherwise — so service answers are field-for-field identical to
+// CLI answers. The returned error (also recorded in the envelope's Error
+// field) classifies the failure for the HTTP layer.
+func (s *Server) execute(j *job) (*SimResponse, error) {
+	start := time.Now()
+	plan := j.plan
+	resp := &SimResponse{Version: SchemaVersion, ID: j.req.ID, Experiment: "sim"}
+	if plan.Sweep {
+		resp.Experiment = "sweep"
+	}
+	if plan.Program.Workload != "" {
+		resp.Scale = plan.Program.Scale
+	}
+
+	fail := func(err error) (*SimResponse, error) {
+		resp.Error = err.Error()
+		resp.WallMs = time.Since(start).Milliseconds()
+		s.cfg.Logger.Warn("job failed",
+			"job", j.id, "id", j.req.ID, "experiment", resp.Experiment,
+			"wall_ms", resp.WallMs, "err", err.Error())
+		return resp, err
+	}
+
+	if err := j.ctx.Err(); err != nil {
+		return fail(err)
+	}
+
+	// Program artifact: compile (and enlarge) once per distinct spec.
+	progKey := programKey(plan.Program)
+	pv, progHit, err := s.programs.do(progKey, func() (any, error) {
+		t0 := time.Now()
+		bp, err := buildProgram(plan)
+		s.metrics.observeStage(stageCompile, time.Since(t0))
+		return bp, err
+	})
+	if err != nil {
+		return fail(err)
+	}
+	bp := pv.(*builtProgram)
+
+	// Trace artifact: record the committed stream once per program+budget.
+	tv, traceHit, err := s.traces.do(traceKey(progKey, plan.EmuCfg.MaxOps), func() (any, error) {
+		t0 := time.Now()
+		tr, err := emu.Record(bp.prog, plan.EmuCfg)
+		s.metrics.observeStage(stageTrace, time.Since(t0))
+		return tr, err
+	})
+	if err != nil {
+		return fail(err)
+	}
+	tr := tv.(*emu.Trace)
+	resp.ArtifactCache = &ArtifactHits{Program: progHit, Trace: traceHit}
+
+	// Timing: same routing as harness.runMany / bsim -sweep-icache.
+	engine, stage := engineMany, stageReplay
+	if uarch.CanSweepICache(plan.Configs) {
+		engine, stage = engineSweep, stageSweep
+	}
+	resp.Engine = engine
+	t0 := time.Now()
+	var results []*uarch.Result
+	if engine == engineSweep {
+		results, err = uarch.SweepICacheContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
+	} else {
+		results, err = uarch.SimulateManyContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
+	}
+	engineWall := time.Since(t0)
+	s.metrics.observeStage(stage, engineWall)
+	if err != nil {
+		return fail(err)
+	}
+
+	resp.Results = make([]SimResult, len(results))
+	for i, r := range results {
+		resp.Results[i] = ResultOf(plan.ICacheBytes[i], r)
+	}
+	resp.Table = renderTable(plan, resp.Results)
+	resp.WallMs = time.Since(start).Milliseconds()
+	s.cfg.Logger.Info("job done",
+		"job", j.id, "id", j.req.ID, "experiment", resp.Experiment, "engine", engine,
+		"configs", len(plan.Configs), "events", tr.NumEvents(),
+		"program_cache_hit", progHit, "trace_cache_hit", traceHit,
+		"engine_ms", engineWall.Milliseconds(), "wall_ms", resp.WallMs)
+	return resp, nil
+}
+
+// buildProgram compiles (and, for the block-structured ISA, enlarges) the
+// plan's program. Jobs waiting on the same artifact share this build, so it
+// deliberately takes no context: a canceled first requester must not abort
+// an artifact that other requests are queued on.
+func buildProgram(plan *Plan) (*builtProgram, error) {
+	p := plan.Program
+	var src, name string
+	switch {
+	case p.Source != "":
+		src, name = p.Source, "request"
+	case p.Seed != nil:
+		src, name = testgen.Program(*p.Seed), fmt.Sprintf("seed-%d", *p.Seed)
+	default:
+		prof, ok := workload.ProfileByName(p.Workload, p.Scale)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown workload %q", ErrBadProgram, p.Workload)
+		}
+		var err error
+		src, err = workload.Source(prof)
+		if err != nil {
+			return nil, err
+		}
+		name = p.Workload
+	}
+	kind := plan.Kind()
+	prog, err := compile.Compile(src, name, compile.DefaultOptions(kind))
+	if err != nil {
+		// The program came from the request, so a compile failure is a
+		// client error.
+		return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
+	}
+	bp := &builtProgram{prog: prog}
+	if kind == isa.BlockStructured {
+		st, err := core.Enlarge(prog, plan.EnlargeParams())
+		if err != nil {
+			return nil, err
+		}
+		bp.enlarge = st
+	}
+	return bp, nil
+}
+
+// renderTable renders the human-oriented table for a service response,
+// mirroring bsim's sweep output columns.
+func renderTable(plan *Plan, results []SimResult) *Table {
+	t := &stats.Table{
+		Columns: []string{"ICache", "Cycles", "IPC", "ICMiss%", "Mispredicts"},
+	}
+	if plan.Sweep {
+		t.Title = fmt.Sprintf("ICache sweep (%s)", plan.Program.ISA)
+	} else {
+		t.Title = fmt.Sprintf("Timing (%s)", plan.Program.ISA)
+	}
+	for _, r := range results {
+		label := fmt.Sprintf("%dB", r.ICacheBytes)
+		if r.ICacheBytes == 0 {
+			label = "perfect"
+		}
+		miss := 0.0
+		if r.ICache.Accesses > 0 {
+			miss = 100 * float64(r.ICache.Misses) / float64(r.ICache.Accesses)
+		}
+		t.AddRow(label, r.Cycles, r.IPC, fmt.Sprintf("%.2f", miss),
+			r.TrapMispredicts+r.FaultMispredicts+r.Misfetches)
+	}
+	return TableOf(t)
+}

@@ -1,0 +1,227 @@
+// Package svc is the simulation service layer: a versioned JSON request
+// schema over the repository's compile → enlarge → trace → simulate
+// pipeline, an artifact cache that lets repeated requests over the same
+// program skip compilation and trace recording, a bounded worker pool with
+// per-job deadlines and graceful drain, and an observability surface
+// (Prometheus-text /metrics, pprof, structured per-job logs). cmd/bsimd is
+// the daemon wrapping it; bsbench's -json output shares the same response
+// envelope so offline benchmark artifacts and service answers have one
+// schema.
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bsisa/internal/stats"
+	"bsisa/internal/uarch"
+)
+
+// SchemaVersion is the request/response schema this package speaks. Requests
+// must carry it in their "version" field; responses echo it. Bump it only
+// with a migration note in DESIGN.md §8.
+const SchemaVersion = 1
+
+// SimRequest is one simulation job. Exactly one program source (source,
+// seed, or workload) and exactly one of Config (single timing run) or Sweep
+// (icache sensitivity sweep) must be set.
+type SimRequest struct {
+	// Version must equal SchemaVersion.
+	Version int `json:"version"`
+	// ID is an optional client-chosen tag echoed in the response and the
+	// job log.
+	ID string `json:"id,omitempty"`
+	// Program selects and parameterizes the program to simulate.
+	Program ProgramSpec `json:"program"`
+	// EmuMaxOps bounds functional emulation while recording the trace
+	// (0 = the emulator default). Part of the trace cache key.
+	EmuMaxOps int64 `json:"emu_max_ops,omitempty"`
+	// Config runs a single timing simulation.
+	Config *ConfigSpec `json:"config,omitempty"`
+	// Sweep runs an icache sensitivity sweep (Figure 6/7 style).
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// TimeoutMs, when positive, caps the job's wall time; the job's context
+	// is canceled at the deadline (subject to the server's own ceiling).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// ProgramSpec identifies a program. Exactly one of Source, Seed, or Workload
+// must be set.
+type ProgramSpec struct {
+	// Source is MiniC source text, compiled as-is.
+	Source string `json:"source,omitempty"`
+	// Seed generates a testgen program (the differential-fuzzing program
+	// family) from the given seed.
+	Seed *int64 `json:"seed,omitempty"`
+	// Workload names one of the eight synthetic SPECint95 profiles
+	// (compress, gcc, go, ...), generated at Scale.
+	Workload string `json:"workload,omitempty"`
+	// Scale multiplies the workload's dynamic size (default 1.0; only valid
+	// with Workload).
+	Scale float64 `json:"scale,omitempty"`
+	// ISA is "conventional" or "block-structured" ("conv" and "bsa" are
+	// accepted aliases).
+	ISA string `json:"isa"`
+	// Enlarge overrides block-enlargement parameters (block-structured
+	// only; nil means the paper's defaults).
+	Enlarge *EnlargeSpec `json:"enlarge,omitempty"`
+}
+
+// EnlargeSpec mirrors core.Params' size knobs (zero = the paper's value).
+type EnlargeSpec struct {
+	MaxOps    int `json:"max_ops,omitempty"`
+	MaxFaults int `json:"max_faults,omitempty"`
+	MaxSuccs  int `json:"max_succs,omitempty"`
+}
+
+// CacheSpec mirrors cache.Config.
+type CacheSpec struct {
+	SizeBytes int `json:"size_bytes,omitempty"` // 0 = perfect
+	Ways      int `json:"ways,omitempty"`       // default 4
+	LineBytes int `json:"line_bytes,omitempty"` // default 64
+}
+
+// ConfigSpec mirrors the uarch.Config knobs the service exposes (zero values
+// take the paper's configuration, exactly as in uarch.Config).
+type ConfigSpec struct {
+	IssueWidth         int        `json:"issue_width,omitempty"`
+	WindowBlocks       int        `json:"window_blocks,omitempty"`
+	WindowOps          int        `json:"window_ops,omitempty"`
+	NumFUs             int        `json:"num_fus,omitempty"`
+	FrontEndDepth      int        `json:"front_end_depth,omitempty"`
+	L2Latency          int        `json:"l2_latency,omitempty"`
+	FaultSquashPenalty int        `json:"fault_squash_penalty,omitempty"`
+	ICache             *CacheSpec `json:"icache,omitempty"`
+	DCache             *CacheSpec `json:"dcache,omitempty"`
+	PerfectBP          bool       `json:"perfect_bp,omitempty"`
+}
+
+// SweepSpec requests one timing result per icache size over a shared base
+// configuration — the Figure 6/7 question. Size 0 is the perfect-icache
+// reference point.
+type SweepSpec struct {
+	// ICacheSizes are the swept sizes in bytes, in the order results are
+	// wanted.
+	ICacheSizes []int `json:"icache_sizes"`
+	// Base carries every non-icache knob (nil = the paper's machine, 4-way
+	// icache — the bsbench/bsim configuration).
+	Base *ConfigSpec `json:"base,omitempty"`
+}
+
+// SimResponse is the service's response envelope, also emitted by
+// `bsbench -json` for BENCH_<experiment>.json artifacts so both surfaces
+// share one schema.
+type SimResponse struct {
+	// Version is the schema version of this envelope.
+	Version int `json:"version"`
+	// ID echoes the request's ID.
+	ID string `json:"id,omitempty"`
+	// Experiment labels the run: a bsbench experiment name, or "sim" /
+	// "sweep" for service jobs.
+	Experiment string `json:"experiment,omitempty"`
+	// Scale is the workload scale factor, where one applies.
+	Scale float64 `json:"scale,omitempty"`
+	// WallMs is the job's wall time in milliseconds.
+	WallMs int64 `json:"wall_ms"`
+	// Error is set (and Results/Table unset) when the job failed.
+	Error string `json:"error,omitempty"`
+	// Engine reports which timing path ran: "sweep-icache" (fused
+	// single-pass engine) or "simulate-many" (one replay per config).
+	Engine string `json:"engine,omitempty"`
+	// ArtifactCache reports whether this job reused a cached compiled
+	// program / recorded trace.
+	ArtifactCache *ArtifactHits `json:"artifact_cache,omitempty"`
+	// Results holds one typed result per requested configuration, in
+	// request order.
+	Results []SimResult `json:"results,omitempty"`
+	// Table is the human-oriented rendering (bsbench tables; a cycles/IPC
+	// table for service sweeps).
+	Table *Table `json:"table,omitempty"`
+}
+
+// ArtifactHits reports per-job artifact cache outcomes.
+type ArtifactHits struct {
+	Program bool `json:"program"`
+	Trace   bool `json:"trace"`
+}
+
+// Table is the JSON form of a rendered stats.Table.
+type Table struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// TableOf converts a stats.Table to its JSON form.
+func TableOf(t *stats.Table) *Table {
+	return &Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+}
+
+// CacheStatsJSON mirrors cache.Stats.
+type CacheStatsJSON struct {
+	Accesses int64 `json:"accesses"`
+	Misses   int64 `json:"misses"`
+}
+
+// SimResult is one configuration's timing result: every field of
+// uarch.Result the CLI tools report, so a service answer can be diffed
+// field-for-field against bsim/bsbench output.
+type SimResult struct {
+	ICacheBytes int `json:"icache_bytes"` // 0 = perfect
+
+	Cycles int64   `json:"cycles"`
+	Ops    int64   `json:"ops"`
+	Blocks int64   `json:"blocks"`
+	IPC    float64 `json:"ipc"`
+
+	TrapMispredicts  int64 `json:"trap_mispredicts"`
+	FaultMispredicts int64 `json:"fault_mispredicts"`
+	Misfetches       int64 `json:"misfetches"`
+
+	ICache CacheStatsJSON `json:"icache"`
+	DCache CacheStatsJSON `json:"dcache"`
+
+	FetchStallICache int64 `json:"fetch_stall_icache"`
+	FetchStallWindow int64 `json:"fetch_stall_window"`
+	RecoveryStall    int64 `json:"recovery_stall"`
+}
+
+// ResultOf converts a uarch.Result for the configuration's icache size.
+func ResultOf(icacheBytes int, r *uarch.Result) SimResult {
+	return SimResult{
+		ICacheBytes:      icacheBytes,
+		Cycles:           r.Cycles,
+		Ops:              r.Ops,
+		Blocks:           r.Blocks,
+		IPC:              r.IPC(),
+		TrapMispredicts:  r.TrapMispredicts,
+		FaultMispredicts: r.FaultMispredicts,
+		Misfetches:       r.Misfetches,
+		ICache:           CacheStatsJSON{Accesses: r.ICache.Accesses, Misses: r.ICache.Misses},
+		DCache:           CacheStatsJSON{Accesses: r.DCache.Accesses, Misses: r.DCache.Misses},
+		FetchStallICache: r.FetchStallICache,
+		FetchStallWindow: r.FetchStallWindow,
+		RecoveryStall:    r.RecoveryStall,
+	}
+}
+
+// DecodeRequest reads one SimRequest from r with strict decoding: unknown
+// fields are rejected (DisallowUnknownFields), trailing garbage is rejected,
+// and the schema version must match. Failures wrap ErrBadRequest (and
+// ErrBadVersion for version mismatches).
+func DecodeRequest(r io.Reader) (*SimRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req SimRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if req.Version != SchemaVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, req.Version, SchemaVersion)
+	}
+	return &req, nil
+}

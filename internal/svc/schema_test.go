@@ -1,0 +1,162 @@
+package svc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeRequestStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want error // nil means the decode must succeed
+	}{
+		{"minimal sim", `{"version":1,"program":{"seed":7,"isa":"conv"},"config":{}}`, nil},
+		{"minimal sweep", `{"version":1,"program":{"workload":"compress","isa":"bsa"},"sweep":{"icache_sizes":[0,8192]}}`, nil},
+		{"unknown top-level field", `{"version":1,"prorgam":{}}`, ErrBadRequest},
+		{"unknown nested field", `{"version":1,"program":{"isa":"conv","sede":7}}`, ErrBadRequest},
+		{"trailing data", `{"version":1,"program":{"seed":7,"isa":"conv"},"config":{}} {"x":1}`, ErrBadRequest},
+		{"missing version", `{"program":{"seed":7,"isa":"conv"},"config":{}}`, ErrBadVersion},
+		{"future version", `{"version":99,"program":{"seed":7,"isa":"conv"},"config":{}}`, ErrBadVersion},
+		{"not json", `hello`, ErrBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRequest(strings.NewReader(tc.body))
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("DecodeRequest: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeRequest = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+			// Every decode failure must also match the root sentinel.
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("DecodeRequest = %v, want errors.Is(err, ErrBadRequest)", err)
+			}
+		})
+	}
+}
+
+func seedReq(mutate func(*SimRequest)) *SimRequest {
+	seed := int64(7)
+	req := &SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Seed: &seed, ISA: "conv"},
+		Config:  &ConfigSpec{},
+	}
+	if mutate != nil {
+		mutate(req)
+	}
+	return req
+}
+
+func TestBuildConfigTypedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SimRequest)
+		want   error
+	}{
+		{"ok", nil, nil},
+		{"wrong version", func(r *SimRequest) { r.Version = 2 }, ErrBadVersion},
+		{"no program source", func(r *SimRequest) { r.Program.Seed = nil }, ErrBadProgram},
+		{"two program sources", func(r *SimRequest) { r.Program.Workload = "compress" }, ErrBadProgram},
+		{"unknown workload", func(r *SimRequest) {
+			r.Program.Seed = nil
+			r.Program.Workload = "specfp"
+		}, ErrBadProgram},
+		{"unknown isa", func(r *SimRequest) { r.Program.ISA = "vliw" }, ErrBadProgram},
+		{"scale without workload", func(r *SimRequest) { r.Program.Scale = 0.5 }, ErrBadProgram},
+		{"enlarge on conventional", func(r *SimRequest) { r.Program.Enlarge = &EnlargeSpec{MaxOps: 100} }, ErrBadProgram},
+		{"negative emu budget", func(r *SimRequest) { r.EmuMaxOps = -1 }, ErrBadRequest},
+		{"negative timeout", func(r *SimRequest) { r.TimeoutMs = -5 }, ErrBadRequest},
+		{"neither config nor sweep", func(r *SimRequest) { r.Config = nil }, ErrBadRequest},
+		{"both config and sweep", func(r *SimRequest) {
+			r.Sweep = &SweepSpec{ICacheSizes: []int{0}}
+		}, ErrBadRequest},
+		{"bad geometry", func(r *SimRequest) {
+			r.Config = &ConfigSpec{ICache: &CacheSpec{SizeBytes: 3000, Ways: 4}}
+		}, ErrBadGeometry},
+		{"negative issue width", func(r *SimRequest) {
+			r.Config = &ConfigSpec{IssueWidth: -2}
+		}, ErrBadGeometry},
+		{"empty sweep", func(r *SimRequest) {
+			r.Config = nil
+			r.Sweep = &SweepSpec{}
+		}, ErrBadSweep},
+		{"negative sweep size", func(r *SimRequest) {
+			r.Config = nil
+			r.Sweep = &SweepSpec{ICacheSizes: []int{-1}}
+		}, ErrBadSweep},
+		{"bad sweep geometry", func(r *SimRequest) {
+			r.Config = nil
+			r.Sweep = &SweepSpec{ICacheSizes: []int{3000}}
+		}, ErrBadSweep},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := BuildConfig(seedReq(tc.mutate))
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("BuildConfig: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("BuildConfig = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("BuildConfig = %v, want errors.Is(err, ErrBadRequest)", err)
+			}
+		})
+	}
+}
+
+func TestBuildConfigNormalization(t *testing.T) {
+	// ISA aliases and workload scale defaults normalize, so equivalent wire
+	// forms share one artifact cache key.
+	a, err := BuildConfig(&SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Workload: "compress", ISA: "conv"},
+		Config:  &ConfigSpec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildConfig(&SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Workload: "compress", Scale: 1.0, ISA: "conventional"},
+		Config:  &ConfigSpec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Program != b.Program {
+		t.Fatalf("normalized programs differ: %+v vs %+v", a.Program, b.Program)
+	}
+	if programKey(a.Program) != programKey(b.Program) {
+		t.Fatal("equivalent programs map to different artifact keys")
+	}
+
+	// Sweep plans inherit the bsbench/bsim base geometry.
+	p, err := BuildConfig(&SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Workload: "compress", ISA: "bsa"},
+		Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Sweep || len(p.Configs) != 2 {
+		t.Fatalf("sweep plan malformed: %+v", p)
+	}
+	if p.Configs[1].ICache.SizeBytes != 8192 || p.Configs[1].ICache.Ways != 4 {
+		t.Fatalf("sweep base geometry not applied: %+v", p.Configs[1].ICache)
+	}
+	if p.Program.ISA != isaBlockStructured {
+		t.Fatalf("ISA alias not normalized: %q", p.Program.ISA)
+	}
+}

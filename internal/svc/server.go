@@ -1,0 +1,243 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServerConfig sizes the service.
+type ServerConfig struct {
+	// Workers is the simulation worker pool size (<= 0 means GOMAXPROCS).
+	// It bounds concurrent jobs, not concurrent connections: each job fans
+	// its own replays/lanes out over the engines' internal pools, so the
+	// two multiply — keep Workers small on shared machines.
+	Workers int
+	// QueueDepth is how many accepted jobs may wait for a worker before
+	// enqueueing blocks (and the client's deadline starts rejecting);
+	// <= 0 means 2*Workers.
+	QueueDepth int
+	// JobWorkers bounds each job's internal engine concurrency
+	// (uarch.SimulateMany / SweepICache workers; <= 0 means GOMAXPROCS).
+	JobWorkers int
+	// DefaultTimeout caps jobs that carry no timeout_ms of their own
+	// (0 = no cap). A request's own timeout may only shorten it.
+	DefaultTimeout time.Duration
+	// ProgramCacheEntries / TraceCacheEntries bound the artifact caches
+	// (<= 0 means 32 programs / 16 traces; traces are the big artifacts).
+	ProgramCacheEntries int
+	TraceCacheEntries   int
+	// Logger receives structured per-job logs (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.ProgramCacheEntries <= 0 {
+		c.ProgramCacheEntries = 32
+	}
+	if c.TraceCacheEntries <= 0 {
+		c.TraceCacheEntries = 16
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server runs simulation jobs on a bounded worker pool behind an HTTP/JSON
+// API. Construct with NewServer, serve Handler(), and Close() to drain:
+// in-flight jobs run to completion (shut the http.Server down first so no
+// new jobs arrive), then the pool exits.
+type Server struct {
+	cfg     ServerConfig
+	metrics *metrics
+
+	programs *artifactCache // ProgramSpec -> *builtProgram
+	traces   *artifactCache // program+budget -> *emu.Trace
+
+	jobs   chan *job
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+
+	stopMu  sync.RWMutex
+	stopped bool
+}
+
+// jobOutcome is what a worker hands back to the waiting handler: the
+// response envelope plus the raw error for status-code classification
+// (the envelope itself carries only the error text).
+type jobOutcome struct {
+	resp *SimResponse
+	err  error
+}
+
+// job couples one validated request with the channel its handler waits on.
+type job struct {
+	ctx  context.Context
+	id   int64
+	req  *SimRequest
+	plan *Plan
+	done chan jobOutcome // buffered; the worker never blocks on it
+}
+
+// NewServer builds and starts the worker pool.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		programs: newArtifactCache(cfg.ProgramCacheEntries),
+		traces:   newArtifactCache(cfg.TraceCacheEntries),
+		jobs:     make(chan *job, cfg.QueueDepth),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.metrics.queued.Add(-1)
+		s.metrics.jobsTotal.Add(1)
+		s.metrics.inFlight.Add(1)
+		resp, err := s.execute(j)
+		s.metrics.inFlight.Add(-1)
+		if err != nil {
+			s.metrics.jobsFailed.Add(1)
+		}
+		j.done <- jobOutcome{resp: resp, err: err}
+	}
+}
+
+// Close drains the worker pool: every job already accepted runs to
+// completion, then the workers exit. New submissions are refused with 503.
+// Shut the HTTP listener down (http.Server.Shutdown) before calling Close so
+// handlers are not still enqueueing.
+func (s *Server) Close() {
+	s.stopMu.Lock()
+	if s.stopped {
+		s.stopMu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.stopMu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/sim     submit a SimRequest, receive a SimResponse
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus text format
+//	     /debug/pprof/...  runtime profiling
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.writeProm(w, s.programs.counters(), s.traces.counters())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.reject(w, "", http.StatusBadRequest, err)
+		return
+	}
+	plan, err := BuildConfig(req)
+	if err != nil {
+		s.reject(w, req.ID, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if plan.Timeout > 0 && (timeout == 0 || plan.Timeout < timeout) {
+		timeout = plan.Timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	s.stopMu.RLock()
+	stopped := s.stopped
+	s.stopMu.RUnlock()
+	if stopped {
+		s.reject(w, req.ID, http.StatusServiceUnavailable, errors.New("svc: server draining"))
+		return
+	}
+	j := &job{ctx: ctx, id: s.nextID.Add(1), req: req, plan: plan, done: make(chan jobOutcome, 1)}
+	s.metrics.queued.Add(1)
+	select {
+	case s.jobs <- j:
+	case <-ctx.Done():
+		s.metrics.queued.Add(-1)
+		s.reject(w, req.ID, http.StatusServiceUnavailable,
+			fmt.Errorf("svc: queue full, gave up waiting: %w", ctx.Err()))
+		return
+	}
+	// The worker always answers: on cancellation it answers with the
+	// context error. Waiting here (rather than racing ctx.Done) keeps the
+	// handler alive until the pool is done with the job, which is what lets
+	// http.Server.Shutdown double as the in-flight drain barrier.
+	out := <-j.done
+	status := http.StatusOK
+	switch {
+	case errors.Is(out.err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(out.err, context.Canceled):
+		// Client went away; the status is academic but 499-ish.
+		status = http.StatusServiceUnavailable
+	case errors.Is(out.err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case out.err != nil:
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, out.resp)
+}
+
+// reject answers without pooling a job.
+func (s *Server) reject(w http.ResponseWriter, id string, status int, err error) {
+	s.metrics.jobsRejected.Add(1)
+	s.cfg.Logger.Warn("request rejected", "id", id, "status", status, "err", err.Error())
+	writeJSON(w, status, &SimResponse{Version: SchemaVersion, ID: id, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp *SimResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

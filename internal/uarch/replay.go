@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,11 +16,18 @@ import (
 // RunProgram with the trace's program and emulation budget, at a fraction of
 // the cost when one trace is replayed under many configurations.
 func ReplayTrace(t *emu.Trace, cfg Config) (*Result, error) {
+	return ReplayTraceContext(context.Background(), t, cfg)
+}
+
+// ReplayTraceContext is ReplayTrace with cooperative cancellation: the
+// replay checks ctx between trace chunks and returns ctx.Err() promptly once
+// the context is done.
+func ReplayTraceContext(ctx context.Context, t *emu.Trace, cfg Config) (*Result, error) {
 	sim, err := New(t.Program(), cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := t.Replay(sim.OnBlock); err != nil {
+	if err := t.ReplayContext(ctx, sim.OnBlock); err != nil {
 		return nil, err
 	}
 	return sim.Finish(), nil
@@ -27,9 +35,12 @@ func ReplayTrace(t *emu.Trace, cfg Config) (*Result, error) {
 
 // fanOut runs fn(0..n-1) across a bounded worker pool. workers <= 0 means
 // GOMAXPROCS; the pool never exceeds n. The first error wins; remaining
-// items still run. Results indexed by i are race-free because each index is
-// handed to exactly one worker.
-func fanOut(n, workers int, fn func(i int) error) error {
+// items still run unless the context is canceled, in which case undispatched
+// items are dropped and ctx.Err() is reported (a real error from fn still
+// takes precedence). fanOut returns only after every worker goroutine has
+// exited, so a canceled call leaks nothing. Results indexed by i are
+// race-free because each index is handed to exactly one worker.
+func fanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -39,6 +50,12 @@ func fanOut(n, workers int, fn func(i int) error) error {
 	if workers <= 1 {
 		var ferr error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if ferr == nil {
+					ferr = err
+				}
+				break
+			}
 			if err := fn(i); err != nil && ferr == nil {
 				ferr = err
 			}
@@ -66,11 +83,20 @@ func fanOut(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if ferr == nil {
+		ferr = ctx.Err()
+	}
 	return ferr
 }
 
@@ -80,9 +106,17 @@ func fanOut(n, workers int, fn func(i int) error) error {
 // is identical to a standalone ReplayTrace regardless of the worker count
 // (simulators share only the read-only trace and program).
 func SimulateMany(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	return SimulateManyContext(context.Background(), t, cfgs, workers)
+}
+
+// SimulateManyContext is SimulateMany with cooperative cancellation: every
+// in-flight replay checks ctx between trace chunks, queued configurations
+// are dropped once ctx is done, and the call returns an error satisfying
+// errors.Is(err, ctx.Err()) with the worker pool fully drained.
+func SimulateManyContext(ctx context.Context, t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
-	err := fanOut(len(cfgs), workers, func(i int) error {
-		r, err := ReplayTrace(t, cfgs[i])
+	err := fanOut(ctx, len(cfgs), workers, func(i int) error {
+		r, err := ReplayTraceContext(ctx, t, cfgs[i])
 		if err != nil {
 			return fmt.Errorf("uarch: config %d: %w", i, err)
 		}

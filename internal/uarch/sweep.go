@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -107,6 +108,10 @@ func flattenSweepProgram(prog *isa.Program, issueWidth int) []laneBlock {
 	return lp
 }
 
+// sweepCancelChunk is how many lockstep events a lane group processes
+// between context checks (power of two; mirrors emu's replay chunking).
+const sweepCancelChunk = 4096
+
 // Per-event misprediction kinds as stored by the enrich pass. swFaultNoBlock
 // is mpFault whose predicted block does not exist (nothing to shadow-issue).
 const (
@@ -202,7 +207,7 @@ type sweepLane struct {
 // predictor, recording per-event outcomes. base carries the shared
 // configuration (ICache.SizeBytes is ignored); sizes are the nonzero sweep
 // sizes.
-func enrichSweep(t *emu.Trace, base Config, sizes []int) (*sweepShared, error) {
+func enrichSweep(ctx context.Context, t *emu.Trace, base Config, sizes []int) (*sweepShared, error) {
 	minSize, maxSize := sizes[0], sizes[0]
 	for _, sz := range sizes[1:] {
 		if sz < minSize {
@@ -248,7 +253,7 @@ func enrichSweep(t *emu.Trace, base Config, sizes []int) (*sweepShared, error) {
 		return nil
 	}
 	ei := 0
-	err = t.Replay(func(ev *emu.BlockEvent) error {
+	err = t.ReplayContext(ctx, func(ev *emu.BlockEvent) error {
 		b := ev.Block
 		clear(scratch)
 		prof.AccessRange(b.Addr, b.Size, scratch)
@@ -573,6 +578,17 @@ func CanSweepICache(cfgs []Config) bool {
 // configuration order and are identical, field for field, to SimulateMany on
 // the same inputs. workers bounds lane concurrency as in SimulateMany.
 func SweepICache(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	return SweepICacheContext(context.Background(), t, cfgs, workers)
+}
+
+// SweepICacheContext is SweepICache with cooperative cancellation: the
+// shared enrich replay and every lockstep timing lane check ctx between
+// trace chunks, and the call returns an error satisfying errors.Is(err,
+// ctx.Err()) with all lane workers drained once the context is done.
+func SweepICacheContext(ctx context.Context, t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	norm := normalizeSweepConfigs(cfgs)
 	if err := sweepCheck(norm); err != nil {
 		return nil, err
@@ -583,7 +599,7 @@ func SweepICache(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
 			sizes = append(sizes, cfg.ICache.SizeBytes)
 		}
 	}
-	sh, err := enrichSweep(t, norm[0], sizes)
+	sh, err := enrichSweep(ctx, t, norm[0], sizes)
 	if err != nil {
 		return nil, err
 	}
@@ -637,11 +653,18 @@ func SweepICache(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
 		w = len(sims)
 	}
 	results := make([]*Result, len(norm))
-	err = fanOut(w, w, func(g int) error {
+	err = fanOut(ctx, w, w, func(g int) error {
 		lo := g * len(sims) / w
 		hi := (g + 1) * len(sims) / w
 		group := sims[lo:hi]
 		for ei, id := range ids {
+			// The same chunked check as Trace.ReplayContext, so a canceled
+			// sweep stops mid-lane rather than after the full event stream.
+			if ei&(sweepCancelChunk-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			lb := &lp[id]
 			for _, s := range group {
 				s.sweepStep(lb, ei)

@@ -25,6 +25,7 @@
 package uarch
 
 import (
+	"errors"
 	"fmt"
 
 	"bsisa/internal/bpred"
@@ -97,6 +98,61 @@ func (c Config) withDefaults() Config {
 		c.DCache.SizeBytes = 16 * 1024
 	}
 	return c
+}
+
+// ErrBadConfig is wrapped by every Config.Validate failure, so callers can
+// classify validation errors with errors.Is without matching message text.
+var ErrBadConfig = errors.New("uarch: invalid configuration")
+
+// Validate rejects configurations New (or the sweep engine) would refuse or
+// silently mis-simulate: non-positive machine widths, negative latencies,
+// illegal cache geometry, and trace-cache sets/ways that break its
+// power-of-two index masking. Every failure wraps ErrBadConfig and, for
+// cache geometry, the underlying cache error. Defaults are applied first, so
+// the zero Config validates.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.IssueWidth < 1:
+		return fmt.Errorf("%w: issue width %d < 1", ErrBadConfig, d.IssueWidth)
+	case d.WindowBlocks < 1:
+		return fmt.Errorf("%w: window of %d blocks < 1", ErrBadConfig, d.WindowBlocks)
+	case d.WindowOps < 1:
+		return fmt.Errorf("%w: window of %d operations < 1", ErrBadConfig, d.WindowOps)
+	case d.NumFUs < 1:
+		return fmt.Errorf("%w: %d functional units < 1", ErrBadConfig, d.NumFUs)
+	case d.FrontEndDepth < 0:
+		return fmt.Errorf("%w: negative front-end depth %d", ErrBadConfig, d.FrontEndDepth)
+	case d.L2Latency < 0:
+		return fmt.Errorf("%w: negative L2 latency %d", ErrBadConfig, d.L2Latency)
+	case d.FaultSquashPenalty < 0:
+		return fmt.Errorf("%w: negative fault squash penalty %d", ErrBadConfig, d.FaultSquashPenalty)
+	}
+	if err := d.ICache.Validate(); err != nil {
+		return fmt.Errorf("%w: icache: %w", ErrBadConfig, err)
+	}
+	if err := d.DCache.Validate(); err != nil {
+		return fmt.Errorf("%w: dcache: %w", ErrBadConfig, err)
+	}
+	if tc := d.TraceCache; tc.Enabled() {
+		tc = tc.withDefaults()
+		if tc.Sets <= 0 || tc.Sets&(tc.Sets-1) != 0 {
+			return fmt.Errorf("%w: trace cache sets %d is not a positive power of two", ErrBadConfig, tc.Sets)
+		}
+		if tc.Ways < 1 {
+			return fmt.Errorf("%w: trace cache ways %d < 1", ErrBadConfig, tc.Ways)
+		}
+	}
+	if mb := d.MultiBlock; mb.Enabled() {
+		mb = mb.withDefaults(d.IssueWidth)
+		if mb.Banks < 1 {
+			return fmt.Errorf("%w: multi-block banks %d < 1", ErrBadConfig, mb.Banks)
+		}
+		if mb.MaxOps < 1 {
+			return fmt.Errorf("%w: multi-block fetch group of %d operations < 1", ErrBadConfig, mb.MaxOps)
+		}
+	}
+	return nil
 }
 
 // Result summarizes a timing run.
