@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"bsisa/internal/bpred"
 	"bsisa/internal/compile"
 	"bsisa/internal/core"
 	"bsisa/internal/emu"
@@ -293,6 +294,87 @@ func BenchmarkICacheSweepFused(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// predBenchGrid is the 8-point predictor history sweep from the predsweep
+// experiment: one configuration per history length over the reference
+// machine with a 32KB icache, all sharing one recorded trace.
+func predBenchGrid() []uarch.Config {
+	var cfgs []uarch.Config
+	for _, hb := range []int{1, 2, 4, 6, 8, 10, 12, 16} {
+		var cfg uarch.Config
+		cfg.ICache.SizeBytes = 32 * 1024
+		cfg.Predictor.HistoryBits = hb
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// BenchmarkPredSweepLegacy times the pre-fusion predictor sweep: one full
+// trace replay per configuration via SimulateMany.
+func BenchmarkPredSweepLegacy(b *testing.B) {
+	tr := sweepBenchTrace(b)
+	cfgs := predBenchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.SimulateMany(tr, cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredSweepFused times the fused predictor-sweep engine on the
+// identical grid: one enriched decode pass with a predictor bank evaluating
+// every history length per control event, then per-config timing lanes.
+func BenchmarkPredSweepFused(b *testing.B) {
+	tr := sweepBenchTrace(b)
+	cfgs := predBenchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.SweepPredictor(tr, cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorBank measures the shared-BHR predictor bank's per-event
+// cost on the hot path — eight predictor variants stepped per committed
+// control block. The bank must be allocation-free after construction
+// (TestBankStepAllocs pins this to zero; -benchmem shows it here).
+func BenchmarkPredictorBank(b *testing.B) {
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.BlockStructured))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfgs := make([]bpred.Config, 0, 8)
+	for _, hb := range []int{1, 2, 4, 6, 8, 10, 12, 16} {
+		pcfgs = append(pcfgs, bpred.Config{HistoryBits: hb})
+	}
+	bank := bpred.NewBank(isa.BlockStructured, pcfgs)
+	out := make([]isa.BlockID, bank.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		err := tr.Replay(func(ev *emu.BlockEvent) error {
+			if ev.Next != isa.NoBlock {
+				bank.Step(ev.Block, ev.Next, ev.Taken, ev.SuccIdx, out)
+				events++
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkTimingSim measures the full emulate+time pipeline.

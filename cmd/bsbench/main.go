@@ -8,7 +8,8 @@
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 mispredicts
 // ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
-// sweepspeed summary all (default: the paper's tables and figures).
+// sweepspeed predsweep predsens summary all (default: the paper's tables and
+// figures).
 //
 // -json additionally writes each experiment's results to BENCH_<name>.json
 // using the same versioned svc.SimResponse envelope the bsimd service
@@ -82,7 +83,8 @@ func main() {
 	paper := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7"}
 	extra := []string{"mispredicts", "ablate-size", "ablate-faults", "ablate-superblock",
 		"ablate-history", "ablate-minbias", "ablate-tracecache", "ablate-ifconvert",
-		"ablate-inline", "ablate-hotlayout", "ablate-multiblock", "sweepspeed", "summary"}
+		"ablate-inline", "ablate-hotlayout", "ablate-multiblock", "sweepspeed", "predsweep",
+		"predsens", "summary"}
 
 	var names []string
 	switch *exps {
@@ -170,10 +172,14 @@ func run(h *harness.Harness, name string) (*stats.Table, error) {
 		return h.AblateMultiBlock()
 	case "sweepspeed":
 		return h.SweepSpeed()
+	case "predsweep":
+		return h.PredSweepSpeed()
+	case "predsens":
+		return h.PredictorSensitivity()
 	case "summary":
 		return h.Summary()
 	default:
-		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-* sweepspeed summary)")
+		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-* sweepspeed predsweep predsens summary)")
 	}
 }
 

@@ -11,6 +11,8 @@
 //	-icache N        icache size in bytes (0 = perfect)
 //	-sweep-icache L  comma-separated icache sizes: record the committed-block
 //	                 trace once, replay it per size, print a cycles table
+//	-sweep-pred L    comma-separated branch-history lengths: record the trace
+//	                 once, time every predictor point in one fused walk
 //	-perfect-bp      perfect branch prediction
 //	-max-ops N       emulation budget
 //	-q               suppress program output values
@@ -23,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"bsisa/internal/bpred"
 	"bsisa/internal/cache"
 	"bsisa/internal/emu"
 	"bsisa/internal/isa"
@@ -34,6 +37,7 @@ func main() {
 	timing := flag.Bool("timing", false, "run the cycle-level timing model")
 	icache := flag.Int("icache", 0, "icache size in bytes (0 = perfect)")
 	sweep := flag.String("sweep-icache", "", "comma-separated icache sizes to sweep on one recorded trace")
+	sweepPred := flag.String("sweep-pred", "", "comma-separated branch-history lengths to sweep on one recorded trace")
 	perfectBP := flag.Bool("perfect-bp", false, "perfect branch prediction")
 	maxOps := flag.Int64("max-ops", 0, "emulation operation budget (0 = default)")
 	quiet := flag.Bool("q", false, "suppress program output values")
@@ -63,8 +67,17 @@ func main() {
 	}
 
 	emuCfg := emu.Config{MaxOps: *maxOps}
+	if *sweep != "" && *sweepPred != "" {
+		fatal(fmt.Errorf("-sweep-icache and -sweep-pred are mutually exclusive"))
+	}
 	if *sweep != "" {
 		if err := sweepICache(prog, emuCfg, *sweep, *perfectBP, quiet); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *sweepPred != "" {
+		if err := sweepPredictor(prog, emuCfg, *sweepPred, *icache, *perfectBP, quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -145,6 +158,57 @@ func sweepICache(prog *isa.Program, emuCfg emu.Config, list string, perfectBP bo
 			label = "perfect"
 		}
 		fmt.Printf("%12s %12d %8.3f %10.2f\n", label, r.Cycles, r.IPC(), 100*r.ICache.MissRate())
+	}
+	return nil
+}
+
+// sweepPredictor is the predictor-space twin of sweepICache: one functional
+// emulation records the trace, then every branch-history length is timed
+// from it — through the fused predictor-sweep engine when the list qualifies
+// (two or more points, no perfect prediction), falling back to one replay
+// per point.
+func sweepPredictor(prog *isa.Program, emuCfg emu.Config, list string, icache int, perfectBP bool, quiet *bool) error {
+	var hists []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -sweep-pred entry %q: %v", f, err)
+		}
+		hists = append(hists, n)
+	}
+	tr, err := emu.Record(prog, emuCfg)
+	if err != nil {
+		return err
+	}
+	report(prog, tr.EmuResult(), quiet)
+	cfgs := make([]uarch.Config, len(hists))
+	for i, hb := range hists {
+		cfgs[i] = uarch.Config{
+			ICache:    cache.Config{SizeBytes: icache, Ways: 4},
+			Predictor: bpred.Config{HistoryBits: hb},
+			PerfectBP: perfectBP,
+		}
+		if err := cfgs[i].Validate(); err != nil {
+			return fmt.Errorf("history length %d: %v", hb, err)
+		}
+	}
+	var results []*uarch.Result
+	if uarch.CanSweepPredictor(cfgs) {
+		fmt.Printf("trace:             %d blocks recorded (%d KB), fused sweep over %d predictors\n",
+			tr.NumEvents(), tr.Footprint()/1024, len(hists))
+		results, err = uarch.SweepPredictor(tr, cfgs, 0)
+	} else {
+		fmt.Printf("trace:             %d blocks recorded (%d KB), replayed %d times\n",
+			tr.NumEvents(), tr.Footprint()/1024, len(hists))
+		results, err = uarch.SimulateMany(tr, cfgs, 0)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %12s %8s %12s\n", "history", "cycles", "IPC", "mispredicts")
+	for i, r := range results {
+		fmt.Printf("%12d %12d %8.3f %12d\n", hists[i], r.Cycles, r.IPC(),
+			r.TrapMispredicts+r.FaultMispredicts+r.Misfetches)
 	}
 	return nil
 }

@@ -36,6 +36,20 @@ func smokeRequest(id string) *svc.SimRequest {
 	}
 }
 
+// smokePredRequest asks the predictor-sensitivity question over the same
+// program, so the daemon serves the grid from the already-cached trace.
+func smokePredRequest(id string) *svc.SimRequest {
+	return &svc.SimRequest{
+		Version: svc.SchemaVersion,
+		ID:      id,
+		Program: svc.ProgramSpec{Workload: "compress", Scale: smokeScale, ISA: "conv"},
+		PredSweep: &svc.PredSweepSpec{
+			HistoryBits: []int{2, 8, 16},
+			Base:        &svc.ConfigSpec{ICache: &svc.CacheSpec{SizeBytes: 8 * 1024, Ways: 4}},
+		},
+	}
+}
+
 // runSmoke is the CI service-smoke stage: equivalence against the direct
 // library path, then a 32-way concurrent load against the cached program
 // with the hit rate checked on /metrics.
@@ -78,7 +92,39 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 	}
 	logger.Info("smoke: service sweep matches direct path field-for-field", "configs", len(want))
 
-	// 2. 32 concurrent requests against the now-cached program.
+	// 2. A predictor sweep over the same program: the fused predictor
+	// engine must serve it from the already-cached trace.
+	predGot, err := postSim(base, smokePredRequest("smoke-predsweep"))
+	if err != nil {
+		return err
+	}
+	if predGot.Engine != "sweep-predictor" {
+		return fmt.Errorf("service routed the predictor sweep through %q, want the fused engine", predGot.Engine)
+	}
+	if predGot.ArtifactCache == nil || !predGot.ArtifactCache.Trace {
+		return fmt.Errorf("predictor sweep missed the trace cache: %+v", predGot.ArtifactCache)
+	}
+	predWant, err := directPredSweep(smokePredRequest(""))
+	if err != nil {
+		return fmt.Errorf("direct predictor path: %w", err)
+	}
+	if len(predGot.Results) != len(predWant) {
+		return fmt.Errorf("predictor sweep returned %d results, want %d", len(predGot.Results), len(predWant))
+	}
+	for i := range predWant {
+		g, w := predGot.Results[i], predWant[i]
+		if g.Predictor == nil || *g.Predictor != *w.Predictor {
+			return fmt.Errorf("predictor config %d echo diverges: %+v, want %+v", i, g.Predictor, w.Predictor)
+		}
+		g.Predictor, w.Predictor = nil, nil
+		if g != w {
+			return fmt.Errorf("predictor config %d diverges from the CLI path\nservice: %+v\ndirect:  %+v",
+				i, g, w)
+		}
+	}
+	logger.Info("smoke: predictor sweep served from cached trace, matches direct path", "configs", len(predWant))
+
+	// 3. 32 concurrent requests against the now-cached program.
 	const load = 32
 	var wg sync.WaitGroup
 	errs := make([]error, load)
@@ -102,7 +148,7 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 	}
 	logger.Info("smoke: concurrent load done", "requests", load, "wall", time.Since(start).Round(time.Millisecond))
 
-	// 3. The cache hit rate must be visible on /metrics.
+	// 4. The cache hit rate must be visible on /metrics.
 	metrics, err := fetch(base + "/metrics")
 	if err != nil {
 		return err
@@ -119,6 +165,9 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 		if v < float64(load) {
 			return fmt.Errorf("metric %s = %g, want >= %d", needle, v, load)
 		}
+	}
+	if v, ok := metricValue(metrics, `bsimd_stage_seconds_count{stage="predsweep"}`); !ok || v < 1 {
+		return fmt.Errorf("predsweep stage missing from /metrics (got %g, present %v)", v, ok)
 	}
 	logger.Info("smoke: cache hit rate visible on /metrics")
 	return nil
@@ -158,6 +207,44 @@ func directSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
 	out := make([]svc.SimResult, len(rs))
 	for i, r := range rs {
 		out[i] = svc.ResultOf(plan.ICacheBytes[i], r)
+	}
+	return out, nil
+}
+
+// directPredSweep is directSweep's predictor-space twin: the answer bsim
+// -sweep-pred would compute, via svc.BuildConfig and uarch.SweepPredictor.
+func directPredSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
+	plan, err := svc.BuildConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	prof, ok := workload.ProfileByName("compress", smokeScale)
+	if !ok {
+		return nil, fmt.Errorf("no compress profile")
+	}
+	src, err := workload.Source(prof)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compile.Compile(src, "compress", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if !uarch.CanSweepPredictor(plan.Configs) {
+		return nil, fmt.Errorf("smoke predictor grid should be sweepable")
+	}
+	rs, err := uarch.SweepPredictor(tr, plan.Configs, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]svc.SimResult, len(rs))
+	for i, r := range rs {
+		out[i] = svc.ResultOf(plan.ICacheBytes[i], r)
+		out[i].Predictor = plan.Predictors[i]
 	}
 	return out, nil
 }

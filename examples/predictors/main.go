@@ -24,6 +24,9 @@ import (
 )
 
 // syntheticBlock builds a BSA block with two variants per trap direction.
+// The successor count must respect the §4.3 BTB invariant (at most
+// bpred.MaxTargets variants per block), or the predictor's target selection
+// is undefined — fail loudly rather than report garbage accuracies.
 func syntheticBlock(addr uint32) *isa.Block {
 	b := isa.NewBlock(0)
 	b.Addr = addr
@@ -31,6 +34,10 @@ func syntheticBlock(addr uint32) *isa.Block {
 	b.Succs = []isa.BlockID{10, 11, 20, 21}
 	b.TakenCount = 2
 	b.RecomputeHistBits()
+	if len(b.Succs) > bpred.MaxTargets {
+		log.Fatalf("synthetic block has %d successors, beyond the §4.3 limit of %d",
+			len(b.Succs), bpred.MaxTargets)
+	}
 	return b
 }
 
@@ -66,8 +73,12 @@ func main() {
 			return v, v < 20
 		}},
 	}
+	pcfg := bpred.Config{}
+	if err := pcfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	for _, s := range streams {
-		p := bpred.NewBSA(bpred.Config{})
+		p := bpred.NewBSA(pcfg)
 		b := syntheticBlock(0x4000)
 		r := rand.New(rand.NewSource(7))
 		correct, total := 0, 0
@@ -106,6 +117,9 @@ func main() {
 	for _, hist := range []int{2, 4, 8, 12} {
 		cfg := uarch.Config{}
 		cfg.Predictor.HistoryBits = hist
+		if err := cfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
 		rc, _, err := uarch.RunProgram(conv, cfg, emu.Config{})
 		if err != nil {
 			log.Fatal(err)

@@ -16,7 +16,12 @@
 // known, train.
 package bpred
 
-import "bsisa/internal/isa"
+import (
+	"errors"
+	"fmt"
+
+	"bsisa/internal/isa"
+)
 
 // Predictor is the frontend-prediction interface the timing model consumes.
 type Predictor interface {
@@ -50,6 +55,38 @@ type Config struct {
 	BTBSets     int // BTB sets, power of two (default 512)
 	BTBWays     int // BTB associativity (default 4)
 	RASDepth    int // return address stack depth (default 16)
+}
+
+// ErrBadConfig is wrapped by every Config.Validate failure, so callers can
+// classify predictor-configuration errors with errors.Is without matching
+// message text — the same contract as uarch.ErrBadConfig and the cache
+// package's validation.
+var ErrBadConfig = errors.New("bpred: invalid configuration")
+
+// bhrWidth is the branch history register width in bits (the BHR is a
+// uint32). HistoryBits beyond it cannot contribute to the PHT index.
+const bhrWidth = 32
+
+// Validate rejects table geometries the predictors would silently
+// mis-simulate: PHT entry counts and BTB set counts that are not powers of
+// two (both are index-masked), non-positive BTB associativity or RAS depth,
+// and history lengths outside the BHR's width. Defaults are applied first,
+// so the zero Config validates.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.HistoryBits < 0 || d.HistoryBits > bhrWidth:
+		return fmt.Errorf("%w: history of %d bits outside the %d-bit BHR", ErrBadConfig, d.HistoryBits, bhrWidth)
+	case d.PHTEntries < 1 || d.PHTEntries&(d.PHTEntries-1) != 0:
+		return fmt.Errorf("%w: PHT entries %d is not a positive power of two", ErrBadConfig, d.PHTEntries)
+	case d.BTBSets < 1 || d.BTBSets&(d.BTBSets-1) != 0:
+		return fmt.Errorf("%w: BTB sets %d is not a positive power of two", ErrBadConfig, d.BTBSets)
+	case d.BTBWays < 1:
+		return fmt.Errorf("%w: BTB ways %d < 1", ErrBadConfig, d.BTBWays)
+	case d.RASDepth < 1:
+		return fmt.Errorf("%w: RAS depth %d < 1", ErrBadConfig, d.RASDepth)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {

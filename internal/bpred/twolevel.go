@@ -114,14 +114,42 @@ func NewTwoLevel(cfg Config) *TwoLevel {
 	}
 }
 
-func (p *TwoLevel) phtIndex(pc uint32) int {
+func (p *TwoLevel) phtIndex(pc, bhr uint32) int {
 	mask := uint32(p.cfg.PHTEntries - 1)
-	hist := p.bhr & (1<<uint(p.cfg.HistoryBits) - 1)
+	hist := bhr & (1<<uint(p.cfg.HistoryBits) - 1)
 	return int((pc ^ hist) & mask)
+}
+
+// shiftConv advances a conventional global history register past block b:
+// one taken bit per conditional branch, nothing otherwise. It is the single
+// definition of the BHR evolution both the standalone predictor and the
+// sweep Bank use — the evolution depends only on the committed outcome, so
+// every history length sees the same register and HistoryBits merely masks
+// it at indexing time.
+func shiftConv(bhr uint32, b *isa.Block, taken bool) uint32 {
+	return shiftConvTerm(bhr, b.Terminator(), taken)
+}
+
+// shiftConvTerm is shiftConv with the terminator already resolved (the Bank
+// resolves it once per event for all lanes).
+func shiftConvTerm(bhr uint32, t *isa.Op, taken bool) uint32 {
+	if t != nil && t.Opcode == isa.BR {
+		bhr <<= 1
+		if taken {
+			bhr |= 1
+		}
+	}
+	return bhr
 }
 
 // Predict implements Predictor.
 func (p *TwoLevel) Predict(b *isa.Block) isa.BlockID {
+	return p.predictWith(b, p.bhr)
+}
+
+// predictWith is Predict against an explicit history register (the Bank
+// supplies a shared one; the standalone path passes p.bhr).
+func (p *TwoLevel) predictWith(b *isa.Block, bhr uint32) isa.BlockID {
 	t := b.Terminator()
 	if t == nil {
 		return b.Succs[0]
@@ -148,7 +176,7 @@ func (p *TwoLevel) Predict(b *isa.Block) isa.BlockID {
 		return isa.NoBlock
 	case isa.BR:
 		p.stats.Lookups++
-		if taken2(p.pht[p.phtIndex(pcOf(b))]) {
+		if taken2(p.pht[p.phtIndex(pcOf(b), bhr)]) {
 			// Predicted taken: the target must be in the BTB to redirect
 			// fetch.
 			if e := p.btb.lookup(pcOf(b)); e != nil && e.has(b.Succs[0]) {
@@ -164,13 +192,21 @@ func (p *TwoLevel) Predict(b *isa.Block) isa.BlockID {
 
 // Update implements Predictor.
 func (p *TwoLevel) Update(b *isa.Block, actual isa.BlockID, taken bool, succIdx int) {
+	p.updateWith(b, actual, taken, p.bhr)
+	p.bhr = shiftConv(p.bhr, b, taken)
+}
+
+// updateWith is Update against an explicit history register; it trains the
+// tables but does not advance the register (the caller shifts it once via
+// shiftConv, whether it owns one register or shares it across a Bank).
+func (p *TwoLevel) updateWith(b *isa.Block, actual isa.BlockID, taken bool, bhr uint32) {
 	t := b.Terminator()
 	if t == nil {
 		return
 	}
 	switch t.Opcode {
 	case isa.BR:
-		idx := p.phtIndex(pcOf(b))
+		idx := p.phtIndex(pcOf(b), bhr)
 		pred := taken2(p.pht[idx])
 		if pred == taken {
 			// Target correctness is accounted by the caller comparing
@@ -178,10 +214,6 @@ func (p *TwoLevel) Update(b *isa.Block, actual isa.BlockID, taken bool, succIdx 
 			p.stats.Correct++
 		}
 		p.pht[idx] = bump(p.pht[idx], taken)
-		p.bhr = p.bhr << 1
-		if taken {
-			p.bhr |= 1
-		}
 		if taken {
 			p.btb.insert(pcOf(b)).add(actual, 1)
 		}
@@ -190,6 +222,72 @@ func (p *TwoLevel) Update(b *isa.Block, actual isa.BlockID, taken bool, succIdx 
 	case isa.RET:
 		// RAS trained at predict time.
 	}
+}
+
+// stepTerm is predictWith immediately followed by updateWith against the
+// same history register, with the terminator already resolved (the Bank
+// resolves it once per event for every lane). All state it touches — PHT,
+// BTB, RAS, stats — is private to this predictor, so fusing the two phases
+// per lane is observationally identical to the Bank's former
+// predict-all-then-update-all order while sharing the PHT index computation,
+// the counter read, and the direction evaluation. The BTB probe sequence is
+// kept call-for-call identical to the split phases: its clock drives LRU
+// replacement, so eliding a probe would change victim choice and diverge
+// from the standalone predictor.
+func (p *TwoLevel) stepTerm(b *isa.Block, t *isa.Op, actual isa.BlockID, taken bool, bhr uint32) isa.BlockID {
+	if t == nil {
+		return b.Succs[0]
+	}
+	switch t.Opcode {
+	case isa.JMP:
+		return b.Succs[0]
+	case isa.CALL:
+		p.ras.push(b.Cont)
+		return b.Succs[0]
+	case isa.RET:
+		p.stats.RASReturns++
+		if v, ok := p.ras.pop(); ok {
+			return v
+		}
+		return isa.NoBlock
+	case isa.JR:
+		pred := isa.NoBlock
+		if e := p.btb.lookup(pcOf(b)); e != nil && len(e.targets) > 0 {
+			pred = e.targets[0]
+		} else {
+			p.stats.BTBMisses++
+		}
+		p.btb.insert(pcOf(b)).add(actual, 1)
+		return pred
+	case isa.HALT:
+		return isa.NoBlock
+	case isa.BR:
+		p.stats.Lookups++
+		idx := p.phtIndex(pcOf(b), bhr)
+		ctr := p.pht[idx]
+		dir := taken2(ctr)
+		pred := isa.NoBlock
+		if dir {
+			// Predicted taken: the target must be in the BTB to redirect
+			// fetch.
+			if e := p.btb.lookup(pcOf(b)); e != nil && e.has(b.Succs[0]) {
+				pred = b.Succs[0]
+			} else {
+				p.stats.BTBMisses++
+			}
+		} else {
+			pred = b.Succs[b.TakenCount]
+		}
+		if dir == taken {
+			p.stats.Correct++
+		}
+		p.pht[idx] = bump(ctr, taken)
+		if taken {
+			p.btb.insert(pcOf(b)).add(actual, 1)
+		}
+		return pred
+	}
+	return isa.NoBlock
 }
 
 // Stats implements Predictor.

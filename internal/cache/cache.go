@@ -87,7 +87,20 @@ type Cache struct {
 	lines     []line // sets*ways
 	clock     uint64
 	stats     Stats
+	// Same-line memo: the most recently accessed line, or noLine. A repeat
+	// access to it is by construction a hit that leaves the set's relative
+	// LRU order unchanged (the line is already most-recent and nothing else
+	// has been touched since), so the probe is skipped entirely. Sequential
+	// fetch makes consecutive blocks share a line constantly, so this elides
+	// the set scan for the bulk of instruction fetch traffic. One sentineled
+	// word rather than a value+valid pair keeps AccessLines inlinable.
+	lastLine uint32
 }
+
+// noLine is the memo's empty value. Line addresses are byte addresses
+// shifted right by at least one line bit, so the all-ones word is never a
+// real line.
+const noLine = ^uint32(0)
 
 type line struct {
 	valid   bool
@@ -103,7 +116,7 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{cfg: cfg, lineShift: uint32(bits.TrailingZeros32(uint32(cfg.LineBytes)))}
+	c := &Cache{cfg: cfg, lineShift: uint32(bits.TrailingZeros32(uint32(cfg.LineBytes))), lastLine: noLine}
 	if cfg.SizeBytes == 0 {
 		c.perfect = true
 		return c, nil
@@ -137,6 +150,10 @@ func (c *Cache) Access(addr uint32) bool {
 // accessLine probes and (on miss) fills the set for one line address. The
 // caller has already counted the access.
 func (c *Cache) accessLine(lineAddr uint32) bool {
+	if lineAddr == c.lastLine {
+		return true
+	}
+	c.lastLine = lineAddr
 	c.clock++
 	set := int(lineAddr) & (c.sets - 1)
 	tag := lineAddr >> c.setBits
@@ -172,8 +189,23 @@ func (c *Cache) AccessRange(addr, size uint32) int {
 	if size == 0 {
 		size = 1
 	}
-	first := addr >> c.lineShift
-	last := (addr + size - 1) >> c.lineShift
+	return c.AccessLines(addr>>c.lineShift, (addr+size-1)>>c.lineShift)
+}
+
+// AccessLines is AccessRange over an already-split line range [first, last]:
+// callers that fetch the same blocks repeatedly (the sweep engines'
+// predecoded tables) precompute the split once. The single-line case on the
+// memoized line — a guaranteed hit that cannot move any LRU state, see
+// accessLine — is handled here so it inlines at the call site.
+func (c *Cache) AccessLines(first, last uint32) int {
+	if first == c.lastLine && first == last {
+		c.stats.Accesses++
+		return 0
+	}
+	return c.accessLines(first, last)
+}
+
+func (c *Cache) accessLines(first, last uint32) int {
 	misses := 0
 	for l := first; l <= last; l++ {
 		c.stats.Accesses++
@@ -200,4 +232,5 @@ func (c *Cache) Reset() {
 	}
 	c.clock = 0
 	c.stats = Stats{}
+	c.lastLine = noLine
 }

@@ -293,9 +293,12 @@ func (h *Harness) Run(key string, prog *isa.Program, cfg uarch.Config) (*uarch.R
 // runMany simulates one program under several configs at once, memoizing
 // each by its key. Missing configurations share a single committed-block
 // trace (recorded on first need): pure icache-size batches go through the
-// fused single-pass sweep engine (uarch.SweepICache), everything else fans
-// out over uarch.SimulateMany's worker pool. Programs without a trace slot
-// are emulated directly, once per missing config.
+// fused single-pass sweep engine (uarch.SweepICache), pure predictor batches
+// through its predictor-space sibling (uarch.SweepPredictor), and everything
+// else fans out over uarch.SimulateMany's worker pool — the fused engines
+// return results identical to the fallback, so routing never changes a
+// table. Programs without a trace slot are emulated directly, once per
+// missing config.
 func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config) ([]*uarch.Result, error) {
 	if len(keys) != len(cfgs) {
 		return nil, fmt.Errorf("harness: runMany: %d keys, %d configs", len(keys), len(cfgs))
@@ -324,9 +327,12 @@ func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config)
 			need[j] = cfgs[i]
 		}
 		var rs []*uarch.Result
-		if uarch.CanSweepICache(need) {
+		switch {
+		case uarch.CanSweepICache(need):
 			rs, err = uarch.SweepICacheContext(h.Opts.ctx(), tr, need, h.Opts.workers())
-		} else {
+		case uarch.CanSweepPredictor(need):
+			rs, err = uarch.SweepPredictorContext(h.Opts.ctx(), tr, need, h.Opts.workers())
+		default:
 			rs, err = uarch.SimulateManyContext(h.Opts.ctx(), tr, need, h.Opts.workers())
 		}
 		if err != nil {

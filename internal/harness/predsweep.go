@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"bsisa/internal/bpred"
+	"bsisa/internal/isa"
+	"bsisa/internal/stats"
+	"bsisa/internal/uarch"
+)
+
+// predSpeedGrid is the 8-point history-length sweep PredSweepSpeed times:
+// the acceptance grid for the fused predictor-sweep engine (ISSUE 5 pins
+// the target at 8 sweep points).
+func predSpeedGrid() []uarch.Config {
+	var cfgs []uarch.Config
+	for _, hb := range []int{1, 2, 4, 6, 8, 10, 12, 16} {
+		cfg := baseConfig(LargeICache, false)
+		cfg.Predictor.HistoryBits = hb
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// PredSweepSpeed times an 8-point predictor history sweep both ways: one
+// independent replay per configuration (uarch.SimulateMany) versus the fused
+// single-pass predictor-sweep engine (uarch.SweepPredictor), over every
+// benchmark and both ISAs, verifying on the way that the two engines return
+// identical results. Like SweepSpeed it deliberately ignores the result
+// memo: every cell is real simulation work, so the table is the perf
+// trajectory record for the predictor-sweep path (bsbench exports it as
+// BENCH_predsweep.json).
+func (h *Harness) PredSweepSpeed() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Predictor sweep speed: per-config replay (legacy) vs fused single-pass sweep",
+		Columns: []string{"Benchmark", "ISA", "Configs", "Legacy (ms)", "Fused (ms)", "Speedup"},
+		Note:    "8-point history-length grid at the Figure 3 machine; engines verified to return identical results.",
+	}
+	cfgs := predSpeedGrid()
+	var legacyTotal, fusedTotal time.Duration
+	for _, b := range h.Benches {
+		for _, side := range []struct {
+			tag  string
+			prog *isa.Program
+		}{{"conv", b.Conv}, {"bsa", b.BSA}} {
+			tr, traced, err := h.Trace(side.prog)
+			if err != nil {
+				return nil, err
+			}
+			if !traced {
+				return nil, fmt.Errorf("harness: predsweep: %s/%s has no trace slot", b.Profile.Name, side.tag)
+			}
+			h.Opts.progress("predsweep %-8s %s", b.Profile.Name, side.tag)
+			start := time.Now()
+			legacy, err := uarch.SimulateMany(tr, cfgs, h.Opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			legacyMs := time.Since(start)
+			start = time.Now()
+			fused, err := uarch.SweepPredictor(tr, cfgs, h.Opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			fusedMs := time.Since(start)
+			for i := range legacy {
+				if *legacy[i] != *fused[i] {
+					return nil, fmt.Errorf("harness: predsweep: %s/%s config %d: fused result diverges:\nlegacy %+v\nfused  %+v",
+						b.Profile.Name, side.tag, i, *legacy[i], *fused[i])
+				}
+			}
+			legacyTotal += legacyMs
+			fusedTotal += fusedMs
+			t.AddRow(b.Profile.Name, side.tag, len(cfgs),
+				legacyMs.Milliseconds(), fusedMs.Milliseconds(),
+				fmt.Sprintf("%.2fx", float64(legacyMs)/float64(fusedMs)))
+		}
+	}
+	t.AddRow("TOTAL", "", len(cfgs), legacyTotal.Milliseconds(), fusedTotal.Milliseconds(),
+		fmt.Sprintf("%.2fx", float64(legacyTotal)/float64(fusedTotal)))
+	return t, nil
+}
+
+// PredictorSensitivity renders the predictor-sensitivity table: mean cycles
+// and mispredicts per 1000 retired operations for both ISAs over a history ×
+// PHT grid at the Figure 3 machine. Each benchmark executable's whole grid
+// is one runMany batch, which routes through the fused predictor-sweep
+// engine (bsbench experiment `predsens`).
+func (h *Harness) PredictorSensitivity() (*stats.Table, error) {
+	type point struct{ hist, pht int }
+	var grid []point
+	for _, hist := range []int{4, 8, 16} {
+		for _, pht := range []int{4096, 32768} {
+			grid = append(grid, point{hist, pht})
+		}
+	}
+	t := &stats.Table{
+		Title: "Predictor sensitivity: history length x PHT size (Figure 3 machine)",
+		Columns: []string{"History Bits", "PHT Entries", "Mean Conv Cycles", "Conv MP/1Kops",
+			"Mean BSA Cycles", "BSA MP/1Kops"},
+		Note: "MP/1Kops counts trap+fault+misfetch mispredictions per 1000 retired operations.",
+	}
+	convRes := make([][]*uarch.Result, len(h.Benches))
+	bsaRes := make([][]*uarch.Result, len(h.Benches))
+	err := h.forEachBench(func(i int) error {
+		b := h.Benches[i]
+		for _, side := range []struct {
+			tag  string
+			prog *isa.Program
+			out  *[]*uarch.Result
+		}{{"conv", b.Conv, &convRes[i]}, {"bsa", b.BSA, &bsaRes[i]}} {
+			keys := make([]string, len(grid))
+			cfgs := make([]uarch.Config, len(grid))
+			for j, p := range grid {
+				cfg := baseConfig(LargeICache, false)
+				cfg.Predictor.HistoryBits = p.hist
+				cfg.Predictor.PHTEntries = p.pht
+				keys[j] = fmt.Sprintf("%s/predsens-h%d-p%d/%s", b.Profile.Name, p.hist, p.pht, side.tag)
+				cfgs[j] = cfg
+			}
+			h.Opts.progress("predsens %-8s %s", b.Profile.Name, side.tag)
+			res, err := h.runMany(keys, side.prog, cfgs)
+			if err != nil {
+				return err
+			}
+			*side.out = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reduce means in benchmark order so the table is identical at every
+	// worker count.
+	nb := float64(len(h.Benches))
+	for j, p := range grid {
+		var cc, cm, bc, bm float64
+		for i := range h.Benches {
+			c, bb := convRes[i][j], bsaRes[i][j]
+			cc += float64(c.Cycles) / nb
+			cm += 1000 * float64(c.Mispredicts()) / float64(c.Ops) / nb
+			bc += float64(bb.Cycles) / nb
+			bm += 1000 * float64(bb.Mispredicts()) / float64(bb.Ops) / nb
+		}
+		t.AddRow(p.hist, p.pht, int64(cc), fmt.Sprintf("%.2f", cm), int64(bc), fmt.Sprintf("%.2f", bm))
+	}
+	return t, nil
+}
+
+// sweepablePredGrid asserts at init time that the harness's predictor grids
+// satisfy the fused engine's gate — a grid drifting out of CanSweepPredictor
+// would silently fall back to per-config replay.
+var _ = func() bool {
+	if !uarch.CanSweepPredictor(predSpeedGrid()) {
+		panic("harness: predSpeedGrid is not sweepable")
+	}
+	// The A4 grid: baseConfig differing only in HistoryBits.
+	var a4 []uarch.Config
+	for _, hb := range []int{2, 16} {
+		cfg := baseConfig(LargeICache, false)
+		cfg.Predictor = bpred.Config{HistoryBits: hb}
+		a4 = append(a4, cfg)
+	}
+	if !uarch.CanSweepPredictor(a4) {
+		panic("harness: AblateHistory grid is not sweepable")
+	}
+	return true
+}()

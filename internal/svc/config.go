@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bsisa/internal/bpred"
 	"bsisa/internal/cache"
 	"bsisa/internal/core"
 	"bsisa/internal/emu"
@@ -27,9 +28,14 @@ type Plan struct {
 	Configs []uarch.Config
 	// ICacheBytes echoes each config's icache size for the response.
 	ICacheBytes []int
+	// Predictors echoes each config's predictor point for the response on
+	// predictor sweeps (nil otherwise).
+	Predictors []*PredictorSpec
 	// Sweep records whether the request was a SweepSpec (the response
 	// renders a sweep table).
 	Sweep bool
+	// PredSweep records whether the request was a PredSweepSpec.
+	PredSweep bool
 	// Timeout is the requested per-job deadline (0 = server default).
 	Timeout time.Duration
 }
@@ -82,9 +88,16 @@ func BuildConfig(req *SimRequest) (*Plan, error) {
 		EmuCfg:  emu.Config{MaxOps: req.EmuMaxOps},
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
 	}
+	modes := 0
+	for _, set := range []bool{req.Config != nil, req.Sweep != nil, req.PredSweep != nil} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return nil, fmt.Errorf("%w: request sets %d of config, sweep, pred_sweep (want one)", ErrBadRequest, modes)
+	}
 	switch {
-	case req.Config != nil && req.Sweep != nil:
-		return nil, fmt.Errorf("%w: request sets both config and sweep", ErrBadRequest)
 	case req.Config != nil:
 		cfg := req.Config.toUarch()
 		if err := cfg.Validate(); err != nil {
@@ -120,10 +133,84 @@ func BuildConfig(req *SimRequest) (*Plan, error) {
 			plan.ICacheBytes = append(plan.ICacheBytes, sz)
 		}
 		plan.Sweep = true
+	case req.PredSweep != nil:
+		if err := buildPredSweep(plan, req.PredSweep); err != nil {
+			return nil, err
+		}
 	default:
-		return nil, fmt.Errorf("%w: request sets neither config nor sweep", ErrBadRequest)
+		return nil, fmt.Errorf("%w: request sets none of config, sweep, pred_sweep", ErrBadRequest)
 	}
 	return plan, nil
+}
+
+// buildPredSweep expands a PredSweepSpec into the plan's configuration grid:
+// the cross product of the swept predictor axes over the shared base
+// machine, in axis-major order (history outermost, then PHT entries, then
+// BTB sets). Every point must validate as a machine configuration; a perfect
+// branch predictor in the base is rejected since it would make every point
+// identical.
+func buildPredSweep(plan *Plan, ps *PredSweepSpec) error {
+	if len(ps.HistoryBits) == 0 && len(ps.PHTEntries) == 0 && len(ps.BTBSets) == 0 {
+		return fmt.Errorf("%w: predictor sweep sets no axis", ErrBadSweep)
+	}
+	base := ConfigSpec{}
+	if ps.Base != nil {
+		base = *ps.Base
+	}
+	if base.PerfectBP {
+		return fmt.Errorf("%w: perfect_bp in the base makes every predictor point identical", ErrBadSweep)
+	}
+	for _, ax := range []struct {
+		name string
+		vals []int
+	}{{"history_bits", ps.HistoryBits}, {"pht_entries", ps.PHTEntries}, {"btb_sets", ps.BTBSets}} {
+		for _, v := range ax.vals {
+			if v < 0 {
+				return fmt.Errorf("%w: negative %s %d", ErrBadSweep, ax.name, v)
+			}
+		}
+	}
+	basePred := PredictorSpec{}
+	if base.Predictor != nil {
+		basePred = *base.Predictor
+	}
+	// An unset axis contributes the base value as its single point; the
+	// sentinel -1 marks "keep base" so an explicit 0 (the paper's default)
+	// stays distinguishable.
+	axis := func(vals []int) []int {
+		if len(vals) == 0 {
+			return []int{-1}
+		}
+		return vals
+	}
+	for _, hist := range axis(ps.HistoryBits) {
+		for _, pht := range axis(ps.PHTEntries) {
+			for _, btb := range axis(ps.BTBSets) {
+				pred := basePred
+				if hist >= 0 {
+					pred.HistoryBits = hist
+				}
+				if pht >= 0 {
+					pred.PHTEntries = pht
+				}
+				if btb >= 0 {
+					pred.BTBSets = btb
+				}
+				spec := base
+				p := pred
+				spec.Predictor = &p
+				cfg := spec.toUarch()
+				if err := cfg.Validate(); err != nil {
+					return fmt.Errorf("%w: point hist=%d pht=%d btb=%d: %v", ErrBadSweep, hist, pht, btb, err)
+				}
+				plan.Configs = append(plan.Configs, cfg)
+				plan.ICacheBytes = append(plan.ICacheBytes, cfg.ICache.SizeBytes)
+				plan.Predictors = append(plan.Predictors, &p)
+			}
+		}
+	}
+	plan.PredSweep = true
+	return nil
 }
 
 // normalizeProgram validates a ProgramSpec and resolves aliases/defaults.
@@ -194,6 +281,15 @@ func (c ConfigSpec) toUarch() uarch.Config {
 	}
 	if c.DCache != nil {
 		cfg.DCache = cache.Config{SizeBytes: c.DCache.SizeBytes, Ways: c.DCache.Ways, LineBytes: c.DCache.LineBytes}
+	}
+	if c.Predictor != nil {
+		cfg.Predictor = bpred.Config{
+			HistoryBits: c.Predictor.HistoryBits,
+			PHTEntries:  c.Predictor.PHTEntries,
+			BTBSets:     c.Predictor.BTBSets,
+			BTBWays:     c.Predictor.BTBWays,
+			RASDepth:    c.Predictor.RASDepth,
+		}
 	}
 	return cfg
 }

@@ -9,16 +9,18 @@ import (
 )
 
 // Pipeline stages instrumented with latency histograms. "replay" is the
-// per-config SimulateMany path, "sweep" the fused single-pass engine; a job
-// exercises exactly one of the two.
+// per-config SimulateMany path, "sweep" the fused single-pass icache engine,
+// "predsweep" the fused predictor-sweep engine; a job exercises exactly one
+// of the three.
 const (
-	stageCompile = "compile"
-	stageTrace   = "trace"
-	stageReplay  = "replay"
-	stageSweep   = "sweep"
+	stageCompile   = "compile"
+	stageTrace     = "trace"
+	stageReplay    = "replay"
+	stageSweep     = "sweep"
+	stagePredSweep = "predsweep"
 )
 
-var stageNames = []string{stageCompile, stageTrace, stageReplay, stageSweep}
+var stageNames = []string{stageCompile, stageTrace, stageReplay, stageSweep, stagePredSweep}
 
 // histBounds are the histogram bucket upper bounds in seconds (+Inf is
 // implicit): tuned to straddle the pipeline's dynamic range, from cached

@@ -16,8 +16,9 @@ import (
 
 // Engine names reported in responses and logs.
 const (
-	engineSweep = "sweep-icache"
-	engineMany  = "simulate-many"
+	engineSweep     = "sweep-icache"
+	enginePredSweep = "sweep-predictor"
+	engineMany      = "simulate-many"
 )
 
 // builtProgram is the program artifact cached across requests.
@@ -38,6 +39,9 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	resp := &SimResponse{Version: SchemaVersion, ID: j.req.ID, Experiment: "sim"}
 	if plan.Sweep {
 		resp.Experiment = "sweep"
+	}
+	if plan.PredSweep {
+		resp.Experiment = "predsweep"
 	}
 	if plan.Program.Workload != "" {
 		resp.Scale = plan.Program.Scale
@@ -84,15 +88,21 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 
 	// Timing: same routing as harness.runMany / bsim -sweep-icache.
 	engine, stage := engineMany, stageReplay
-	if uarch.CanSweepICache(plan.Configs) {
+	switch {
+	case uarch.CanSweepICache(plan.Configs):
 		engine, stage = engineSweep, stageSweep
+	case uarch.CanSweepPredictor(plan.Configs):
+		engine, stage = enginePredSweep, stagePredSweep
 	}
 	resp.Engine = engine
 	t0 := time.Now()
 	var results []*uarch.Result
-	if engine == engineSweep {
+	switch engine {
+	case engineSweep:
 		results, err = uarch.SweepICacheContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
-	} else {
+	case enginePredSweep:
+		results, err = uarch.SweepPredictorContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
+	default:
 		results, err = uarch.SimulateManyContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
 	}
 	engineWall := time.Since(t0)
@@ -104,6 +114,9 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	resp.Results = make([]SimResult, len(results))
 	for i, r := range results {
 		resp.Results[i] = ResultOf(plan.ICacheBytes[i], r)
+		if plan.Predictors != nil {
+			resp.Results[i].Predictor = plan.Predictors[i]
+		}
 	}
 	resp.Table = renderTable(plan, resp.Results)
 	resp.WallMs = time.Since(start).Milliseconds()
@@ -160,6 +173,17 @@ func buildProgram(plan *Plan) (*builtProgram, error) {
 // renderTable renders the human-oriented table for a service response,
 // mirroring bsim's sweep output columns.
 func renderTable(plan *Plan, results []SimResult) *Table {
+	if plan.PredSweep {
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Predictor sweep (%s)", plan.Program.ISA),
+			Columns: []string{"Predictor", "Cycles", "IPC", "Mispredicts"},
+		}
+		for _, r := range results {
+			t.AddRow(predictorLabel(r.Predictor), r.Cycles, r.IPC,
+				r.TrapMispredicts+r.FaultMispredicts+r.Misfetches)
+		}
+		return TableOf(t)
+	}
 	t := &stats.Table{
 		Columns: []string{"ICache", "Cycles", "IPC", "ICMiss%", "Mispredicts"},
 	}
@@ -181,4 +205,27 @@ func renderTable(plan *Plan, results []SimResult) *Table {
 			r.TrapMispredicts+r.FaultMispredicts+r.Misfetches)
 	}
 	return TableOf(t)
+}
+
+// predictorLabel renders a predictor point compactly ("default" when every
+// knob keeps the paper's value).
+func predictorLabel(p *PredictorSpec) string {
+	if p == nil {
+		return "default"
+	}
+	label := ""
+	add := func(tag string, v int) {
+		if v != 0 {
+			label += fmt.Sprintf("%s%d/", tag, v)
+		}
+	}
+	add("hist", p.HistoryBits)
+	add("pht", p.PHTEntries)
+	add("btb", p.BTBSets)
+	add("ways", p.BTBWays)
+	add("ras", p.RASDepth)
+	if label == "" {
+		return "default"
+	}
+	return label[:len(label)-1]
 }

@@ -24,8 +24,9 @@ import (
 const SchemaVersion = 1
 
 // SimRequest is one simulation job. Exactly one program source (source,
-// seed, or workload) and exactly one of Config (single timing run) or Sweep
-// (icache sensitivity sweep) must be set.
+// seed, or workload) and exactly one of Config (single timing run), Sweep
+// (icache sensitivity sweep), or PredSweep (branch-predictor sensitivity
+// sweep) must be set.
 type SimRequest struct {
 	// Version must equal SchemaVersion.
 	Version int `json:"version"`
@@ -41,6 +42,9 @@ type SimRequest struct {
 	Config *ConfigSpec `json:"config,omitempty"`
 	// Sweep runs an icache sensitivity sweep (Figure 6/7 style).
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// PredSweep runs a branch-predictor sensitivity sweep over the cross
+	// product of its axes (schema-additive; older clients never see it).
+	PredSweep *PredSweepSpec `json:"pred_sweep,omitempty"`
 	// TimeoutMs, when positive, caps the job's wall time; the job's context
 	// is canceled at the deadline (subject to the server's own ceiling).
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -85,16 +89,28 @@ type CacheSpec struct {
 // ConfigSpec mirrors the uarch.Config knobs the service exposes (zero values
 // take the paper's configuration, exactly as in uarch.Config).
 type ConfigSpec struct {
-	IssueWidth         int        `json:"issue_width,omitempty"`
-	WindowBlocks       int        `json:"window_blocks,omitempty"`
-	WindowOps          int        `json:"window_ops,omitempty"`
-	NumFUs             int        `json:"num_fus,omitempty"`
-	FrontEndDepth      int        `json:"front_end_depth,omitempty"`
-	L2Latency          int        `json:"l2_latency,omitempty"`
-	FaultSquashPenalty int        `json:"fault_squash_penalty,omitempty"`
-	ICache             *CacheSpec `json:"icache,omitempty"`
-	DCache             *CacheSpec `json:"dcache,omitempty"`
-	PerfectBP          bool       `json:"perfect_bp,omitempty"`
+	IssueWidth         int            `json:"issue_width,omitempty"`
+	WindowBlocks       int            `json:"window_blocks,omitempty"`
+	WindowOps          int            `json:"window_ops,omitempty"`
+	NumFUs             int            `json:"num_fus,omitempty"`
+	FrontEndDepth      int            `json:"front_end_depth,omitempty"`
+	L2Latency          int            `json:"l2_latency,omitempty"`
+	FaultSquashPenalty int            `json:"fault_squash_penalty,omitempty"`
+	ICache             *CacheSpec     `json:"icache,omitempty"`
+	DCache             *CacheSpec     `json:"dcache,omitempty"`
+	Predictor          *PredictorSpec `json:"predictor,omitempty"`
+	PerfectBP          bool           `json:"perfect_bp,omitempty"`
+}
+
+// PredictorSpec mirrors bpred.Config (zero fields take the paper's predictor
+// geometry). Table sizes must be powers of two and history must fit the
+// 32-bit BHR, exactly as bpred.Config.Validate enforces.
+type PredictorSpec struct {
+	HistoryBits int `json:"history_bits,omitempty"`
+	PHTEntries  int `json:"pht_entries,omitempty"`
+	BTBSets     int `json:"btb_sets,omitempty"`
+	BTBWays     int `json:"btb_ways,omitempty"`
+	RASDepth    int `json:"ras_depth,omitempty"`
 }
 
 // SweepSpec requests one timing result per icache size over a shared base
@@ -106,6 +122,26 @@ type SweepSpec struct {
 	ICacheSizes []int `json:"icache_sizes"`
 	// Base carries every non-icache knob (nil = the paper's machine, 4-way
 	// icache — the bsbench/bsim configuration).
+	Base *ConfigSpec `json:"base,omitempty"`
+}
+
+// PredSweepSpec requests one timing result per branch-predictor point over a
+// shared base machine: the cross product of its axes, in axis-major order
+// (history outermost, then PHT entries, then BTB sets). An empty axis keeps
+// the base configuration's value for that knob, so a single-axis sweep is
+// just {"history_bits": [2, 4, 8]}. A zero in an axis selects the paper's
+// default for that knob.
+type PredSweepSpec struct {
+	// HistoryBits sweeps the branch-history register length consumed by the
+	// PHT index (0..32).
+	HistoryBits []int `json:"history_bits,omitempty"`
+	// PHTEntries sweeps the pattern-history-table size (powers of two).
+	PHTEntries []int `json:"pht_entries,omitempty"`
+	// BTBSets sweeps the branch-target-buffer set count (powers of two).
+	BTBSets []int `json:"btb_sets,omitempty"`
+	// Base carries every non-swept knob, including the icache geometry and
+	// fixed predictor fields such as BTB ways or RAS depth (nil = the
+	// paper's machine).
 	Base *ConfigSpec `json:"base,omitempty"`
 }
 
@@ -126,8 +162,9 @@ type SimResponse struct {
 	WallMs int64 `json:"wall_ms"`
 	// Error is set (and Results/Table unset) when the job failed.
 	Error string `json:"error,omitempty"`
-	// Engine reports which timing path ran: "sweep-icache" (fused
-	// single-pass engine) or "simulate-many" (one replay per config).
+	// Engine reports which timing path ran: "sweep-icache" or
+	// "sweep-predictor" (the fused single-pass engines) or "simulate-many"
+	// (one replay per config).
 	Engine string `json:"engine,omitempty"`
 	// ArtifactCache reports whether this job reused a cached compiled
 	// program / recorded trace.
@@ -169,6 +206,9 @@ type CacheStatsJSON struct {
 // field-for-field against bsim/bsbench output.
 type SimResult struct {
 	ICacheBytes int `json:"icache_bytes"` // 0 = perfect
+	// Predictor echoes the configuration's predictor point on predictor
+	// sweeps (nil elsewhere; schema-additive).
+	Predictor *PredictorSpec `json:"predictor,omitempty"`
 
 	Cycles int64   `json:"cycles"`
 	Ops    int64   `json:"ops"`

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"bsisa/internal/uarch"
 )
 
 func TestDecodeRequestStrict(t *testing.T) {
@@ -95,6 +97,32 @@ func TestBuildConfigTypedErrors(t *testing.T) {
 			r.Config = nil
 			r.Sweep = &SweepSpec{ICacheSizes: []int{3000}}
 		}, ErrBadSweep},
+		{"both config and pred sweep", func(r *SimRequest) {
+			r.PredSweep = &PredSweepSpec{HistoryBits: []int{2, 4}}
+		}, ErrBadRequest},
+		{"pred sweep with no axis", func(r *SimRequest) {
+			r.Config = nil
+			r.PredSweep = &PredSweepSpec{}
+		}, ErrBadSweep},
+		{"negative pred sweep axis", func(r *SimRequest) {
+			r.Config = nil
+			r.PredSweep = &PredSweepSpec{HistoryBits: []int{-2}}
+		}, ErrBadSweep},
+		{"pred sweep history beyond BHR", func(r *SimRequest) {
+			r.Config = nil
+			r.PredSweep = &PredSweepSpec{HistoryBits: []int{40}}
+		}, ErrBadSweep},
+		{"pred sweep non-power-of-two PHT", func(r *SimRequest) {
+			r.Config = nil
+			r.PredSweep = &PredSweepSpec{PHTEntries: []int{3000}}
+		}, ErrBadSweep},
+		{"pred sweep over perfect prediction", func(r *SimRequest) {
+			r.Config = nil
+			r.PredSweep = &PredSweepSpec{
+				HistoryBits: []int{2, 4},
+				Base:        &ConfigSpec{PerfectBP: true},
+			}
+		}, ErrBadSweep},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -158,5 +186,60 @@ func TestBuildConfigNormalization(t *testing.T) {
 	}
 	if p.Program.ISA != isaBlockStructured {
 		t.Fatalf("ISA alias not normalized: %q", p.Program.ISA)
+	}
+}
+
+func TestBuildConfigPredSweep(t *testing.T) {
+	// The grid is the cross product of the axes in axis-major order, over
+	// the shared base machine; unset axes keep the base's value.
+	p, err := BuildConfig(&SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Workload: "compress", ISA: "bsa"},
+		PredSweep: &PredSweepSpec{
+			HistoryBits: []int{4, 8},
+			PHTEntries:  []int{1024, 4096},
+			Base: &ConfigSpec{
+				ICache:    &CacheSpec{SizeBytes: 8192, Ways: 4},
+				Predictor: &PredictorSpec{BTBWays: 2},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.PredSweep || p.Sweep {
+		t.Fatalf("plan flags wrong: %+v", p)
+	}
+	if len(p.Configs) != 4 || len(p.Predictors) != 4 {
+		t.Fatalf("cross product has %d configs, %d echoes; want 4 each", len(p.Configs), len(p.Predictors))
+	}
+	wantPoints := []PredictorSpec{
+		{HistoryBits: 4, PHTEntries: 1024, BTBWays: 2},
+		{HistoryBits: 4, PHTEntries: 4096, BTBWays: 2},
+		{HistoryBits: 8, PHTEntries: 1024, BTBWays: 2},
+		{HistoryBits: 8, PHTEntries: 4096, BTBWays: 2},
+	}
+	for i, want := range wantPoints {
+		if *p.Predictors[i] != want {
+			t.Errorf("point %d: %+v, want %+v", i, *p.Predictors[i], want)
+		}
+		cfg := p.Configs[i]
+		if cfg.Predictor.HistoryBits != want.HistoryBits ||
+			cfg.Predictor.PHTEntries != want.PHTEntries ||
+			cfg.Predictor.BTBWays != want.BTBWays {
+			t.Errorf("config %d predictor: %+v", i, cfg.Predictor)
+		}
+		if cfg.ICache.SizeBytes != 8192 {
+			t.Errorf("config %d lost the base icache: %+v", i, cfg.ICache)
+		}
+		if p.ICacheBytes[i] != 8192 {
+			t.Errorf("icache echo %d: %d", i, p.ICacheBytes[i])
+		}
+	}
+
+	// Every pred-sweep grid over a plain base must satisfy the fused
+	// engine's gate, so the service routes it to SweepPredictor.
+	if len(p.Configs) >= 2 && !uarch.CanSweepPredictor(p.Configs) {
+		t.Fatal("pred-sweep plan is not sweepable by the fused engine")
 	}
 }

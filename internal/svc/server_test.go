@@ -140,6 +140,83 @@ func TestServerMatchesLibraryPath(t *testing.T) {
 	}
 }
 
+// TestServerPredictorSweep answers a predictor-sensitivity sweep over HTTP
+// and requires (a) the fused predictor-sweep engine served it, and (b) every
+// result is field-for-field identical to the direct library path, for both
+// ISAs.
+func TestServerPredictorSweep(t *testing.T) {
+	_, ts := testServer(t, quietConfig())
+	seed := int64(42)
+
+	for _, isaName := range []string{"conv", "bsa"} {
+		req := &SimRequest{
+			Version: SchemaVersion,
+			Program: ProgramSpec{Seed: &seed, ISA: isaName},
+			PredSweep: &PredSweepSpec{
+				HistoryBits: []int{2, 8, 16},
+				PHTEntries:  []int{1024, 8192},
+				Base:        &ConfigSpec{ICache: &CacheSpec{SizeBytes: 2048, Ways: 4}},
+			},
+		}
+		status, resp := post(t, ts, req)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", isaName, status, resp.Error)
+		}
+		if resp.Experiment != "predsweep" {
+			t.Fatalf("%s: experiment %q", isaName, resp.Experiment)
+		}
+		if resp.Engine != "sweep-predictor" {
+			t.Fatalf("%s: engine %q, want the fused predictor sweep", isaName, resp.Engine)
+		}
+
+		// Direct path, sharing only BuildConfig for config assembly.
+		plan, err := BuildConfig(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := isa.Conventional
+		if isaName == "bsa" {
+			kind = isa.BlockStructured
+		}
+		prog, err := compile.Compile(testgen.Program(seed), "t", compile.DefaultOptions(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == isa.BlockStructured {
+			if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr, err := emu.Record(prog, emu.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := uarch.SweepPredictor(tr, plan.Configs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != len(want) {
+			t.Fatalf("%s: %d results, want %d", isaName, len(resp.Results), len(want))
+		}
+		for i, w := range want {
+			exp := ResultOf(plan.ICacheBytes[i], w)
+			exp.Predictor = plan.Predictors[i]
+			got := resp.Results[i]
+			if got.Predictor == nil || *got.Predictor != *exp.Predictor {
+				t.Fatalf("%s: result %d predictor echo %+v, want %+v",
+					isaName, i, got.Predictor, exp.Predictor)
+			}
+			got.Predictor, exp.Predictor = nil, nil
+			if got != exp {
+				t.Fatalf("%s: result %d diverges:\nservice: %+v\ndirect:  %+v", isaName, i, got, exp)
+			}
+		}
+		if resp.Table == nil || len(resp.Table.Rows) != len(want) {
+			t.Fatalf("%s: table malformed: %+v", isaName, resp.Table)
+		}
+	}
+}
+
 func TestServerRejectsBadRequests(t *testing.T) {
 	_, ts := testServer(t, quietConfig())
 	cases := []struct {

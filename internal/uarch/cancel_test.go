@@ -146,6 +146,40 @@ func TestSweepICacheContextCanceled(t *testing.T) {
 	}
 }
 
+func TestSweepPredictorContextCanceled(t *testing.T) {
+	tr := cancelTrace(t)
+	cfgs := predGrid(1024)
+	if !CanSweepPredictor(cfgs) {
+		t.Fatal("grid should be sweepable")
+	}
+	for _, workers := range []int{1, 4} {
+		baseline := runtime.NumGoroutine()
+		results, err := SweepPredictorContext(newCountdownCtx(3), tr, cfgs, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if results != nil {
+			t.Fatalf("workers=%d: canceled call returned results", workers)
+		}
+		checkNoGoroutineLeak(t, baseline)
+	}
+
+	// A background context must not perturb results.
+	want, err := SweepPredictor(tr, cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SweepPredictorContext(context.Background(), tr, cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Fatalf("context predsweep diverged at config %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
 // TestSimulateManyContextPrompt bounds the cancellation latency: once the
 // context is done, a replay over a multi-million-event trace must bail out
 // after at most one chunk (4096 events) per in-flight lane rather than

@@ -56,10 +56,18 @@ const (
 )
 
 // laneBlock is a predecoded block, indexed by BlockID in a laneProg slice.
+// addr/size carry the block's layout footprint so predictor-sweep lanes can
+// drive their live per-lane icache straight off the table (see sweeppred.go).
 type laneBlock struct {
 	ops         []laneOp
 	numOps      int
 	fetchCycles int64
+	addr        uint32
+	size        uint32
+	// line0/line1 are the block's footprint as icache line addresses, filled
+	// in by the predictor sweep (whose lanes all share one icache geometry)
+	// so each fetch skips the address split; the icache sweep ignores them.
+	line0, line1 uint32
 }
 
 // flattenSweepProgram predecodes every block once for all lanes.
@@ -71,6 +79,8 @@ func flattenSweepProgram(prog *isa.Program, issueWidth int) []laneBlock {
 		}
 		lb := &lp[id]
 		lb.numOps = len(b.Ops)
+		lb.addr = b.Addr
+		lb.size = b.Size
 		n := (len(b.Ops) + issueWidth - 1) / issueWidth
 		if n < 1 {
 			n = 1
@@ -158,19 +168,37 @@ type laneRing struct {
 }
 
 func newLaneRing() laneRing {
-	const size = 2048 // power of two; grows on demand, mirroring fuRing
+	// Power of two; grows on demand, mirroring fuRing. The initial size is
+	// deliberately small: a lane only needs to span the latencies in flight
+	// (tens of cycles — grow handles the rare deep stall), and a whole
+	// lockstep group's rings must stay L1-resident together, so every
+	// kilobyte here is multiplied by the lane count.
+	const size = 256
 	return laneRing{counts: make([]uint8, size), mask: size - 1}
 }
 
 func (r *laneRing) advance(cycle int64) {
-	if cycle <= r.base {
+	n := cycle - r.base
+	if n <= 0 {
 		return
 	}
-	if cycle-r.base >= int64(len(r.counts)) {
+	if n >= int64(len(r.counts)) {
 		clear(r.counts)
-	} else {
+	} else if n <= 4 {
+		// Typical step: a block's one-to-few fetch cycles.
 		for c := r.base; c < cycle; c++ {
 			r.counts[c&r.mask] = 0
+		}
+	} else {
+		// Stall-sized steps (icache misses, recovery) clear a run at a time;
+		// the run wraps at most once.
+		i := r.base & r.mask
+		j := cycle & r.mask
+		if i < j {
+			clear(r.counts[i:j])
+		} else {
+			clear(r.counts[i:])
+			clear(r.counts[:j])
 		}
 	}
 	r.base = cycle
@@ -191,7 +219,9 @@ func (r *laneRing) grow(cycle int64) {
 
 // sweepLane is one configuration's view of the shared pass. fm and wm are
 // this lane's level slices of sh.fetchMiss / sh.wrongMiss (nil for a perfect
-// icache).
+// icache). A predictor-sweep lane (sweeppred.go) instead carries per-lane
+// mispredict streams and a live icache: predictor variants diverge in which
+// wrong-path blocks pollute the icache, so cache state cannot be shared.
 type sweepLane struct {
 	sh       *sweepShared
 	lp       []laneBlock
@@ -201,6 +231,18 @@ type sweepLane struct {
 	level    int // profiler level of this config's icache size; -1 = perfect
 	ldOff    int // cursor into sh.ldHit
 	faultOff int // cursor into sh.faultBlock / wm
+
+	// Predictor-sweep mode only. Mispredict kinds are stored sparsely —
+	// ascending event indices plus a parallel kind stream — so the per-event
+	// hot path is one cursor compare instead of a load from a dense
+	// numEvents-sized array per lane.
+	ic       *cache.Cache  // live per-lane icache
+	mpEv     []uint32      // event indices with a mispredict, ascending
+	mpKind   []uint8       // mispredict kind, parallel to mpEv
+	mpOff    int           // cursor into mpEv/mpKind
+	wrong    []isa.BlockID // wrong-path block per swTrap/swFault event (NoBlock = none fetched)
+	wrongOff int           // cursor into wrong
+	bp       bpred.Stats   // this lane's predictor stats from the Bank
 }
 
 // enrichSweep replays the trace once through the profiler, dcache and
@@ -349,14 +391,25 @@ func (s *Sim) laneSchedule(lb *laneBlock, issue int64, regReady *[isa.NumRegs]in
 		ldOff = s.sw.ldOff
 	}
 	l2 := int64(s.cfg.L2Latency)
-	for i := range lb.ops {
-		op := &lb.ops[i]
+	for _, op := range lb.ops {
 		ready := issue
-		for k := uint8(0); k < op.nReads; k++ {
-			// reads hold valid register numbers (< NumRegs) by construction;
-			// the mask only elides the bounds check.
-			if rr := regReady[op.reads[k]%isa.NumRegs]; rr > ready {
+		// reads hold valid register numbers (< NumRegs) by construction; the
+		// mask only elides the bounds check. The loop is unrolled with
+		// constant indices so the reads-array accesses need no bounds checks
+		// either (nReads <= 3 is a laneOp invariant the compiler cannot see).
+		if op.nReads > 0 {
+			if rr := regReady[op.reads[0]%isa.NumRegs]; rr > ready {
 				ready = rr
+			}
+			if op.nReads > 1 {
+				if rr := regReady[op.reads[1]%isa.NumRegs]; rr > ready {
+					ready = rr
+				}
+				if op.nReads > 2 {
+					if rr := regReady[op.reads[2]%isa.NumRegs]; rr > ready {
+						ready = rr
+					}
+				}
 			}
 		}
 		// No ready < base clamp is needed here (unlike allocFU): ready starts
@@ -367,31 +420,35 @@ func (s *Sim) laneSchedule(lb *laneBlock, issue int64, regReady *[isa.NumRegs]in
 				r.grow(ready)
 				mask, counts = r.mask, r.counts
 			}
-			if counts[ready&mask] < limit {
+			if c := counts[ready&mask]; c < limit {
+				counts[ready&mask] = c + 1
 				break
 			}
 			ready++
 		}
-		counts[ready&mask]++
 		lat := int64(op.lat)
-		if op.flags&laneLD != 0 && commit {
-			if !ldHit[ldOff] {
-				lat += l2
-			}
-			ldOff++
-		}
 		done := ready + lat
+		if op.flags != 0 {
+			// Flagged ops (loads, terminators, faults) are the minority; one
+			// combined test keeps the common path down to the checks above.
+			if op.flags&laneLD != 0 && commit {
+				if !ldHit[ldOff] {
+					done += l2
+				}
+				ldOff++
+			}
+			if op.flags&laneTerm != 0 {
+				st.term = done
+			}
+			if op.flags&laneFault != 0 && st.firstFault == 0 {
+				st.firstFault = done
+			}
+		}
 		if op.w1 != 0 {
 			regReady[op.w1%isa.NumRegs] = done
 		}
 		if op.w2 != 0 {
 			regReady[op.w2%isa.NumRegs] = done
-		}
-		if op.flags&laneTerm != 0 {
-			st.term = done
-		}
-		if op.flags&laneFault != 0 && st.firstFault == 0 {
-			st.firstFault = done
 		}
 		if done > st.done {
 			st.done = done

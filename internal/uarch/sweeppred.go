@@ -1,0 +1,416 @@
+package uarch
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime"
+
+	"bsisa/internal/bpred"
+	"bsisa/internal/cache"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+// This file implements the single-pass branch-predictor sweep engine: the
+// predictor-space analogue of SweepICache. A predictor sensitivity sweep
+// (ablation A4, the examples/predictors study, the bsimd predictor-sweep
+// request) runs the same trace under N configurations that differ only in
+// the Predictor field. Predictor state depends only on the committed stream
+// — its tables never observe timing — so one enrichment replay can train
+// every variant at once: a bpred.Bank steps all lanes per control event,
+// sharing the BHR shift/mask work across history lengths, and emits each
+// lane's prediction, which classifyMispredict (also timing-independent)
+// turns into per-lane mispredict streams.
+//
+// Unlike the icache sweep, the icache cannot be shared: wrong-path
+// pollution — the trap-mispredicted block's fetch, the fault-mispredicted
+// variant's shadow fetch — depends on each lane's own mispredictions, so
+// every timing lane owns a live per-lane icache driven straight off the
+// predecoded block table. What is shared: the one trace decode, the dcache
+// outcomes (committed loads and stores never depend on the predictor), the
+// predecoded laneOp tables, and all the Bank's predictor work. Lanes run
+// the same lockstep, worker-grouped timing loop as SweepICache, and their
+// results are identical, field for field, to SimulateMany on the same grid
+// (sweeppred_test.go enforces this).
+
+// predShared is the predictor-sweep enrich pass's output. sh carries the
+// shared dcache outcomes in the same shape the icache sweep uses, so
+// laneSchedule serves both engines unchanged.
+type predShared struct {
+	sh *sweepShared
+	// Mispredict streams are sparse: per lane, the ascending event indices
+	// that mispredicted and a parallel kind stream. Mispredicts are a few
+	// percent of events, so this replaces lanes x numEvents bytes of
+	// allocated, zeroed and then streamed-through memory with short arrays a
+	// lane consumes through a cursor.
+	mpEv   [][]uint32      // per lane: event indices with a mispredict, ascending
+	mpKind [][]uint8       // per lane: mispredict kind, parallel to mpEv
+	wrong  [][]isa.BlockID // per lane, in event order: wrong-path block per swTrap/swFault
+	bp     []bpred.Stats   // per lane: predictor traffic
+}
+
+// enrichPredSweep replays the trace once, training the whole predictor Bank
+// and recording per-lane mispredict streams plus the shared dcache outcomes.
+func enrichPredSweep(ctx context.Context, t *emu.Trace, norm []Config) (*predShared, error) {
+	base := norm[0]
+	dc, err := cache.New(base.DCache)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: predsweep: dcache: %w", err)
+	}
+	prog := t.Program()
+	pcfgs := make([]bpred.Config, len(norm))
+	for i, cfg := range norm {
+		pcfgs[i] = cfg.Predictor
+	}
+	bank := bpred.NewBank(prog.Kind, pcfgs)
+
+	ps := &predShared{
+		sh:     &sweepShared{},
+		mpEv:   make([][]uint32, len(norm)),
+		mpKind: make([][]uint8, len(norm)),
+		wrong:  make([][]isa.BlockID, len(norm)),
+		bp:     make([]bpred.Stats, len(norm)),
+	}
+	// Most blocks touch no memory; precompute which do (one pass over the
+	// static program) so the dynamic handler skips the per-op scan for the
+	// rest.
+	hasMem := make([]bool, len(prog.Blocks))
+	for id, b := range prog.Blocks {
+		if b == nil {
+			continue
+		}
+		for i := range b.Ops {
+			if op := b.Ops[i].Opcode; op == isa.LD || op == isa.ST {
+				hasMem[id] = true
+				break
+			}
+		}
+	}
+	preds := make([]isa.BlockID, bank.Len())
+	ei := 0
+	err = t.ReplayContext(ctx, func(ev *emu.BlockEvent) error {
+		b := ev.Block
+		if hasMem[b.ID] {
+			memIdx := 0
+			for i := range b.Ops {
+				switch b.Ops[i].Opcode {
+				case isa.LD:
+					hit := true
+					if memIdx < len(ev.MemAddrs) {
+						hit = dc.Access(ev.MemAddrs[memIdx])
+						memIdx++
+					}
+					ps.sh.ldHit = append(ps.sh.ldHit, hit)
+				case isa.ST:
+					if memIdx < len(ev.MemAddrs) {
+						dc.Access(ev.MemAddrs[memIdx])
+						memIdx++
+					}
+				}
+			}
+		}
+		if ev.Next != isa.NoBlock {
+			bank.Step(b, ev.Next, ev.Taken, ev.SuccIdx, preds)
+			for l, predicted := range preds {
+				if predicted == ev.Next {
+					continue
+				}
+				var kind uint8
+				switch classifyMispredict(b, predicted, ev.Next) {
+				case mpMisfetch:
+					kind = swMisfetch
+				case mpTrap:
+					kind = swTrap
+					// The wrong-path block pollutes the lane's icache only if
+					// it exists; record NoBlock otherwise so the lane's wrong
+					// cursor stays in step with its mispredict stream.
+					if prog.Block(predicted) == nil {
+						predicted = isa.NoBlock
+					}
+					ps.wrong[l] = append(ps.wrong[l], predicted)
+				case mpFault:
+					if prog.Block(predicted) == nil {
+						kind = swFaultNoBlock
+						break
+					}
+					kind = swFault
+					ps.wrong[l] = append(ps.wrong[l], predicted)
+				}
+				ps.mpEv[l] = append(ps.mpEv[l], uint32(ei))
+				ps.mpKind[l] = append(ps.mpKind[l], kind)
+			}
+		}
+		ei++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ps.sh.dcStats = dc.Stats()
+	for l := range ps.bp {
+		ps.bp[l] = bank.LaneStats(l)
+	}
+	return ps, nil
+}
+
+// predRecover is recover for a predictor-sweep lane: the kind comes from the
+// lane's enrich stream, the wrong-path icache outcome from the lane's own
+// live icache.
+func (s *Sim) predRecover(kind uint8, trapResolve, issue int64) (int64, bool) {
+	sw := s.sw
+	switch kind {
+	case swMisfetch:
+		s.res.Misfetches++
+		return trapResolve, false
+	case swTrap:
+		s.res.TrapMispredicts++
+		if id := sw.wrong[sw.wrongOff]; id != isa.NoBlock {
+			wb := &sw.lp[id]
+			sw.ic.AccessLines(wb.line0, wb.line1)
+		}
+		sw.wrongOff++
+		return trapResolve, false
+	case swFaultNoBlock:
+		s.res.FaultMispredicts++
+		return trapResolve, true
+	}
+	s.res.FaultMispredicts++
+	pb := &sw.lp[sw.wrong[sw.wrongOff]]
+	sw.wrongOff++
+	s.shadowRegReady = s.regReady
+	shadowIssue := issue + 1
+	if misses := sw.ic.AccessLines(pb.line0, pb.line1); misses > 0 {
+		shadowIssue += int64(s.cfg.L2Latency + (misses - 1))
+	}
+	shadow := s.laneSchedule(pb, shadowIssue, &s.shadowRegReady, false)
+	faultResolve := shadow.firstFault
+	if faultResolve == 0 {
+		faultResolve = shadow.done
+	}
+	if faultResolve < trapResolve {
+		faultResolve = trapResolve
+	}
+	return faultResolve, true
+}
+
+// predStep is OnBlock for a predictor-sweep lane: the same window, stall,
+// retire and recovery arithmetic as sweepStep, but fetch (and wrong-path
+// pollution, in predRecover) goes through the lane's live icache because the
+// pollution stream is per-lane.
+func (s *Sim) predStep(lb *laneBlock, ei int) {
+	sw := s.sw
+
+	fetch := s.nextFetch
+	for s.winLen > 0 {
+		head := s.win[s.winHead].retire
+		if s.winLen >= s.cfg.WindowBlocks || s.winOps+lb.numOps > s.cfg.WindowOps {
+			if head > fetch {
+				s.res.FetchStallWindow += head - fetch
+				fetch = head
+			}
+			s.popWindow()
+			continue
+		}
+		if head <= fetch {
+			s.popWindow()
+			continue
+		}
+		break
+	}
+	if misses := sw.ic.AccessLines(lb.line0, lb.line1); misses > 0 {
+		stall := int64(s.cfg.L2Latency + (misses - 1))
+		s.res.FetchStallICache += stall
+		fetch += stall
+	}
+	s.cycle = fetch
+	sw.ring.advance(fetch)
+
+	issue := fetch + int64(s.cfg.FrontEndDepth)
+	sched := s.laneSchedule(lb, issue, &s.regReady, true)
+	blockDone, trapResolve := sched.done, sched.term
+
+	retire := blockDone + 1
+	if retire <= s.lastRetire {
+		retire = s.lastRetire + 1
+	}
+	s.lastRetire = retire
+	s.pushWindow(windowEntry{retire: retire, ops: lb.numOps})
+	s.res.Ops += int64(lb.numOps)
+	s.res.Blocks++
+
+	nextFetch := fetch + lb.fetchCycles
+	if sw.mpOff < len(sw.mpEv) && sw.mpEv[sw.mpOff] == uint32(ei) {
+		kind := sw.mpKind[sw.mpOff]
+		sw.mpOff++
+		resolve, wasFault := s.predRecover(kind, trapResolve, issue)
+		restart := resolve + int64(s.cfg.FrontEndDepth)
+		if wasFault {
+			restart += int64(s.cfg.FaultSquashPenalty)
+		}
+		if restart > nextFetch {
+			s.res.RecoveryStall += restart - nextFetch
+			nextFetch = restart
+		}
+	}
+	s.nextFetch = nextFetch
+}
+
+// predFinish is Finish for a predictor-sweep lane: the icache stats come
+// from the lane's live cache, the dcache stats from the shared pass, the
+// predictor stats from the lane's Bank slot.
+func (s *Sim) predFinish() *Result {
+	s.res.Cycles = s.lastRetire
+	s.res.ICache = s.sw.ic.Stats()
+	s.res.DCache = s.sw.sh.dcStats
+	s.res.Bpred = s.sw.bp
+	return &s.res
+}
+
+// predSweepCheck validates that normalized configs are a pure predictor
+// sweep: identical beyond the Predictor field, real (non-perfect) branch
+// prediction, valid predictor table geometries, and none of the fetch
+// rivals whose paths observe per-config timing.
+func predSweepCheck(norm []Config) error {
+	if len(norm) < 2 {
+		return fmt.Errorf("uarch: predsweep: need at least 2 configurations, got %d", len(norm))
+	}
+	if norm[0].NumFUs > 255 {
+		// The lane FU scoreboard holds per-cycle byte counts.
+		return fmt.Errorf("uarch: predsweep: %d functional units exceed the lane scoreboard range", norm[0].NumFUs)
+	}
+	ref := norm[0]
+	ref.Predictor = bpred.Config{}
+	for i, cfg := range norm {
+		if cfg.TraceCache.Enabled() || cfg.MultiBlock.Enabled() {
+			return fmt.Errorf("uarch: predsweep: config %d uses a trace cache or multi-block fetch", i)
+		}
+		if cfg.PerfectBP {
+			return fmt.Errorf("uarch: predsweep: config %d has perfect prediction; nothing to sweep", i)
+		}
+		if err := cfg.Predictor.Validate(); err != nil {
+			return fmt.Errorf("uarch: predsweep: config %d: %w", i, err)
+		}
+		cfg.Predictor = bpred.Config{}
+		if cfg != ref {
+			return fmt.Errorf("uarch: predsweep: config %d differs from config 0 beyond the Predictor", i)
+		}
+	}
+	if err := norm[0].ICache.Validate(); err != nil {
+		return fmt.Errorf("uarch: predsweep: icache: %w", err)
+	}
+	if err := norm[0].DCache.Validate(); err != nil {
+		return fmt.Errorf("uarch: predsweep: dcache: %w", err)
+	}
+	return nil
+}
+
+// CanSweepPredictor reports whether SweepPredictor accepts cfgs: at least
+// two configurations, identical except for the Predictor field (any shared
+// icache geometry, perfect included), real branch prediction, valid
+// predictor geometries, and no trace cache or multi-block fetch.
+func CanSweepPredictor(cfgs []Config) bool {
+	return predSweepCheck(normalizeSweepConfigs(cfgs)) == nil
+}
+
+// SweepPredictor simulates one trace under configurations differing only in
+// their branch-predictor tables, replaying the trace once (training every
+// predictor variant in a single bpred.Bank walk) plus one cheap timing lane
+// per configuration, instead of once per configuration. Results are returned
+// in configuration order and are identical, field for field, to SimulateMany
+// on the same inputs. workers bounds lane concurrency as in SimulateMany.
+func SweepPredictor(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	return SweepPredictorContext(context.Background(), t, cfgs, workers)
+}
+
+// SweepPredictorContext is SweepPredictor with cooperative cancellation: the
+// shared enrich replay and every lockstep timing lane check ctx between
+// trace chunks, and the call returns an error satisfying errors.Is(err,
+// ctx.Err()) with all lane workers drained once the context is done.
+func SweepPredictorContext(ctx context.Context, t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	norm := normalizeSweepConfigs(cfgs)
+	if err := predSweepCheck(norm); err != nil {
+		return nil, err
+	}
+	ps, err := enrichPredSweep(ctx, t, norm)
+	if err != nil {
+		return nil, err
+	}
+	lp := flattenSweepProgram(t.Program(), norm[0].IssueWidth)
+	// All lanes share one icache geometry (predSweepCheck), so the per-block
+	// line split can be precomputed once into the lane tables.
+	shift := uint32(bits.TrailingZeros32(uint32(norm[0].ICache.Normalize().LineBytes)))
+	for i := range lp {
+		lb := &lp[i]
+		size := lb.size
+		if size == 0 {
+			size = 1
+		}
+		lb.line0 = lb.addr >> shift
+		lb.line1 = (lb.addr + size - 1) >> shift
+	}
+	ids := t.BlockIDs()
+
+	sims := make([]*Sim, len(norm))
+	for i, cfg := range norm {
+		ic, err := cache.New(cfg.ICache)
+		if err != nil {
+			return nil, fmt.Errorf("uarch: predsweep: config %d: icache: %w", i, err)
+		}
+		sims[i] = &Sim{
+			cfg: cfg,
+			win: make([]windowEntry, cfg.WindowBlocks+1),
+			sw: &sweepLane{
+				sh:     ps.sh,
+				lp:     lp,
+				level:  -1,
+				ring:   newLaneRing(),
+				ic:     ic,
+				mpEv:   ps.mpEv[i],
+				mpKind: ps.mpKind[i],
+				wrong:  ps.wrong[i],
+				bp:     ps.bp[i],
+			},
+		}
+	}
+
+	// Lanes advance through the trace in lockstep, grouped by worker, exactly
+	// like SweepICache: every lane in a group consumes each predecoded block
+	// back to back while it is hot in cache. Lanes never interact, so the
+	// grouping cannot change results.
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(sims) {
+		w = len(sims)
+	}
+	results := make([]*Result, len(norm))
+	err = fanOut(ctx, w, w, func(g int) error {
+		lo := g * len(sims) / w
+		hi := (g + 1) * len(sims) / w
+		group := sims[lo:hi]
+		for ei, id := range ids {
+			if ei&(sweepCancelChunk-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			lb := &lp[id]
+			for _, s := range group {
+				s.predStep(lb, ei)
+			}
+		}
+		for i, s := range group {
+			results[lo+i] = s.predFinish()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,154 @@
+package uarch
+
+import (
+	"testing"
+
+	"bsisa/internal/bpred"
+	"bsisa/internal/cache"
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// predGrid is a mixed predictor-sweep grid over a shared machine: history
+// length, PHT size and BTB geometry all vary, over a small real icache so
+// per-lane pollution differences matter.
+func predGrid(icacheBytes int) []Config {
+	base := Config{ICache: cache.Config{SizeBytes: icacheBytes, Ways: 4}}
+	var cfgs []Config
+	for _, p := range []bpred.Config{
+		{}, // defaults
+		{HistoryBits: 1},
+		{HistoryBits: 16, PHTEntries: 1024},
+		{HistoryBits: 4, BTBSets: 64, BTBWays: 2},
+		{HistoryBits: 12, PHTEntries: 4096, BTBSets: 128, RASDepth: 4},
+	} {
+		cfg := base
+		cfg.Predictor = p
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// TestSweepPredictorMatchesSimulateMany is the tentpole equivalence
+// property: over randomized programs for both ISAs, SweepPredictor must
+// return results bitwise-identical to SimulateMany on the same trace —
+// every field, including per-lane icache statistics, misprediction counts
+// and stall breakdowns — over mixed grids, real and perfect icaches, at any
+// worker count.
+func TestSweepPredictorMatchesSimulateMany(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(5000); seed < 5000+int64(seeds); seed++ {
+		src := testgen.Program(seed)
+		for _, kind := range []isa.Kind{isa.Conventional, isa.BlockStructured} {
+			prog, err := compile.Compile(src, "predsweep", compile.DefaultOptions(kind))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if kind == isa.BlockStructured {
+				if _, err := core.Enlarge(prog, core.Params{}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			tr, err := emu.Record(prog, emu.Config{MaxOps: 80_000_000})
+			if err != nil {
+				t.Fatalf("seed %d %s: record: %v", seed, kind, err)
+			}
+			for _, icache := range []int{1024, 0} { // small real icache, then perfect
+				cfgs := predGrid(icache)
+				if !CanSweepPredictor(cfgs) {
+					t.Fatalf("seed %d %s: grid should be sweepable", seed, kind)
+				}
+				want, err := SimulateMany(tr, cfgs, 0)
+				if err != nil {
+					t.Fatalf("seed %d %s: simulate many: %v", seed, kind, err)
+				}
+				for _, workers := range []int{1, 3} {
+					got, err := SweepPredictor(tr, cfgs, workers)
+					if err != nil {
+						t.Fatalf("seed %d %s workers %d: predsweep: %v", seed, kind, workers, err)
+					}
+					for i := range cfgs {
+						if *got[i] != *want[i] {
+							t.Errorf("seed %d %s icache=%d workers=%d cfg %d (%+v): predsweep differs\nsweep:  %+v\nreplay: %+v",
+								seed, kind, icache, workers, i, cfgs[i].Predictor, *got[i], *want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepPredictorConfigValidation pins the accept/reject boundary of the
+// fused predictor-sweep engine.
+func TestSweepPredictorConfigValidation(t *testing.T) {
+	pc := func(hist int) Config {
+		return Config{
+			ICache:    cache.Config{SizeBytes: 1024, Ways: 4},
+			Predictor: bpred.Config{HistoryBits: hist},
+		}
+	}
+	good := [][]Config{
+		{pc(2), pc(8)},
+		{pc(4), pc(4)}, // duplicates are fine
+		{ // perfect icache, mixed predictor axes
+			{Predictor: bpred.Config{HistoryBits: 2}},
+			{Predictor: bpred.Config{PHTEntries: 1024}},
+			{Predictor: bpred.Config{HistoryBits: 16, BTBSets: 64}},
+		},
+	}
+	for i, cfgs := range good {
+		if !CanSweepPredictor(cfgs) {
+			t.Errorf("good[%d]: CanSweepPredictor = false", i)
+		}
+	}
+	perfect := pc(4)
+	perfect.PerfectBP = true
+	icDiffers := pc(4)
+	icDiffers.ICache.SizeBytes = 2048
+	badPHT := pc(4)
+	badPHT.Predictor.PHTEntries = 3000
+	badHist := pc(4)
+	badHist.Predictor.HistoryBits = 40
+	tc := pc(4)
+	tc.TraceCache = TraceCacheConfig{Sets: 64, Ways: 4}
+	mb := pc(4)
+	mb.MultiBlock = MultiBlockConfig{Blocks: 4}
+	badIC := pc(4)
+	badIC.ICache.SizeBytes = 3000
+	bad := [][]Config{
+		{},
+		{pc(8)},            // single config: nothing to fuse
+		{pc(2), perfect},   // perfect prediction: nothing to sweep
+		{pc(2), icDiffers}, // differs beyond the predictor
+		{pc(2), badPHT},    // invalid predictor geometry
+		{pc(2), badHist},   // history beyond the BHR
+		{pc(2), tc},        // trace cache observes per-config timing
+		{pc(2), mb},        // multi-block fetch ditto
+		{badIC, badIC},     // invalid shared icache geometry
+	}
+	for i, cfgs := range bad {
+		if CanSweepPredictor(cfgs) {
+			t.Errorf("bad[%d]: CanSweepPredictor = true", i)
+		}
+		if _, err := SweepPredictor(nil, cfgs, 1); err == nil {
+			t.Errorf("bad[%d]: SweepPredictor accepted", i)
+		}
+	}
+
+	// An icache-size sweep is not a predictor sweep and vice versa: the two
+	// gates partition cleanly, so harness routing can try them in order.
+	icGrid := sweepGrid(false)
+	if CanSweepPredictor(icGrid) {
+		t.Error("icache-size grid accepted by CanSweepPredictor")
+	}
+	if CanSweepICache(predGrid(1024)) {
+		t.Error("predictor grid accepted by CanSweepICache")
+	}
+}

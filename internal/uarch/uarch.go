@@ -106,9 +106,9 @@ var ErrBadConfig = errors.New("uarch: invalid configuration")
 
 // Validate rejects configurations New (or the sweep engine) would refuse or
 // silently mis-simulate: non-positive machine widths, negative latencies,
-// illegal cache geometry, and trace-cache sets/ways that break its
-// power-of-two index masking. Every failure wraps ErrBadConfig and, for
-// cache geometry, the underlying cache error. Defaults are applied first, so
+// illegal cache or predictor-table geometry, and trace-cache sets/ways that
+// break its power-of-two index masking. Every failure wraps ErrBadConfig
+// and, for cache or predictor geometry, the underlying package's error. Defaults are applied first, so
 // the zero Config validates.
 func (c Config) Validate() error {
 	d := c.withDefaults()
@@ -133,6 +133,9 @@ func (c Config) Validate() error {
 	}
 	if err := d.DCache.Validate(); err != nil {
 		return fmt.Errorf("%w: dcache: %w", ErrBadConfig, err)
+	}
+	if err := d.Predictor.Validate(); err != nil {
+		return fmt.Errorf("%w: predictor: %w", ErrBadConfig, err)
 	}
 	if tc := d.TraceCache; tc.Enabled() {
 		tc = tc.withDefaults()
