@@ -8,8 +8,8 @@
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 mispredicts
 // ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
-// sweepspeed predsweep predsens summary all (default: the paper's tables and
-// figures).
+// sweepspeed segspeed predsweep predsens summary all (default: the paper's
+// tables and figures).
 //
 // -json additionally writes each experiment's results to BENCH_<name>.json
 // using the same versioned svc.SimResponse envelope the bsimd service
@@ -83,8 +83,8 @@ func main() {
 	paper := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7"}
 	extra := []string{"mispredicts", "ablate-size", "ablate-faults", "ablate-superblock",
 		"ablate-history", "ablate-minbias", "ablate-tracecache", "ablate-ifconvert",
-		"ablate-inline", "ablate-hotlayout", "ablate-multiblock", "sweepspeed", "predsweep",
-		"predsens", "summary"}
+		"ablate-inline", "ablate-hotlayout", "ablate-multiblock", "sweepspeed", "segspeed",
+		"predsweep", "predsens", "summary"}
 
 	var names []string
 	switch *exps {
@@ -172,6 +172,8 @@ func run(h *harness.Harness, name string) (*stats.Table, error) {
 		return h.AblateMultiBlock()
 	case "sweepspeed":
 		return h.SweepSpeed()
+	case "segspeed":
+		return h.SegSpeed()
 	case "predsweep":
 		return h.PredSweepSpeed()
 	case "predsens":
@@ -179,7 +181,7 @@ func run(h *harness.Harness, name string) (*stats.Table, error) {
 	case "summary":
 		return h.Summary()
 	default:
-		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-* sweepspeed predsweep predsens summary)")
+		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-* sweepspeed segspeed predsweep predsens summary)")
 	}
 }
 

@@ -8,6 +8,10 @@
 //
 //	-asm             input is an assembly listing (bsdis format), not a container
 //	-timing          run the timing model and report cycles/IPC
+//	-workers N       with -timing: replay trace segments on N parallel lanes
+//	                 (0 = GOMAXPROCS when -segments is set, else sequential)
+//	-segments N      with -timing: split the trace into N checkpointed
+//	                 segments (0 = auto); results are identical either way
 //	-icache N        icache size in bytes (0 = perfect)
 //	-sweep-icache L  comma-separated icache sizes: record the committed-block
 //	                 trace once, replay it per size, print a cycles table
@@ -39,6 +43,8 @@ func main() {
 	sweep := flag.String("sweep-icache", "", "comma-separated icache sizes to sweep on one recorded trace")
 	sweepPred := flag.String("sweep-pred", "", "comma-separated branch-history lengths to sweep on one recorded trace")
 	perfectBP := flag.Bool("perfect-bp", false, "perfect branch prediction")
+	workers := flag.Int("workers", 0, "segment-parallel replay lanes for -timing (0 = GOMAXPROCS when -segments is set)")
+	segments := flag.Int("segments", 0, "trace segments for -timing (0 = auto; needs -workers > 1 or unset)")
 	maxOps := flag.Int64("max-ops", 0, "emulation operation budget (0 = default)")
 	quiet := flag.Bool("q", false, "suppress program output values")
 	flag.Parse()
@@ -95,11 +101,33 @@ func main() {
 		ICache:    cache.Config{SizeBytes: *icache, Ways: 4},
 		PerfectBP: *perfectBP,
 	}
-	tres, eres, err := uarch.RunProgram(prog, cfg, emuCfg)
-	if err != nil {
-		fatal(err)
+	var tres *uarch.Result
+	var eres *emu.Result
+	if *workers != 0 || *segments != 0 {
+		// Segment-parallel replay: record the committed stream once, then
+		// time checkpointed segments on parallel lanes. Field-for-field
+		// identical to the sequential path at any worker/segment count.
+		tr, err := emu.Record(prog, emuCfg)
+		if err != nil {
+			fatal(err)
+		}
+		eres = tr.EmuResult()
+		tres, err = uarch.ReplayTraceSegmented(tr, cfg,
+			uarch.SegmentOptions{Workers: *workers, Segments: *segments})
+		if err != nil {
+			fatal(err)
+		}
+		report(prog, eres, quiet)
+		fmt.Printf("trace:             %d blocks recorded (%d KB), segmented replay (workers=%d, segments=%d; 0 = auto)\n",
+			tr.NumEvents(), tr.Footprint()/1024, *workers, *segments)
+	} else {
+		var err error
+		tres, eres, err = uarch.RunProgram(prog, cfg, emuCfg)
+		if err != nil {
+			fatal(err)
+		}
+		report(prog, eres, quiet)
 	}
-	report(prog, eres, quiet)
 	fmt.Printf("cycles:            %d\n", tres.Cycles)
 	fmt.Printf("IPC:               %.3f\n", tres.IPC())
 	fmt.Printf("avg retired block: %.2f ops\n", tres.AvgBlockSize())

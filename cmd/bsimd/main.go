@@ -8,7 +8,7 @@
 //
 //	bsimd [-addr :8023] [-workers N] [-queue N] [-job-workers N]
 //	      [-timeout D] [-cache-programs N] [-cache-traces N]
-//	      [-log text|json] [-smoke]
+//	      [-cache-predecodes N] [-log text|json] [-smoke]
 //
 // Endpoints:
 //
@@ -17,12 +17,21 @@
 //	GET  /metrics       Prometheus text format
 //	     /debug/pprof/  runtime profiling
 //
+// Single-config requests may carry a "segments" hint; when the config
+// qualifies and -job-workers leaves lanes to spend, the job runs on the
+// segment-parallel replay engine (engine "replay-segmented") with its queue
+// depth and per-segment latency exported on /metrics. Concurrent identical
+// requests coalesce onto one simulation pass; followers are answered from
+// the leader's envelope with "coalesced": true and counted in
+// bsimd_coalesced_requests_total.
+//
 // -smoke runs the self-check the CI service-smoke stage uses: it starts a
-// server on an ephemeral port, submits a Figure-6-style icache sweep over
-// HTTP, recomputes the same sweep through the direct library path, and
-// fails unless the answers match field for field; it then fires 32
-// concurrent requests at the now-cached program and verifies the artifact
-// cache hits are visible on /metrics.
+// server on an ephemeral port (pool shape pinned: one worker, four job
+// workers) and checks, over HTTP against the direct library path: a
+// Figure-6-style icache sweep, a predictor sweep served from the cached
+// trace, a segmented single-config replay, and a 32-way identical load that
+// must coalesce onto one pass — then verifies cache hits, the coalesced
+// count, and segment activity on /metrics.
 package main
 
 import (
@@ -47,6 +56,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
 	cacheProgs := flag.Int("cache-programs", 0, "compiled-program cache entries (0 = default)")
 	cacheTraces := flag.Int("cache-traces", 0, "recorded-trace cache entries (0 = default)")
+	cachePre := flag.Int("cache-predecodes", 0, "predecoded-op-table cache entries (0 = default)")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	smoke := flag.Bool("smoke", false, "run the self-check against an ephemeral server and exit")
 	flag.Parse()
@@ -64,13 +74,14 @@ func main() {
 	logger := slog.New(handler)
 
 	cfg := svc.ServerConfig{
-		Workers:             *workers,
-		QueueDepth:          *queue,
-		JobWorkers:          *jobWorkers,
-		DefaultTimeout:      *timeout,
-		ProgramCacheEntries: *cacheProgs,
-		TraceCacheEntries:   *cacheTraces,
-		Logger:              logger,
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		JobWorkers:            *jobWorkers,
+		DefaultTimeout:        *timeout,
+		ProgramCacheEntries:   *cacheProgs,
+		TraceCacheEntries:     *cacheTraces,
+		PredecodeCacheEntries: *cachePre,
+		Logger:                logger,
 	}
 
 	if *smoke {

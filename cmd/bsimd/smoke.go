@@ -36,6 +36,31 @@ func smokeRequest(id string) *svc.SimRequest {
 	}
 }
 
+// smokeSegRequest is a single-config question with an explicit segment hint:
+// the service must route it through the segment-parallel replay engine and
+// still answer field-for-field what the sequential engine answers.
+func smokeSegRequest(id string) *svc.SimRequest {
+	return &svc.SimRequest{
+		Version:  svc.SchemaVersion,
+		ID:       id,
+		Program:  svc.ProgramSpec{Workload: "compress", Scale: smokeScale, ISA: "conv"},
+		Config:   &svc.ConfigSpec{ICache: &svc.CacheSpec{SizeBytes: 8 * 1024, Ways: 4}},
+		Segments: 4,
+	}
+}
+
+// smokeOccupier is a deliberately slower sweep (larger scale, so a different
+// artifact and coalesce key) used to hold the single smoke worker busy while
+// the coalescing load piles up behind it.
+func smokeOccupier(id string) *svc.SimRequest {
+	return &svc.SimRequest{
+		Version: svc.SchemaVersion,
+		ID:      id,
+		Program: svc.ProgramSpec{Workload: "compress", Scale: 0.25, ISA: "conv"},
+		Sweep:   &svc.SweepSpec{ICacheSizes: []int{0, 8 * 1024, 16 * 1024, 32 * 1024}},
+	}
+}
+
 // smokePredRequest asks the predictor-sensitivity question over the same
 // program, so the daemon serves the grid from the already-cached trace.
 func smokePredRequest(id string) *svc.SimRequest {
@@ -51,9 +76,19 @@ func smokePredRequest(id string) *svc.SimRequest {
 }
 
 // runSmoke is the CI service-smoke stage: equivalence against the direct
-// library path, then a 32-way concurrent load against the cached program
-// with the hit rate checked on /metrics.
+// library path for the sweep, predictor-sweep, and segment-parallel engines,
+// then a 32-way concurrent identical load that must coalesce onto one pass,
+// with the cache hits, coalesced count, and segment metrics checked on
+// /metrics.
+//
+// The pool shape is pinned rather than taken from the daemon flags: one
+// worker makes the coalescing step deterministic (the load queues behind a
+// slower occupier job, so exactly one of the identical requests leads), and
+// several job workers give the segmented engine lanes to spend.
 func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	cfg.JobWorkers = 4
 	server := svc.NewServer(cfg)
 	defer server.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -124,53 +159,127 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 	}
 	logger.Info("smoke: predictor sweep served from cached trace, matches direct path", "configs", len(predWant))
 
-	// 3. 32 concurrent requests against the now-cached program.
+	// 3. A single-config request with a segment hint: the segment-parallel
+	// engine must serve it and answer exactly what sequential replay answers.
+	segGot, err := postSim(base, smokeSegRequest("smoke-segmented"))
+	if err != nil {
+		return err
+	}
+	if segGot.Engine != "replay-segmented" {
+		return fmt.Errorf("service routed the single-config job through %q, want the segmented engine", segGot.Engine)
+	}
+	segWant, err := directReplay(smokeSegRequest(""))
+	if err != nil {
+		return fmt.Errorf("direct replay path: %w", err)
+	}
+	if len(segGot.Results) != 1 || segGot.Results[0] != *segWant {
+		return fmt.Errorf("segmented replay diverges from the sequential path\nservice: %+v\ndirect:  %+v",
+			segGot.Results, *segWant)
+	}
+	logger.Info("smoke: segmented replay matches sequential replay field-for-field")
+
+	// 4. Coalescing: hold the single worker busy with a slower job, then fire
+	// 32 identical requests. Exactly one leads (queued behind the occupier);
+	// the other 31 share its pass.
 	const load = 32
+	occDone := make(chan error, 1)
+	go func() {
+		_, err := postSim(base, smokeOccupier("smoke-occupier"))
+		occDone <- err
+	}()
+	if err := waitMetric(base, "bsimd_jobs_inflight", 1, 10*time.Second); err != nil {
+		return fmt.Errorf("occupier never started: %w", err)
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, load)
+	resps := make([]*svc.SimResponse, load)
 	start := time.Now()
 	for i := 0; i < load; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := postSim(base, smokeRequest(fmt.Sprintf("smoke-load-%d", i)))
-			if err == nil && resp.ArtifactCache != nil && !resp.ArtifactCache.Trace {
-				err = fmt.Errorf("request %d missed the trace cache", i)
-			}
-			errs[i] = err
+			resps[i], errs[i] = postSim(base, smokeRequest(fmt.Sprintf("smoke-load-%d", i)))
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	if err := <-occDone; err != nil {
+		return fmt.Errorf("occupier: %w", err)
+	}
+	coalesced := 0
+	for i, err := range errs {
 		if err != nil {
 			return err
 		}
+		r := resps[i]
+		if r.ID != fmt.Sprintf("smoke-load-%d", i) {
+			return fmt.Errorf("request %d answered with id %q", i, r.ID)
+		}
+		if r.Coalesced {
+			coalesced++
+		}
+		if len(r.Results) != len(want) {
+			return fmt.Errorf("request %d returned %d results, want %d", i, len(r.Results), len(want))
+		}
+		for k := range want {
+			if r.Results[k] != want[k] {
+				return fmt.Errorf("request %d config %d diverges under load", i, k)
+			}
+		}
 	}
-	logger.Info("smoke: concurrent load done", "requests", load, "wall", time.Since(start).Round(time.Millisecond))
+	if coalesced != load-1 {
+		return fmt.Errorf("%d of %d identical requests coalesced, want %d", coalesced, load, load-1)
+	}
+	logger.Info("smoke: concurrent identical load coalesced onto one pass",
+		"requests", load, "coalesced", coalesced, "wall", time.Since(start).Round(time.Millisecond))
 
-	// 4. The cache hit rate must be visible on /metrics.
+	// 5. Cache hits, coalescing, and segment activity must be visible on
+	// /metrics.
 	metrics, err := fetch(base + "/metrics")
 	if err != nil {
 		return err
 	}
-	for _, needle := range []string{
-		`bsimd_artifact_cache_events_total{cache="trace",event="hit"}`,
-		`bsimd_artifact_cache_events_total{cache="program",event="hit"}`,
-		`bsimd_stage_seconds_count{stage="sweep"}`,
+	for _, check := range []struct {
+		series string
+		min    float64
+	}{
+		{`bsimd_artifact_cache_events_total{cache="trace",event="hit"}`, 2},
+		{`bsimd_artifact_cache_events_total{cache="program",event="hit"}`, 2},
+		{`bsimd_stage_seconds_count{stage="sweep"}`, 3},
+		{`bsimd_stage_seconds_count{stage="predsweep"}`, 1},
+		{`bsimd_stage_seconds_count{stage="segreplay"}`, 1},
+		{`bsimd_segments_completed_total`, 1},
 	} {
-		v, ok := metricValue(metrics, needle)
+		v, ok := metricValue(metrics, check.series)
 		if !ok {
-			return fmt.Errorf("metric %s missing from /metrics", needle)
+			return fmt.Errorf("metric %s missing from /metrics", check.series)
 		}
-		if v < float64(load) {
-			return fmt.Errorf("metric %s = %g, want >= %d", needle, v, load)
+		if v < check.min {
+			return fmt.Errorf("metric %s = %g, want >= %g", check.series, v, check.min)
 		}
 	}
-	if v, ok := metricValue(metrics, `bsimd_stage_seconds_count{stage="predsweep"}`); !ok || v < 1 {
-		return fmt.Errorf("predsweep stage missing from /metrics (got %g, present %v)", v, ok)
+	if v, ok := metricValue(metrics, "bsimd_coalesced_requests_total"); !ok || v != load-1 {
+		return fmt.Errorf("bsimd_coalesced_requests_total = %g (present %v), want %d", v, ok, load-1)
 	}
-	logger.Info("smoke: cache hit rate visible on /metrics")
+	logger.Info("smoke: cache, coalescing, and segment metrics visible on /metrics")
 	return nil
+}
+
+// waitMetric polls /metrics until series reaches at least min.
+func waitMetric(base, series string, min float64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		text, err := fetch(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		if v, ok := metricValue(text, series); ok && v >= min {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never reached %g", series, min)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // directSweep computes the same answer bsim -sweep-icache would: compile,
@@ -209,6 +318,37 @@ func directSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
 		out[i] = svc.ResultOf(plan.ICacheBytes[i], r)
 	}
 	return out, nil
+}
+
+// directReplay computes the sequential-engine answer for a single-config
+// request: the reference the segmented service path must reproduce exactly.
+func directReplay(req *svc.SimRequest) (*svc.SimResult, error) {
+	plan, err := svc.BuildConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	prof, ok := workload.ProfileByName("compress", smokeScale)
+	if !ok {
+		return nil, fmt.Errorf("no compress profile")
+	}
+	src, err := workload.Source(prof)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compile.Compile(src, "compress", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		return nil, err
+	}
+	r, err := uarch.ReplayTrace(tr, plan.Configs[0])
+	if err != nil {
+		return nil, err
+	}
+	out := svc.ResultOf(plan.ICacheBytes[0], r)
+	return &out, nil
 }
 
 // directPredSweep is directSweep's predictor-space twin: the answer bsim

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// accessStream drives n random accesses (a mix of single-line touches and
+// short ranges over a working set a few times the cache's capacity) and
+// returns the hit/miss sequence.
+func accessStream(c *Cache, seed int64, n int) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, 0, 2*n)
+	for i := 0; i < n; i++ {
+		addr := uint32(rng.Intn(64 * 1024))
+		if rng.Intn(4) == 0 {
+			misses := c.AccessRange(addr, uint32(1+rng.Intn(200)))
+			out = append(out, misses == 0)
+		} else {
+			out = append(out, c.Access(addr))
+		}
+	}
+	return out
+}
+
+// TestCacheSnapshotRoundTrip is the checkpoint property behind segmented
+// replay: capture mid-stream, observe the suffix behavior, diverge the live
+// cache on garbage, restore, replay the same suffix — the hit/miss sequence
+// and the final counters must be identical.
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 4 * 1024, Ways: 2, LineBytes: 32},
+		{SizeBytes: 8 * 1024},                     // default ways/lines
+		{SizeBytes: 0, Ways: 1},                   // perfect cache: no lines, only counters
+		{SizeBytes: 1024, Ways: 1, LineBytes: 64}, // direct-mapped
+	} {
+		c := MustNew(cfg)
+		accessStream(c, 1, 2000)
+
+		st := c.Snapshot()
+		want := accessStream(c, 2, 1500)
+		wantStats := c.Stats()
+
+		accessStream(c, 3, 1800) // diverge: contents, LRU clock, memo all move
+
+		if err := c.Restore(st); err != nil {
+			t.Fatalf("%+v: restore: %v", cfg, err)
+		}
+		got := accessStream(c, 2, 1500)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: access %d after restore: hit=%v, want %v", cfg, i, got[i], want[i])
+			}
+		}
+		if c.Stats() != wantStats {
+			t.Fatalf("%+v: stats after restored replay %+v, want %+v", cfg, c.Stats(), wantStats)
+		}
+
+		// The snapshot shares nothing with the live cache: it survives
+		// further mutation and seeds a second restore.
+		accessStream(c, 4, 500)
+		if err := c.Restore(st); err != nil {
+			t.Fatalf("%+v: second restore: %v", cfg, err)
+		}
+		if got := accessStream(c, 2, 1500); got[len(got)-1] != want[len(want)-1] {
+			t.Fatalf("%+v: snapshot not reusable for a second restore", cfg)
+		}
+	}
+}
+
+// TestCacheRestoreMismatch requires Restore to reject nil snapshots and
+// snapshots from a different geometry instead of reinterpreting tags.
+func TestCacheRestoreMismatch(t *testing.T) {
+	small := MustNew(Config{SizeBytes: 4 * 1024, Ways: 2, LineBytes: 32})
+	big := MustNew(Config{SizeBytes: 8 * 1024, Ways: 2, LineBytes: 32})
+	if err := big.Restore(small.Snapshot()); err == nil {
+		t.Error("restore across geometries accepted, want error")
+	}
+	if err := small.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted, want error")
+	}
+	// Same geometry spelled with defaults elided still matches: Snapshot
+	// carries the normalized config.
+	a := MustNew(Config{SizeBytes: 8 * 1024})
+	b := MustNew(Config{SizeBytes: 8 * 1024, Ways: 4, LineBytes: 64})
+	if err := b.Restore(a.Snapshot()); err != nil {
+		t.Errorf("restore across default spellings of one geometry: %v", err)
+	}
+}

@@ -60,10 +60,15 @@ type Options struct {
 	Progress io.Writer
 	// EmuBudget bounds each functional run (0 = emulator default).
 	EmuBudget int64
-	// Workers bounds concurrency across benchmark preparation, simulation
-	// fan-out and ablation sweeps: 0 means GOMAXPROCS, 1 forces serial
-	// execution. Results are identical at every worker count (the
-	// determinism test in replay_test.go pins this).
+	// Workers is the single concurrency knob: 0 means GOMAXPROCS, 1 forces
+	// serial execution. Precedence is outermost-first — the same budget
+	// bounds benchmark preparation, then per-benchmark config fan-out (the
+	// fused sweep engines' lane pools), and when a batch degenerates to a
+	// single configuration the whole budget is devoted to trace segments
+	// instead (uarch.ReplayTraceSegmented splits the replay across Workers
+	// lanes). Results are identical at every worker count: the fan-out
+	// determinism test in replay_test.go and the segmented equivalence tests
+	// in segment_test.go pin this.
 	Workers int
 	// Context, when non-nil, cancels in-flight experiment fan-outs
 	// cooperatively: preparation and simulation workers stop between work
@@ -294,11 +299,12 @@ func (h *Harness) Run(key string, prog *isa.Program, cfg uarch.Config) (*uarch.R
 // each by its key. Missing configurations share a single committed-block
 // trace (recorded on first need): pure icache-size batches go through the
 // fused single-pass sweep engine (uarch.SweepICache), pure predictor batches
-// through its predictor-space sibling (uarch.SweepPredictor), and everything
-// else fans out over uarch.SimulateMany's worker pool — the fused engines
-// return results identical to the fallback, so routing never changes a
-// table. Programs without a trace slot are emulated directly, once per
-// missing config.
+// through its predictor-space sibling (uarch.SweepPredictor), single
+// eligible configurations through the segment-parallel replay
+// (uarch.ReplayTraceSegmented), and everything else fans out over
+// uarch.SimulateMany's worker pool — every routed engine returns results
+// identical to the fallback, so routing never changes a table. Programs
+// without a trace slot are emulated directly, once per missing config.
 func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config) ([]*uarch.Result, error) {
 	if len(keys) != len(cfgs) {
 		return nil, fmt.Errorf("harness: runMany: %d keys, %d configs", len(keys), len(cfgs))
@@ -332,6 +338,16 @@ func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config)
 			rs, err = uarch.SweepICacheContext(h.Opts.ctx(), tr, need, h.Opts.workers())
 		case uarch.CanSweepPredictor(need):
 			rs, err = uarch.SweepPredictorContext(h.Opts.ctx(), tr, need, h.Opts.workers())
+		case len(need) == 1 && uarch.CanSegment(need[0]) && h.Opts.workers() > 1:
+			// A single missing configuration has no config fan-out to feed, so
+			// the worker budget goes to trace segments instead (the Options
+			// precedence rule). The segmented engine is field-for-field
+			// identical to the sequential replay, and falls back to it itself
+			// on degenerate splits.
+			var r *uarch.Result
+			r, err = uarch.ReplayTraceSegmentedContext(h.Opts.ctx(), tr, need[0],
+				uarch.SegmentOptions{Workers: h.Opts.workers()})
+			rs = []*uarch.Result{r}
 		default:
 			rs, err = uarch.SimulateManyContext(h.Opts.ctx(), tr, need, h.Opts.workers())
 		}

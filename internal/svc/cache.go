@@ -122,3 +122,10 @@ func programKey(p ProgramSpec) string {
 func traceKey(progKey string, emuMaxOps int64) string {
 	return fmt.Sprintf("%s/emu=%d", progKey, emuMaxOps)
 }
+
+// predecodeKey derives the predecoded-op-table artifact key: the program plus
+// the effective issue width (the lane split depends on both, and nothing
+// else — per-geometry cache-line splits are applied on copies downstream).
+func predecodeKey(progKey string, issueWidth int) string {
+	return fmt.Sprintf("%s/iw=%d", progKey, issueWidth)
+}

@@ -1,0 +1,338 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+	"bsisa/internal/uarch"
+	"bsisa/internal/workload"
+)
+
+// TestCoalescerSingleLeader races N joiners on one key and requires exactly
+// one leader; finish releases every follower with the leader's outcome.
+func TestCoalescerSingleLeader(t *testing.T) {
+	c := newCoalescer()
+	const n = 64
+	var wg sync.WaitGroup
+	leaders := make([]bool, n)
+	flights := make([]*flight, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			flights[i], leaders[i] = c.join("k")
+		}(i)
+	}
+	wg.Wait()
+	leaderIdx := -1
+	for i, l := range leaders {
+		if l {
+			if leaderIdx >= 0 {
+				t.Fatalf("joiners %d and %d both lead", leaderIdx, i)
+			}
+			leaderIdx = i
+		}
+	}
+	if leaderIdx < 0 {
+		t.Fatal("no joiner leads")
+	}
+	want := jobOutcome{err: errors.New("published")}
+	c.finish("k", flights[leaderIdx], want)
+	for i, f := range flights {
+		select {
+		case <-f.done:
+		case <-time.After(time.Second):
+			t.Fatalf("follower %d never released", i)
+		}
+		if f.out.err == nil || f.out.err.Error() != "published" {
+			t.Fatalf("follower %d outcome %+v, want the leader's", i, f.out)
+		}
+	}
+}
+
+// TestCoalescerFinishRetiresFlight requires a join after finish to start a
+// fresh flight (lead again) rather than observing the stale outcome.
+func TestCoalescerFinishRetiresFlight(t *testing.T) {
+	c := newCoalescer()
+	f1, leader := c.join("k")
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	c.finish("k", f1, jobOutcome{})
+	if _, leader := c.join("k"); !leader {
+		t.Fatal("join after finish must lead a fresh flight")
+	}
+	// Distinct keys fly independently.
+	if _, leader := c.join("other"); !leader {
+		t.Fatal("distinct key must lead its own flight")
+	}
+}
+
+// TestCoalesceKeyCoverage checks the key covers what determines the answer
+// (program, budget, configs, segments) and ignores what does not (ID,
+// timeout).
+func TestCoalesceKeyCoverage(t *testing.T) {
+	seed := int64(7)
+	mk := func(mut func(*SimRequest)) string {
+		req := &SimRequest{
+			Version:   SchemaVersion,
+			ID:        "a",
+			TimeoutMs: 1000,
+			Program:   ProgramSpec{Seed: &seed, ISA: "conv"},
+			Config:    &ConfigSpec{ICache: &CacheSpec{SizeBytes: 2048, Ways: 4}},
+		}
+		if mut != nil {
+			mut(req)
+		}
+		plan, err := BuildConfig(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return coalesceKey(plan)
+	}
+	base := mk(nil)
+	if mk(func(r *SimRequest) { r.ID = "b"; r.TimeoutMs = 5 }) != base {
+		t.Fatal("key must ignore request ID and timeout")
+	}
+	if mk(func(r *SimRequest) { r.Config.ICache.SizeBytes = 4096 }) == base {
+		t.Fatal("key must cover the configuration")
+	}
+	if mk(func(r *SimRequest) { r.Segments = 4 }) == base {
+		t.Fatal("key must cover the segment hint")
+	}
+	if mk(func(r *SimRequest) { r.EmuMaxOps = 500 }) == base {
+		t.Fatal("key must cover the emulation budget")
+	}
+}
+
+// TestBuildConfigSegments covers the segments field's validation: negative
+// counts and non-single-config requests are bad requests; a single-config
+// request carries the hint into the plan.
+func TestBuildConfigSegments(t *testing.T) {
+	seed := int64(7)
+	prog := ProgramSpec{Seed: &seed, ISA: "conv"}
+	cases := []struct {
+		name string
+		req  *SimRequest
+		ok   bool
+	}{
+		{"negative", &SimRequest{Version: SchemaVersion, Program: prog,
+			Config: &ConfigSpec{}, Segments: -1}, false},
+		{"with sweep", &SimRequest{Version: SchemaVersion, Program: prog,
+			Sweep: &SweepSpec{ICacheSizes: []int{0, 2048}}, Segments: 4}, false},
+		{"with predsweep", &SimRequest{Version: SchemaVersion, Program: prog,
+			PredSweep: &PredSweepSpec{HistoryBits: []int{2, 8}}, Segments: 4}, false},
+		{"single config", &SimRequest{Version: SchemaVersion, Program: prog,
+			Config: &ConfigSpec{}, Segments: 4}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := BuildConfig(tc.req)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if plan.Segments != tc.req.Segments {
+					t.Fatalf("plan.Segments = %d, want %d", plan.Segments, tc.req.Segments)
+				}
+				return
+			}
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("error %v, want ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+// TestServerSegmentedEngine gives the server engine workers to spend and
+// requires a single-config job to route through the segment-parallel engine
+// with the answer field-for-field identical to sequential replay.
+func TestServerSegmentedEngine(t *testing.T) {
+	cfg := quietConfig()
+	cfg.JobWorkers = 4
+	s, ts := testServer(t, cfg)
+	seed := int64(42)
+	req := &SimRequest{
+		Version:  SchemaVersion,
+		Program:  ProgramSpec{Seed: &seed, ISA: "conv"},
+		Config:   &ConfigSpec{ICache: &CacheSpec{SizeBytes: 2048, Ways: 4}},
+		Segments: 4,
+	}
+	status, resp := post(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, resp.Error)
+	}
+	if resp.Engine != engineSegmented {
+		t.Fatalf("engine %q, want %q", resp.Engine, engineSegmented)
+	}
+
+	plan, err := BuildConfig(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compile.Compile(testgen.Program(seed), "t", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := uarch.ReplayTrace(tr, plan.Configs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0] != ResultOf(plan.ICacheBytes[0], want) {
+		t.Fatalf("segmented answer diverges from sequential replay:\nservice: %+v\ndirect:  %+v",
+			resp.Results, ResultOf(plan.ICacheBytes[0], want))
+	}
+	if n := s.metrics.segDone.Load(); n < 1 {
+		t.Fatalf("segments_completed = %d, want >= 1", n)
+	}
+	if got := s.metrics.segQueued.Load(); got != 0 {
+		t.Fatalf("segment queue depth %d after the job drained, want 0", got)
+	}
+
+	// Configs the segment engine cannot serve fall back to per-config replay
+	// even with workers to spend.
+	tcReq := &SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Seed: &seed, ISA: "conv"},
+		Config:  &ConfigSpec{ICache: &CacheSpec{SizeBytes: 2048, Ways: 4}},
+	}
+	tcPlan, err := BuildConfig(tcReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !uarch.CanSegment(tcPlan.Configs[0]) {
+		t.Fatal("plain config should be segmentable")
+	}
+}
+
+// TestServerCoalescesIdenticalRequests is the deterministic N→1 check: one
+// pool worker, a slower occupier job holding it, then N identical requests —
+// exactly one leads (queued behind the occupier), the rest share its pass.
+func TestServerCoalescesIdenticalRequests(t *testing.T) {
+	if _, ok := workload.ProfileByName("compress", 0.25); !ok {
+		t.Skip("no compress profile")
+	}
+	cfg := quietConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	s, ts := testServer(t, cfg)
+
+	occDone := make(chan struct{})
+	go func() {
+		defer close(occDone)
+		status, resp := post(t, ts, &SimRequest{
+			Version: SchemaVersion,
+			Program: ProgramSpec{Workload: "compress", Scale: 0.25, ISA: "conv"},
+			Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192, 16384}},
+		})
+		if status != http.StatusOK {
+			t.Errorf("occupier: status %d: %s", status, resp.Error)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("occupier never started executing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	seed := int64(321)
+	const n = 16
+	var wg sync.WaitGroup
+	resps := make([]*SimResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, resp := post(t, ts, &SimRequest{
+				Version: SchemaVersion,
+				ID:      fmt.Sprintf("req-%d", i),
+				Program: ProgramSpec{Seed: &seed, ISA: "conv"},
+				Sweep:   &SweepSpec{ICacheSizes: []int{0, 2048}},
+			})
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, status, resp.Error)
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	<-occDone
+	if t.Failed() {
+		t.FailNow()
+	}
+	coalesced := 0
+	for i, resp := range resps {
+		if resp.ID != fmt.Sprintf("req-%d", i) {
+			t.Fatalf("request %d answered with id %q", i, resp.ID)
+		}
+		if resp.Coalesced {
+			coalesced++
+		}
+		for j, r := range resp.Results {
+			if r != resps[0].Results[j] {
+				t.Fatalf("request %d result %d diverges", i, j)
+			}
+		}
+	}
+	if coalesced != n-1 {
+		t.Fatalf("%d of %d identical requests coalesced, want %d", coalesced, n, n-1)
+	}
+	if got := s.metrics.coalesced.Load(); got != n-1 {
+		t.Fatalf("coalesced counter = %d, want %d", got, n-1)
+	}
+	// Two passes total: the occupier and the leader.
+	if got := s.metrics.jobsTotal.Load(); got != 2 {
+		t.Fatalf("jobsTotal = %d, want 2 (occupier + one leader)", got)
+	}
+}
+
+// TestServerPredecodeCache requires repeated sweeps over one program to reuse
+// the predecoded op tables, and the reuse to be reported in the envelope.
+func TestServerPredecodeCache(t *testing.T) {
+	s, ts := testServer(t, quietConfig())
+	seed := int64(11)
+	mk := func() *SimRequest {
+		return &SimRequest{
+			Version: SchemaVersion,
+			Program: ProgramSpec{Seed: &seed, ISA: "conv"},
+			Sweep:   &SweepSpec{ICacheSizes: []int{0, 2048, 4096}},
+		}
+	}
+	status, first := post(t, ts, mk())
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, first.Error)
+	}
+	if first.ArtifactCache == nil || first.ArtifactCache.Predecode {
+		t.Fatalf("first sweep should miss the predecode cache: %+v", first.ArtifactCache)
+	}
+	status, second := post(t, ts, mk())
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, second.Error)
+	}
+	if !second.ArtifactCache.Predecode {
+		t.Fatalf("second sweep should hit the predecode cache: %+v", second.ArtifactCache)
+	}
+	for i, r := range second.Results {
+		if r != first.Results[i] {
+			t.Fatalf("result %d diverges across the predecode cache hit", i)
+		}
+	}
+	if pc := s.predecodes.counters(); pc.Misses != 1 || pc.Hits < 1 {
+		t.Fatalf("predecode cache counters %+v, want 1 miss and >= 1 hit", pc)
+	}
+}

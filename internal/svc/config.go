@@ -36,6 +36,9 @@ type Plan struct {
 	Sweep bool
 	// PredSweep records whether the request was a PredSweepSpec.
 	PredSweep bool
+	// Segments is the requested segment count for the segment-parallel
+	// replay engine (single-Config plans only; 0 = auto).
+	Segments int
 	// Timeout is the requested per-job deadline (0 = server default).
 	Timeout time.Duration
 }
@@ -97,6 +100,13 @@ func BuildConfig(req *SimRequest) (*Plan, error) {
 	if modes > 1 {
 		return nil, fmt.Errorf("%w: request sets %d of config, sweep, pred_sweep (want one)", ErrBadRequest, modes)
 	}
+	if req.Segments < 0 {
+		return nil, fmt.Errorf("%w: negative segment count %d", ErrBadRequest, req.Segments)
+	}
+	if req.Segments > 0 && req.Config == nil {
+		return nil, fmt.Errorf("%w: segments only applies to single-config runs", ErrBadRequest)
+	}
+	plan.Segments = req.Segments
 	switch {
 	case req.Config != nil:
 		cfg := req.Config.toUarch()

@@ -10,17 +10,19 @@ import (
 
 // Pipeline stages instrumented with latency histograms. "replay" is the
 // per-config SimulateMany path, "sweep" the fused single-pass icache engine,
-// "predsweep" the fused predictor-sweep engine; a job exercises exactly one
-// of the three.
+// "predsweep" the fused predictor-sweep engine, "segreplay" the
+// segment-parallel single-config engine; a job exercises exactly one of the
+// four.
 const (
 	stageCompile   = "compile"
 	stageTrace     = "trace"
 	stageReplay    = "replay"
 	stageSweep     = "sweep"
 	stagePredSweep = "predsweep"
+	stageSegReplay = "segreplay"
 )
 
-var stageNames = []string{stageCompile, stageTrace, stageReplay, stageSweep, stagePredSweep}
+var stageNames = []string{stageCompile, stageTrace, stageReplay, stageSweep, stagePredSweep, stageSegReplay}
 
 // histBounds are the histogram bucket upper bounds in seconds (+Inf is
 // implicit): tuned to straddle the pipeline's dynamic range, from cached
@@ -54,6 +56,11 @@ type metrics struct {
 	jobsRejected atomic.Int64 // requests refused before pooling (4xx/503)
 	inFlight     atomic.Int64 // jobs currently executing
 	queued       atomic.Int64 // jobs waiting for a pool slot
+	coalesced    atomic.Int64 // requests answered from another request's pass
+
+	segQueued   atomic.Int64 // segment lanes waiting for a lane worker
+	segDone     atomic.Int64 // segment lanes completed
+	segDuration histogram    // per-segment lane replay latency
 
 	stages map[string]*histogram
 }
@@ -73,9 +80,20 @@ func (m *metrics) observeStage(stage string, d time.Duration) {
 	}
 }
 
-// writeProm renders the Prometheus text exposition format. programs/traces
-// carry the artifact cache counters snapshotted by the caller.
-func (m *metrics) writeProm(w io.Writer, programs, traces cacheCounters) {
+// segObserver adapts the metrics to uarch.SegmentObserver: the segment-queue
+// depth gauge tracks lanes waiting for a worker, and every finished lane
+// lands in the per-segment latency histogram. One observer serves every
+// concurrent segmented job (the gauge is the server-wide backlog).
+type segObserver struct{ m *metrics }
+
+func (o segObserver) SegmentsQueued(n int)        { o.m.segQueued.Add(int64(n)) }
+func (o segObserver) SegmentStart()               { o.m.segQueued.Add(-1) }
+func (o segObserver) SegmentDone(d time.Duration) { o.m.segDone.Add(1); o.m.segDuration.observe(d) }
+
+// writeProm renders the Prometheus text exposition format.
+// programs/traces/predecodes carry the artifact cache counters snapshotted
+// by the caller.
+func (m *metrics) writeProm(w io.Writer, programs, traces, predecodes cacheCounters) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -87,13 +105,18 @@ func (m *metrics) writeProm(w io.Writer, programs, traces cacheCounters) {
 	counter("bsimd_requests_rejected_total", "Requests refused before reaching the pool.", m.jobsRejected.Load())
 	gauge("bsimd_jobs_inflight", "Jobs currently executing on the pool.", m.inFlight.Load())
 	gauge("bsimd_jobs_queued", "Jobs waiting for a pool slot.", m.queued.Load())
+	counter("bsimd_coalesced_requests_total",
+		"Requests answered from a concurrent identical request's simulation pass.", m.coalesced.Load())
+	gauge("bsimd_segment_queue_depth",
+		"Segment lanes waiting for a replay worker across all in-flight segmented jobs.", m.segQueued.Load())
+	counter("bsimd_segments_completed_total", "Segment lanes completed.", m.segDone.Load())
 
 	fmt.Fprintf(w, "# HELP bsimd_artifact_cache_events_total Artifact cache hits/misses/evictions by cache.\n")
 	fmt.Fprintf(w, "# TYPE bsimd_artifact_cache_events_total counter\n")
 	for _, c := range []struct {
 		name string
 		c    cacheCounters
-	}{{"program", programs}, {"trace", traces}} {
+	}{{"program", programs}, {"trace", traces}, {"predecode", predecodes}} {
 		fmt.Fprintf(w, "bsimd_artifact_cache_events_total{cache=%q,event=\"hit\"} %d\n", c.name, c.c.Hits)
 		fmt.Fprintf(w, "bsimd_artifact_cache_events_total{cache=%q,event=\"miss\"} %d\n", c.name, c.c.Misses)
 		fmt.Fprintf(w, "bsimd_artifact_cache_events_total{cache=%q,event=\"eviction\"} %d\n", c.name, c.c.Evictions)
@@ -102,6 +125,20 @@ func (m *metrics) writeProm(w io.Writer, programs, traces cacheCounters) {
 	fmt.Fprintf(w, "# TYPE bsimd_artifact_cache_entries gauge\n")
 	fmt.Fprintf(w, "bsimd_artifact_cache_entries{cache=\"program\"} %d\n", programs.Entries)
 	fmt.Fprintf(w, "bsimd_artifact_cache_entries{cache=\"trace\"} %d\n", traces.Entries)
+	fmt.Fprintf(w, "bsimd_artifact_cache_entries{cache=\"predecode\"} %d\n", predecodes.Entries)
+
+	fmt.Fprintf(w, "# HELP bsimd_segment_seconds Per-segment lane replay latency.\n")
+	fmt.Fprintf(w, "# TYPE bsimd_segment_seconds histogram\n")
+	sh := &m.segDuration
+	segCum := int64(0)
+	for i, bound := range histBounds {
+		segCum += sh.buckets[i].Load()
+		fmt.Fprintf(w, "bsimd_segment_seconds_bucket{le=\"%g\"} %d\n", bound, segCum)
+	}
+	segCum += sh.buckets[len(histBounds)].Load()
+	fmt.Fprintf(w, "bsimd_segment_seconds_bucket{le=\"+Inf\"} %d\n", segCum)
+	fmt.Fprintf(w, "bsimd_segment_seconds_sum %g\n", time.Duration(sh.sumNs.Load()).Seconds())
+	fmt.Fprintf(w, "bsimd_segment_seconds_count %d\n", sh.count.Load())
 
 	fmt.Fprintf(w, "# HELP bsimd_stage_seconds Pipeline stage latency by stage.\n")
 	fmt.Fprintf(w, "# TYPE bsimd_stage_seconds histogram\n")

@@ -18,6 +18,7 @@ import (
 const (
 	engineSweep     = "sweep-icache"
 	enginePredSweep = "sweep-predictor"
+	engineSegmented = "replay-segmented"
 	engineMany      = "simulate-many"
 )
 
@@ -84,24 +85,54 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 		return fail(err)
 	}
 	tr := tv.(*emu.Trace)
-	resp.ArtifactCache = &ArtifactHits{Program: progHit, Trace: traceHit}
 
-	// Timing: same routing as harness.runMany / bsim -sweep-icache.
+	// Timing: same routing as harness.runMany / bsim -sweep-icache, plus the
+	// segment-parallel engine for single-config plans that qualify when the
+	// job has workers to spend (no sweep to fan out over).
 	engine, stage := engineMany, stageReplay
 	switch {
 	case uarch.CanSweepICache(plan.Configs):
 		engine, stage = engineSweep, stageSweep
 	case uarch.CanSweepPredictor(plan.Configs):
 		engine, stage = enginePredSweep, stagePredSweep
+	case len(plan.Configs) == 1 && uarch.CanSegment(plan.Configs[0]) && s.jobWorkers() > 1:
+		engine, stage = engineSegmented, stageSegReplay
 	}
 	resp.Engine = engine
+
+	// Predecode artifact: the fused sweep engines flatten the program into
+	// per-lane op tables before walking the trace; share that flattening
+	// across requests (it depends only on program + issue width).
+	var pre *uarch.Predecoded
+	preHit := false
+	if engine == engineSweep || engine == enginePredSweep {
+		iw := plan.Configs[0].EffectiveIssueWidth()
+		prv, hit, perr := s.predecodes.do(predecodeKey(progKey, iw), func() (any, error) {
+			return uarch.Predecode(bp.prog, iw), nil
+		})
+		if perr == nil {
+			pre, preHit = prv.(*uarch.Predecoded), hit
+		}
+	}
+	resp.ArtifactCache = &ArtifactHits{Program: progHit, Trace: traceHit, Predecode: preHit}
+
 	t0 := time.Now()
 	var results []*uarch.Result
 	switch engine {
 	case engineSweep:
-		results, err = uarch.SweepICacheContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
+		results, err = uarch.SweepICachePredecoded(j.ctx, tr, plan.Configs, s.cfg.JobWorkers, pre)
 	case enginePredSweep:
-		results, err = uarch.SweepPredictorContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
+		results, err = uarch.SweepPredictorPredecoded(j.ctx, tr, plan.Configs, s.cfg.JobWorkers, pre)
+	case engineSegmented:
+		var r *uarch.Result
+		r, err = uarch.ReplayTraceSegmentedContext(j.ctx, tr, plan.Configs[0], uarch.SegmentOptions{
+			Workers:  s.cfg.JobWorkers,
+			Segments: plan.Segments,
+			Observer: segObserver{s.metrics},
+		})
+		if err == nil {
+			results = []*uarch.Result{r}
+		}
 	default:
 		results, err = uarch.SimulateManyContext(j.ctx, tr, plan.Configs, s.cfg.JobWorkers)
 	}

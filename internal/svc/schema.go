@@ -45,6 +45,13 @@ type SimRequest struct {
 	// PredSweep runs a branch-predictor sensitivity sweep over the cross
 	// product of its axes (schema-additive; older clients never see it).
 	PredSweep *PredSweepSpec `json:"pred_sweep,omitempty"`
+	// Segments, on a single-Config run, asks the segment-parallel replay
+	// engine to split the trace into this many checkpointed segments (0 =
+	// auto-sized from the server's per-job worker budget). Results are
+	// field-for-field identical at every segment count; the knob only trades
+	// latency. Schema-additive: only valid with Config, rejected with Sweep
+	// or PredSweep.
+	Segments int `json:"segments,omitempty"`
 	// TimeoutMs, when positive, caps the job's wall time; the job's context
 	// is canceled at the deadline (subject to the server's own ceiling).
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -163,12 +170,17 @@ type SimResponse struct {
 	// Error is set (and Results/Table unset) when the job failed.
 	Error string `json:"error,omitempty"`
 	// Engine reports which timing path ran: "sweep-icache" or
-	// "sweep-predictor" (the fused single-pass engines) or "simulate-many"
-	// (one replay per config).
+	// "sweep-predictor" (the fused single-pass engines), "replay-segmented"
+	// (the segment-parallel single-config engine), or "simulate-many" (one
+	// replay per config).
 	Engine string `json:"engine,omitempty"`
 	// ArtifactCache reports whether this job reused a cached compiled
 	// program / recorded trace.
 	ArtifactCache *ArtifactHits `json:"artifact_cache,omitempty"`
+	// Coalesced marks a response served from another in-flight identical
+	// request's simulation pass rather than a pass of its own
+	// (schema-additive).
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Results holds one typed result per requested configuration, in
 	// request order.
 	Results []SimResult `json:"results,omitempty"`
@@ -177,10 +189,13 @@ type SimResponse struct {
 	Table *Table `json:"table,omitempty"`
 }
 
-// ArtifactHits reports per-job artifact cache outcomes.
+// ArtifactHits reports per-job artifact cache outcomes. Predecode is only
+// meaningful on jobs routed to a fused sweep engine (the only consumers of
+// predecoded tables).
 type ArtifactHits struct {
-	Program bool `json:"program"`
-	Trace   bool `json:"trace"`
+	Program   bool `json:"program"`
+	Trace     bool `json:"trace"`
+	Predecode bool `json:"predecode,omitempty"`
 }
 
 // Table is the JSON form of a rendered stats.Table.

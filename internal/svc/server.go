@@ -31,10 +31,12 @@ type ServerConfig struct {
 	// DefaultTimeout caps jobs that carry no timeout_ms of their own
 	// (0 = no cap). A request's own timeout may only shorten it.
 	DefaultTimeout time.Duration
-	// ProgramCacheEntries / TraceCacheEntries bound the artifact caches
-	// (<= 0 means 32 programs / 16 traces; traces are the big artifacts).
-	ProgramCacheEntries int
-	TraceCacheEntries   int
+	// ProgramCacheEntries / TraceCacheEntries / PredecodeCacheEntries bound
+	// the artifact caches (<= 0 means 32 programs / 16 traces / 32
+	// predecoded tables; traces are the big artifacts).
+	ProgramCacheEntries   int
+	TraceCacheEntries     int
+	PredecodeCacheEntries int
 	// Logger receives structured per-job logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -52,6 +54,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.TraceCacheEntries <= 0 {
 		c.TraceCacheEntries = 16
 	}
+	if c.PredecodeCacheEntries <= 0 {
+		c.PredecodeCacheEntries = 32
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -66,8 +71,11 @@ type Server struct {
 	cfg     ServerConfig
 	metrics *metrics
 
-	programs *artifactCache // ProgramSpec -> *builtProgram
-	traces   *artifactCache // program+budget -> *emu.Trace
+	programs   *artifactCache // ProgramSpec -> *builtProgram
+	traces     *artifactCache // program+budget -> *emu.Trace
+	predecodes *artifactCache // program+issue width -> *uarch.Predecoded
+
+	coal *coalescer // folds concurrent identical requests onto one pass
 
 	jobs   chan *job
 	wg     sync.WaitGroup
@@ -98,17 +106,28 @@ type job struct {
 func NewServer(cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		metrics:  newMetrics(),
-		programs: newArtifactCache(cfg.ProgramCacheEntries),
-		traces:   newArtifactCache(cfg.TraceCacheEntries),
-		jobs:     make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		programs:   newArtifactCache(cfg.ProgramCacheEntries),
+		traces:     newArtifactCache(cfg.TraceCacheEntries),
+		predecodes: newArtifactCache(cfg.PredecodeCacheEntries),
+		coal:       newCoalescer(),
+		jobs:       make(chan *job, cfg.QueueDepth),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// jobWorkers resolves the configured per-job engine concurrency
+// (<= 0 means GOMAXPROCS, mirroring the engines' own defaulting).
+func (s *Server) jobWorkers() int {
+	if s.cfg.JobWorkers > 0 {
+		return s.cfg.JobWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (s *Server) worker() {
@@ -157,7 +176,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.metrics.writeProm(w, s.programs.counters(), s.traces.counters())
+		s.metrics.writeProm(w, s.programs.counters(), s.traces.counters(), s.predecodes.counters())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -190,12 +209,61 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Coalesce concurrent identical plans onto one pass: the first request
+	// for a key leads and runs the job; the rest wait on its flight and share
+	// the outcome. A follower whose leader died of its *own* lifetime (the
+	// leader's context was cancelled or timed out) retries — that outcome says
+	// nothing about this request — and either leads the next flight or joins
+	// one that formed in the meantime.
+	key := coalesceKey(plan)
+	for {
+		f, leader := s.coal.join(key)
+		if leader {
+			out := s.runJob(ctx, req, plan)
+			s.coal.finish(key, f, out)
+			s.answer(w, req.ID, out)
+			return
+		}
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			s.reject(w, req.ID, statusForCtx(ctx.Err()),
+				fmt.Errorf("svc: gave up waiting on coalesced pass: %w", ctx.Err()))
+			return
+		}
+		out := f.out
+		if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+			continue // leader-lifetime outcome; run our own pass
+		}
+		s.metrics.coalesced.Add(1)
+		if out.resp != nil {
+			// Share the leader's envelope but keep this request's identity.
+			resp := *out.resp
+			resp.ID = req.ID
+			resp.Coalesced = true
+			out.resp = &resp
+		}
+		s.answer(w, req.ID, out)
+		return
+	}
+}
+
+// Sentinels for submission failures that never reach a worker; answer maps
+// them to 503 and counts them as rejections.
+var (
+	errDraining  = errors.New("svc: server draining")
+	errQueueFull = errors.New("svc: queue full, gave up waiting")
+)
+
+// runJob submits one validated plan to the worker pool and waits for its
+// outcome. On drain or queue-full it returns a sentinel outcome with a nil
+// response instead.
+func (s *Server) runJob(ctx context.Context, req *SimRequest, plan *Plan) jobOutcome {
 	s.stopMu.RLock()
 	stopped := s.stopped
 	s.stopMu.RUnlock()
 	if stopped {
-		s.reject(w, req.ID, http.StatusServiceUnavailable, errors.New("svc: server draining"))
-		return
+		return jobOutcome{err: errDraining}
 	}
 	j := &job{ctx: ctx, id: s.nextID.Add(1), req: req, plan: plan, done: make(chan jobOutcome, 1)}
 	s.metrics.queued.Add(1)
@@ -203,15 +271,21 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	case s.jobs <- j:
 	case <-ctx.Done():
 		s.metrics.queued.Add(-1)
-		s.reject(w, req.ID, http.StatusServiceUnavailable,
-			fmt.Errorf("svc: queue full, gave up waiting: %w", ctx.Err()))
-		return
+		return jobOutcome{err: fmt.Errorf("%w: %v", errQueueFull, ctx.Err())}
 	}
 	// The worker always answers: on cancellation it answers with the
 	// context error. Waiting here (rather than racing ctx.Done) keeps the
 	// handler alive until the pool is done with the job, which is what lets
 	// http.Server.Shutdown double as the in-flight drain barrier.
-	out := <-j.done
+	return <-j.done
+}
+
+// answer writes one outcome, classifying the error into an HTTP status.
+func (s *Server) answer(w http.ResponseWriter, id string, out jobOutcome) {
+	if errors.Is(out.err, errDraining) || errors.Is(out.err, errQueueFull) {
+		s.reject(w, id, http.StatusServiceUnavailable, out.err)
+		return
+	}
 	status := http.StatusOK
 	switch {
 	case errors.Is(out.err, context.DeadlineExceeded):
@@ -225,6 +299,14 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, out.resp)
+}
+
+// statusForCtx maps a handler-context error to the waiting follower's status.
+func statusForCtx(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusServiceUnavailable
 }
 
 // reject answers without pooling a job.

@@ -24,7 +24,11 @@ import (
 func quietConfig() ServerConfig {
 	return ServerConfig{
 		Workers: 4,
-		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		// One engine worker per job pins single-config routing to the
+		// sequential engine regardless of the host's core count; the
+		// segmented engine's routing is exercised separately.
+		JobWorkers: 1,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 }
 
@@ -270,7 +274,10 @@ func TestServerJobTimeout(t *testing.T) {
 
 // TestServerConcurrentCachedLoad fires 32 concurrent identical sweeps and
 // requires (a) every answer identical, (b) one compile and one trace
-// recording total, with the hit rate visible on /metrics.
+// recording total, with the hit rate visible on /metrics. Some of the 32 may
+// coalesce onto a shared pass (they inherit the leader's cache-hit flags),
+// so the cache counters are bounded by the number of passes that actually
+// ran, not by the request count.
 func TestServerConcurrentCachedLoad(t *testing.T) {
 	s, ts := testServer(t, quietConfig())
 	seed := int64(123)
@@ -319,11 +326,19 @@ func TestServerConcurrentCachedLoad(t *testing.T) {
 			}
 		}
 	}
-	if pc := s.programs.counters(); pc.Misses != 1 || pc.Hits < load {
-		t.Fatalf("program cache counters %+v, want 1 miss and >= %d hits", pc, load)
+	coalesced := 0
+	for _, resp := range resps {
+		if resp.Coalesced {
+			coalesced++
+		}
 	}
-	if tc := s.traces.counters(); tc.Misses != 1 || tc.Hits < load {
-		t.Fatalf("trace cache counters %+v, want 1 miss and >= %d hits", tc, load)
+	if pc := s.programs.counters(); pc.Misses != 1 || pc.Hits < int64(load-coalesced) {
+		t.Fatalf("program cache counters %+v, want 1 miss and >= %d hits (%d coalesced)",
+			pc, load-coalesced, coalesced)
+	}
+	if tc := s.traces.counters(); tc.Misses != 1 || tc.Hits < int64(load-coalesced) {
+		t.Fatalf("trace cache counters %+v, want 1 miss and >= %d hits (%d coalesced)",
+			tc, load-coalesced, coalesced)
 	}
 
 	// The same numbers must be visible on /metrics.

@@ -643,6 +643,13 @@ func SweepICache(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
 // trace chunks, and the call returns an error satisfying errors.Is(err,
 // ctx.Err()) with all lane workers drained once the context is done.
 func SweepICacheContext(ctx context.Context, t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	return SweepICachePredecoded(ctx, t, cfgs, workers, nil)
+}
+
+// SweepICachePredecoded is SweepICacheContext reusing a prebuilt Predecode of
+// the trace's program (nil, or one built for a different program or issue
+// width, flattens fresh — results are identical either way).
+func SweepICachePredecoded(ctx context.Context, t *emu.Trace, cfgs []Config, workers int, pre *Predecoded) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -660,7 +667,7 @@ func SweepICacheContext(ctx context.Context, t *emu.Trace, cfgs []Config, worker
 	if err != nil {
 		return nil, err
 	}
-	lp := flattenSweepProgram(t.Program(), norm[0].IssueWidth)
+	lp, _ := pre.tables(t.Program(), norm[0].IssueWidth)
 	ids := t.BlockIDs()
 
 	// Levels double in size starting at the smallest swept size; map each

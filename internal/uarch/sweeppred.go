@@ -328,6 +328,13 @@ func SweepPredictor(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error)
 // trace chunks, and the call returns an error satisfying errors.Is(err,
 // ctx.Err()) with all lane workers drained once the context is done.
 func SweepPredictorContext(ctx context.Context, t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	return SweepPredictorPredecoded(ctx, t, cfgs, workers, nil)
+}
+
+// SweepPredictorPredecoded is SweepPredictorContext reusing a prebuilt
+// Predecode of the trace's program (nil, or one built for a different program
+// or issue width, flattens fresh — results are identical either way).
+func SweepPredictorPredecoded(ctx context.Context, t *emu.Trace, cfgs []Config, workers int, pre *Predecoded) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -339,7 +346,12 @@ func SweepPredictorContext(ctx context.Context, t *emu.Trace, cfgs []Config, wor
 	if err != nil {
 		return nil, err
 	}
-	lp := flattenSweepProgram(t.Program(), norm[0].IssueWidth)
+	lp, shared := pre.tables(t.Program(), norm[0].IssueWidth)
+	if shared {
+		// The line split below is per-geometry state; never write it into a
+		// table other sweeps may be reading concurrently.
+		lp = append([]laneBlock(nil), lp...)
+	}
 	// All lanes share one icache geometry (predSweepCheck), so the per-block
 	// line split can be precomputed once into the lane tables.
 	shift := uint32(bits.TrailingZeros32(uint32(norm[0].ICache.Normalize().LineBytes)))
