@@ -8,7 +8,7 @@
 //
 //	bsimd [-addr :8023] [-workers N] [-queue N] [-job-workers N]
 //	      [-timeout D] [-cache-programs N] [-cache-traces N]
-//	      [-cache-predecodes N] [-log text|json] [-smoke]
+//	      [-cache-predecodes N] [-store DIR] [-log text|json] [-smoke]
 //
 // Endpoints:
 //
@@ -25,13 +25,23 @@
 // the leader's envelope with "coalesced": true and counted in
 // bsimd_coalesced_requests_total.
 //
+// -store DIR layers a persistent content-addressed trace store under the
+// in-memory caches: recorded traces (and their predecoded op tables) are
+// written through to DIR, and a restarted daemon pointed at the same DIR
+// serves them back without re-recording — hit/miss/corruption counts and
+// byte traffic appear on /metrics as bsimd_store_events_total and
+// bsimd_store_bytes_total. Corrupt or truncated files are detected by
+// checksum, quarantined aside as *.corrupt, and rebuilt.
+//
 // -smoke runs the self-check the CI service-smoke stage uses: it starts a
 // server on an ephemeral port (pool shape pinned: one worker, four job
 // workers) and checks, over HTTP against the direct library path: a
 // Figure-6-style icache sweep, a predictor sweep served from the cached
 // trace, a segmented single-config replay, and a 32-way identical load that
 // must coalesce onto one pass — then verifies cache hits, the coalesced
-// count, and segment activity on /metrics.
+// count, and segment activity on /metrics, and finally restarts against the
+// same trace store (the -store directory, or a temporary one) to prove a
+// fresh process answers the sweep with zero trace recordings.
 package main
 
 import (
@@ -57,6 +67,7 @@ func main() {
 	cacheProgs := flag.Int("cache-programs", 0, "compiled-program cache entries (0 = default)")
 	cacheTraces := flag.Int("cache-traces", 0, "recorded-trace cache entries (0 = default)")
 	cachePre := flag.Int("cache-predecodes", 0, "predecoded-op-table cache entries (0 = default)")
+	storeDir := flag.String("store", "", "persistent trace store directory (empty = in-memory only)")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	smoke := flag.Bool("smoke", false, "run the self-check against an ephemeral server and exit")
 	flag.Parse()
@@ -82,6 +93,15 @@ func main() {
 		TraceCacheEntries:     *cacheTraces,
 		PredecodeCacheEntries: *cachePre,
 		Logger:                logger,
+	}
+	if *storeDir != "" {
+		store, err := svc.NewStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsimd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = store
+		logger.Info("trace store open", "dir", *storeDir)
 	}
 
 	if *smoke {

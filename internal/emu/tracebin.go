@@ -1,0 +1,341 @@
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"bsisa/internal/isa"
+)
+
+// Binary trace format ("BSTR", version 1). A recorded committed-block trace
+// serializes to a compact byte stream so a persistent store can amortize one
+// recording across every future replay — the same economics the paper claims
+// for block enlargement, applied to the simulator's own artifacts.
+//
+// Layout:
+//
+//	header   magic "BSTR" (4B) · version u8 · flags u8 · reserved u16
+//	body     emulation budget (varint)
+//	         block count, event count (uvarint)
+//	         memCnt:  static LD/ST count per block (uvarint each)
+//	         blocks:  committed block IDs, delta-zigzag varint
+//	         succIdx: successor indices, zigzag varint
+//	         taken:   branch outcomes, LSB-first bitset
+//	         mem:     LD/ST byte addresses, delta-zigzag varint
+//	         result:  emulator stats, program output, return value
+//	aux      optional opaque section (flagAux): uvarint length + bytes;
+//	         the store puts a predecoded-op-table blob (uarch) here
+//	trailer  CRC-32C (Castagnoli) of everything above, little-endian
+//
+// Encoding is deterministic, so Encode∘Decode∘Encode is byte-identical, and
+// decoding reconstructs the exact flat slices Record builds: replay walks
+// them with zero per-event deserialization. Every decode failure — bad
+// magic, unknown version, checksum mismatch, truncation, or a stream that
+// does not match the supplied program — wraps ErrBadTrace; corrupt bytes
+// never panic and never yield a partially filled trace.
+
+// ErrBadTrace is wrapped by every DecodeTrace failure, so stores classify
+// corrupt-vs-mismatched files with errors.Is instead of parsing messages.
+var ErrBadTrace = errors.New("emu: bad trace encoding")
+
+const (
+	traceMagic   = "BSTR"
+	traceVersion = 1
+
+	// flagAux marks the presence of the optional aux section.
+	flagAux = 1 << 0
+
+	// traceHeaderLen and traceTrailerLen bound the fixed-size framing.
+	traceHeaderLen  = 8
+	traceTrailerLen = 4
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeBytes serializes the trace (and, when aux is non-nil, the opaque aux
+// section) into a fresh checksummed buffer.
+func (t *Trace) EncodeBytes(aux []byte) []byte {
+	// Size hint: varints average well under the flat in-memory footprint.
+	buf := make([]byte, 0, traceHeaderLen+int(t.Footprint()/2)+len(aux)+traceTrailerLen)
+	var flags byte
+	if aux != nil {
+		flags |= flagAux
+	}
+	buf = append(buf, traceMagic...)
+	buf = append(buf, traceVersion, flags, 0, 0)
+
+	buf = binary.AppendVarint(buf, t.cfg.MaxOps)
+	buf = binary.AppendUvarint(buf, uint64(len(t.memCnt)))
+	buf = binary.AppendUvarint(buf, uint64(len(t.blocks)))
+	for _, n := range t.memCnt {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	prev := int64(0)
+	for _, id := range t.blocks {
+		buf = binary.AppendVarint(buf, int64(id)-prev)
+		prev = int64(id)
+	}
+	for _, s := range t.succIdx {
+		buf = binary.AppendVarint(buf, int64(s))
+	}
+	bits := make([]byte, (len(t.taken)+7)/8)
+	for i, tk := range t.taken {
+		if tk {
+			bits[i>>3] |= 1 << (i & 7)
+		}
+	}
+	buf = append(buf, bits...)
+	prevAddr := int64(0)
+	for _, a := range t.mem {
+		buf = binary.AppendVarint(buf, int64(a)-prevAddr)
+		prevAddr = int64(a)
+	}
+
+	if t.result == nil {
+		buf = binary.AppendUvarint(buf, 0)
+	} else {
+		buf = binary.AppendUvarint(buf, 1)
+		st := t.result.Stats
+		for _, v := range []int64{st.Ops, st.Blocks, st.Loads, st.Stores, st.Branches, st.Taken, st.FaultRetries} {
+			buf = binary.AppendVarint(buf, v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(t.result.Output)))
+		for _, v := range t.result.Output {
+			buf = binary.AppendVarint(buf, v)
+		}
+		buf = binary.AppendVarint(buf, t.result.ReturnValue)
+	}
+
+	if aux != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(aux)))
+		buf = append(buf, aux...)
+	}
+
+	sum := crc32.Checksum(buf, crcTable)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// Encode writes EncodeBytes to w.
+func (t *Trace) Encode(w io.Writer, aux []byte) error {
+	_, err := w.Write(t.EncodeBytes(aux))
+	return err
+}
+
+// traceReader walks an encoded body with bounds-checked varint reads.
+type traceReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *traceReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrBadTrace, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *traceReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrBadTrace, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *traceReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("%w: truncated section at offset %d", ErrBadTrace, r.pos)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// DecodeTrace reconstructs a trace recorded from prog out of one encoded
+// buffer, returning the optional aux section (nil when absent). The decoded
+// trace replays field-for-field identically to the trace EncodeBytes was
+// called on. The stream is validated against prog — block IDs, successor
+// indices, and static memory-operation counts must all match — so a file
+// keyed to the wrong program decodes to an error, never to a wrong answer.
+func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []byte, error) {
+	if prog == nil {
+		return nil, nil, fmt.Errorf("%w: nil program", ErrBadTrace)
+	}
+	if len(data) < traceHeaderLen+traceTrailerLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes is shorter than the fixed framing", ErrBadTrace, len(data))
+	}
+	if string(data[:4]) != traceMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, data[:4])
+	}
+	if data[4] != traceVersion {
+		return nil, nil, fmt.Errorf("%w: format version %d, want %d", ErrBadTrace, data[4], traceVersion)
+	}
+	flags := data[5]
+	if flags&^byte(flagAux) != 0 {
+		return nil, nil, fmt.Errorf("%w: unknown flags %#02x", ErrBadTrace, flags)
+	}
+	body, trailer := data[:len(data)-traceTrailerLen], data[len(data)-traceTrailerLen:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, nil, fmt.Errorf("%w: checksum %08x, trailer says %08x", ErrBadTrace, got, want)
+	}
+
+	r := &traceReader{data: body, pos: traceHeaderLen}
+	maxOps, err := r.varint()
+	if err != nil {
+		return nil, nil, err
+	}
+	numBlocks, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if numBlocks != uint64(len(prog.Blocks)) {
+		return nil, nil, fmt.Errorf("%w: trace is over %d blocks, program has %d", ErrBadTrace, numBlocks, len(prog.Blocks))
+	}
+	numEvents, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Every event costs at least one blocks-stream byte, so this bound keeps
+	// a malformed-but-checksummed count from driving a giant allocation.
+	if numEvents > uint64(len(body)) {
+		return nil, nil, fmt.Errorf("%w: event count %d exceeds the encoding's capacity", ErrBadTrace, numEvents)
+	}
+
+	t := &Trace{prog: prog, cfg: Config{MaxOps: maxOps}}
+	t.memCnt = make([]int32, len(prog.Blocks))
+	memTotal := uint64(0)
+	for id := range t.memCnt {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		want := int32(0)
+		if b := prog.Blocks[id]; b != nil {
+			for i := range b.Ops {
+				if op := b.Ops[i].Opcode; op == isa.LD || op == isa.ST {
+					want++
+				}
+			}
+		}
+		if n != uint64(want) {
+			return nil, nil, fmt.Errorf("%w: B%d records %d memory operations, program has %d (trace/program mismatch)",
+				ErrBadTrace, id, n, want)
+		}
+		t.memCnt[id] = want
+	}
+
+	t.blocks = make([]isa.BlockID, numEvents)
+	prev := int64(0)
+	for i := range t.blocks {
+		d, err := r.varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		prev += d
+		if prev < 0 || prev >= int64(len(prog.Blocks)) || prog.Blocks[prev] == nil {
+			return nil, nil, fmt.Errorf("%w: event %d commits nonexistent block %d", ErrBadTrace, i, prev)
+		}
+		t.blocks[i] = isa.BlockID(prev)
+		memTotal += uint64(t.memCnt[prev])
+	}
+
+	t.succIdx = make([]int16, numEvents)
+	for i := range t.succIdx {
+		s, err := r.varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		if s < -1 || s > math.MaxInt16 || int(s) >= len(prog.Blocks[t.blocks[i]].Succs) {
+			return nil, nil, fmt.Errorf("%w: event %d successor index %d out of range for B%d",
+				ErrBadTrace, i, s, t.blocks[i])
+		}
+		t.succIdx[i] = int16(s)
+	}
+
+	bits, err := r.bytes(int((numEvents + 7) / 8))
+	if err != nil {
+		return nil, nil, err
+	}
+	t.taken = make([]bool, numEvents)
+	for i := range t.taken {
+		t.taken[i] = bits[i>>3]&(1<<(i&7)) != 0
+	}
+
+	if memTotal > uint64(len(body)) {
+		return nil, nil, fmt.Errorf("%w: memory-address count %d exceeds the encoding's capacity", ErrBadTrace, memTotal)
+	}
+	t.mem = make([]uint32, memTotal)
+	prevAddr := int64(0)
+	for i := range t.mem {
+		d, err := r.varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		prevAddr += d
+		if prevAddr < 0 || prevAddr > math.MaxUint32 {
+			return nil, nil, fmt.Errorf("%w: memory address %d overflows 32 bits", ErrBadTrace, prevAddr)
+		}
+		t.mem[i] = uint32(prevAddr)
+	}
+
+	present, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if present > 1 {
+		return nil, nil, fmt.Errorf("%w: result-presence flag %d", ErrBadTrace, present)
+	}
+	if present == 1 {
+		res := &Result{}
+		for _, dst := range []*int64{
+			&res.Stats.Ops, &res.Stats.Blocks, &res.Stats.Loads, &res.Stats.Stores,
+			&res.Stats.Branches, &res.Stats.Taken, &res.Stats.FaultRetries,
+		} {
+			if *dst, err = r.varint(); err != nil {
+				return nil, nil, err
+			}
+		}
+		nOut, err := r.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		if nOut > uint64(len(body)) {
+			return nil, nil, fmt.Errorf("%w: output length %d exceeds the encoding's capacity", ErrBadTrace, nOut)
+		}
+		res.Output = make([]int64, nOut)
+		for i := range res.Output {
+			if res.Output[i], err = r.varint(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if res.ReturnValue, err = r.varint(); err != nil {
+			return nil, nil, err
+		}
+		t.result = res
+	}
+
+	var aux []byte
+	if flags&flagAux != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		raw, err := r.bytes(int(n))
+		if err != nil {
+			return nil, nil, err
+		}
+		aux = append([]byte(nil), raw...)
+	}
+	if r.pos != len(body) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes after the last section", ErrBadTrace, len(body)-r.pos)
+	}
+	return t, aux, nil
+}

@@ -23,7 +23,9 @@ import (
 // still receive the value, the artifact just is not reused afterwards.
 //
 // Build failures are never cached: the failed entry is removed so a
-// transient failure does not poison the key.
+// transient failure does not poison the key, waiters that joined the failed
+// build retry it instead of inheriting the error, and only successful joins
+// count as hits.
 type artifactCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -55,39 +57,55 @@ func newArtifactCache(capacity int) *artifactCache {
 // Exactly one caller builds a given key at a time; the rest block until the
 // build completes. hit reports whether this call reused an existing entry
 // (possibly waiting for an in-flight build).
+//
+// A waiter that joins an in-flight build only scores a hit if that build
+// succeeds. When it fails, the waiter does not inherit the builder's error —
+// the failure says nothing about whether a fresh build would succeed — it
+// loops and retries the lookup, becoming the next builder (or waiting on
+// one) now that the failed entry has been dropped. Only a caller's own build
+// failure is returned to it.
 func (c *artifactCache) do(key string, build func() (any, error)) (val any, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
-		c.hits++
-		c.mu.Unlock()
-		<-e.ready
-		return e.val, true, e.err
-	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
-	el := c.order.PushFront(e)
-	c.entries[key] = el
-	c.misses++
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		c.evictions++
-	}
-	c.mu.Unlock()
-
-	e.val, e.err = build()
-	close(e.ready)
-	if e.err != nil {
+	for {
 		c.mu.Lock()
-		if cur, ok := c.entries[key]; ok && cur == el {
-			c.order.Remove(el)
-			delete(c.entries, key)
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			e := el.Value.(*cacheEntry)
+			c.mu.Unlock()
+			<-e.ready
+			if e.err != nil {
+				continue // joined a failed build: retry rather than inherit
+			}
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return e.val, true, nil
+		}
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
+		el := c.order.PushFront(e)
+		c.entries[key] = el
+		c.misses++
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions++
 		}
 		c.mu.Unlock()
+
+		e.val, e.err = build()
+		if e.err != nil {
+			// Drop the failed entry before releasing waiters, so a retrying
+			// waiter's next lookup cannot land on this entry again.
+			c.mu.Lock()
+			if cur, ok := c.entries[key]; ok && cur == el {
+				c.order.Remove(el)
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+		close(e.ready)
+		return e.val, false, e.err
 	}
-	return e.val, false, e.err
 }
 
 // cacheCounters is a consistent snapshot of the cache's counters.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestArtifactCacheSingleFlight hammers one key from many goroutines and
@@ -111,6 +112,85 @@ func TestArtifactCacheFailureNotCached(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Fatalf("build ran %d times, want 2", calls)
+	}
+}
+
+// TestArtifactCacheWaiterRetriesFailedBuild pins the post-failure waiter
+// contract: a waiter that joined an in-flight build whose leader fails must
+// not count as a hit and must not inherit the leader's error — it rebuilds
+// the artifact itself.
+func TestArtifactCacheWaiterRetriesFailedBuild(t *testing.T) {
+	c := newArtifactCache(4)
+	boom := errors.New("boom")
+	release := make(chan struct{}) // gates the leader's failure
+
+	var builds atomic.Int64
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.do("k", func() (any, error) {
+			builds.Add(1)
+			<-release
+			return nil, boom
+		})
+		leaderDone <- err
+	}()
+	// Wait until the leader's entry is in flight, then pile waiters onto it.
+	for c.counters().Misses == 0 {
+		runtime.Gosched()
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	vals := make([]any, waiters)
+	hits := make([]bool, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], hits[i], errs[i] = c.do("k", func() (any, error) {
+				builds.Add(1)
+				return "rebuilt", nil
+			})
+		}(i)
+	}
+	// Give the waiters time to park on the in-flight entry, then fail it.
+	// (Assertions below hold for any interleaving; the sleep just makes the
+	// join-a-failing-build path the one actually exercised.)
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Fatalf("leader error %v, want boom", err)
+	}
+	wg.Wait()
+	rebuildMisses := 0
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d must rebuild after the leader's failure, got error %v", i, errs[i])
+		}
+		if vals[i] != "rebuilt" {
+			t.Fatalf("waiter %d value %v, want the rebuilt artifact", i, vals[i])
+		}
+		if !hits[i] {
+			rebuildMisses++
+		}
+	}
+	// Exactly one waiter rebuilds; the rest join its successful build (those
+	// are honest hits). Nobody scores a hit off the failed build.
+	if rebuildMisses != 1 {
+		t.Fatalf("%d waiters report a miss, want exactly 1 (the rebuilder)", rebuildMisses)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("build ran %d times, want 2 (failed leader + one rebuild)", n)
+	}
+	cc := c.counters()
+	if cc.Hits != waiters-1 || cc.Misses != 2 {
+		t.Fatalf("counters = %+v, want %d hits / 2 misses", cc, waiters-1)
+	}
+	// The rebuilt artifact is cached: a late caller hits without building.
+	v, hit, err := c.do("k", func() (any, error) { return nil, errors.New("must not run") })
+	if err != nil || v != "rebuilt" || !hit {
+		t.Fatalf("late caller got (%v, hit=%v, err=%v), want cached rebuild", v, hit, err)
 	}
 }
 

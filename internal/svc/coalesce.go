@@ -20,8 +20,11 @@ import (
 // configurations, segment hint — never on the request ID or timeout, so two
 // clients asking the same question at the same moment cost one pass. A
 // follower never inherits an outcome that only reflects the leader's own
-// lifetime (its context's cancellation or deadline): handleSim retries those,
-// starting or joining a fresh flight.
+// lifetime (its client disconnecting, or the client's own request deadline):
+// handleSim retries those, starting or joining a fresh flight, up to a small
+// cap. An outcome that exceeded the *plan's* deadline is shared instead —
+// the same pass would be just as doomed re-run under each follower in turn
+// (see errPlanDeadline in server.go).
 type coalescer struct {
 	mu      sync.Mutex
 	flights map[string]*flight

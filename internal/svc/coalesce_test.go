@@ -1,6 +1,9 @@
 package svc
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -298,6 +301,210 @@ func TestServerCoalescesIdenticalRequests(t *testing.T) {
 	// Two passes total: the occupier and the leader.
 	if got := s.metrics.jobsTotal.Load(); got != 2 {
 		t.Fatalf("jobsTotal = %d, want 2 (occupier + one leader)", got)
+	}
+}
+
+// flightCount reports how many coalescer flights are currently open.
+func flightCount(s *Server) int {
+	s.coal.mu.Lock()
+	defer s.coal.mu.Unlock()
+	return len(s.coal.flights)
+}
+
+// TestFollowersSharePlanDeadlineOutcome is the retry-storm regression test:
+// when the leader's pass exceeds the *plan's own* deadline, followers must
+// share that outcome instead of serially re-running the same doomed pass.
+// One worker is held by a deliberately slow occupier; a leader with a short
+// timeout queues behind it (alive at enqueue, long expired when it finally
+// executes), and followers with generous timeouts join its flight. Before
+// the fix every follower re-ran the pass in turn; now the doomed outcome is
+// shared and the pool sees exactly two jobs (occupier + leader).
+func TestFollowersSharePlanDeadlineOutcome(t *testing.T) {
+	if _, ok := workload.ProfileByName("compress", 0.5); !ok {
+		t.Skip("no compress profile")
+	}
+	cfg := quietConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	s, ts := testServer(t, cfg)
+
+	occDone := make(chan struct{})
+	go func() {
+		defer close(occDone)
+		status, resp := post(t, ts, &SimRequest{
+			Version: SchemaVersion,
+			Program: ProgramSpec{Workload: "compress", Scale: 0.5, ISA: "conv"},
+			Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192, 16384}},
+		})
+		if status != http.StatusOK {
+			t.Errorf("occupier: status %d: %s", status, resp.Error)
+		}
+	}()
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("occupier executing", func() bool { return s.metrics.inFlight.Load() == 1 })
+
+	seed := int64(777)
+	doomed := func(id string, timeoutMs int64) *SimRequest {
+		return &SimRequest{
+			Version:   SchemaVersion,
+			ID:        id,
+			TimeoutMs: timeoutMs,
+			Program:   ProgramSpec{Seed: &seed, ISA: "conv"},
+			Sweep:     &SweepSpec{ICacheSizes: []int{0, 2048}},
+		}
+	}
+	// 30ms: comfortably alive while the handler enqueues the job (so the
+	// enqueue-vs-expired select cannot race), long expired by the time the
+	// occupier releases the worker and the job actually executes.
+	leaderDone := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts, doomed("leader", 30))
+		leaderDone <- status
+	}()
+	// The coalesce key ignores timeout_ms, so the followers join the doomed
+	// leader's flight once it is open. (The occupier holds a flight of its
+	// own, hence 2.) Also require the leader's job to be sitting in the pool
+	// queue: that pins the doomed outcome to the plan-deadline path rather
+	// than a queue-full rejection.
+	waitFor("leader's flight opening", func() bool { return flightCount(s) == 2 })
+	waitFor("leader's job queueing", func() bool { return s.metrics.queued.Load() >= 1 })
+
+	const n = 8
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	resps := make([]*SimResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], resps[i] = post(t, ts, doomed(fmt.Sprintf("f-%d", i), 60_000))
+		}(i)
+	}
+	wg.Wait()
+	if status := <-leaderDone; status != http.StatusGatewayTimeout {
+		t.Fatalf("leader status %d, want 504", status)
+	}
+	<-occDone
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusGatewayTimeout {
+			t.Fatalf("follower %d: status %d, want 504 shared from the doomed pass", i, statuses[i])
+		}
+		if !resps[i].Coalesced {
+			t.Fatalf("follower %d: outcome not marked coalesced: %+v", i, resps[i])
+		}
+		if resps[i].ID != fmt.Sprintf("f-%d", i) {
+			t.Fatalf("follower %d answered with id %q", i, resps[i].ID)
+		}
+	}
+	if got := s.metrics.coalesced.Load(); got != n {
+		t.Fatalf("coalesced counter = %d, want %d", got, n)
+	}
+	// The storm signature: before the fix this was 2+n (every follower
+	// re-ran the doomed pass).
+	if got := s.metrics.jobsTotal.Load(); got != 2 {
+		t.Fatalf("jobsTotal = %d, want 2 (occupier + doomed leader only)", got)
+	}
+}
+
+// TestFollowerRetriesLeaderLifetimeOutcome pins the other half of the
+// distinction: when the leader dies of its own lifetime (its client
+// disconnects), a follower must NOT inherit that outcome — it retries, leads
+// its own flight, and gets the real answer.
+func TestFollowerRetriesLeaderLifetimeOutcome(t *testing.T) {
+	if _, ok := workload.ProfileByName("compress", 0.5); !ok {
+		t.Skip("no compress profile")
+	}
+	cfg := quietConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	s, ts := testServer(t, cfg)
+
+	occDone := make(chan struct{})
+	go func() {
+		defer close(occDone)
+		status, resp := post(t, ts, &SimRequest{
+			Version: SchemaVersion,
+			Program: ProgramSpec{Workload: "compress", Scale: 0.5, ISA: "conv"},
+			Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192}},
+		})
+		if status != http.StatusOK {
+			t.Errorf("occupier: status %d: %s", status, resp.Error)
+		}
+	}()
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("occupier executing", func() bool { return s.metrics.inFlight.Load() == 1 })
+
+	seed := int64(778)
+	mk := func(id string) *SimRequest {
+		return &SimRequest{
+			Version: SchemaVersion,
+			ID:      id,
+			Program: ProgramSpec{Seed: &seed, ISA: "conv"},
+			Sweep:   &SweepSpec{ICacheSizes: []int{0, 2048}},
+		}
+	}
+	// Leader whose client goes away while it is queued behind the occupier.
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderGone := make(chan struct{})
+	go func() {
+		defer close(leaderGone)
+		blob, _ := json.Marshal(mk("leader"))
+		httpReq, _ := http.NewRequestWithContext(leaderCtx, http.MethodPost,
+			ts.URL+"/v1/sim", bytes.NewReader(blob))
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// The occupier holds a flight of its own, hence 2.
+	waitFor("leader's flight opening", func() bool { return flightCount(s) == 2 })
+
+	followerDone := make(chan struct{})
+	var status int
+	var resp *SimResponse
+	go func() {
+		defer close(followerDone)
+		status, resp = post(t, ts, mk("follower"))
+	}()
+	// Let the follower park on the flight, then kill the leader's client.
+	time.Sleep(50 * time.Millisecond)
+	cancelLeader()
+	<-leaderGone
+	<-followerDone
+	<-occDone
+	if t.Failed() {
+		t.FailNow()
+	}
+	if status != http.StatusOK {
+		t.Fatalf("follower status %d (%s), want 200 from its own retried pass", status, resp.Error)
+	}
+	if resp.Coalesced {
+		t.Fatal("follower shared the dead leader's outcome instead of retrying")
+	}
+	if resp.ID != "follower" {
+		t.Fatalf("follower answered with id %q", resp.ID)
 	}
 }
 

@@ -62,6 +62,8 @@ type metrics struct {
 	segDone     atomic.Int64 // segment lanes completed
 	segDuration histogram    // per-segment lane replay latency
 
+	traceRecords atomic.Int64 // traces actually recorded (cache+store misses)
+
 	stages map[string]*histogram
 }
 
@@ -91,9 +93,10 @@ func (o segObserver) SegmentStart()               { o.m.segQueued.Add(-1) }
 func (o segObserver) SegmentDone(d time.Duration) { o.m.segDone.Add(1); o.m.segDuration.observe(d) }
 
 // writeProm renders the Prometheus text exposition format.
-// programs/traces/predecodes carry the artifact cache counters snapshotted
-// by the caller.
-func (m *metrics) writeProm(w io.Writer, programs, traces, predecodes cacheCounters) {
+// programs/traces/predecodes carry the artifact cache counters snapshotted by
+// the caller; store carries the persistent-store counters, or nil when the
+// server runs without a store (the store series are then omitted entirely).
+func (m *metrics) writeProm(w io.Writer, programs, traces, predecodes cacheCounters, store *storeCounters) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -110,6 +113,23 @@ func (m *metrics) writeProm(w io.Writer, programs, traces, predecodes cacheCount
 	gauge("bsimd_segment_queue_depth",
 		"Segment lanes waiting for a replay worker across all in-flight segmented jobs.", m.segQueued.Load())
 	counter("bsimd_segments_completed_total", "Segment lanes completed.", m.segDone.Load())
+	counter("bsimd_trace_records_total",
+		"Traces recorded from scratch (every cache and store tier missed).", m.traceRecords.Load())
+
+	if store != nil {
+		fmt.Fprintf(w, "# HELP bsimd_store_events_total Persistent trace store outcomes by event.\n")
+		fmt.Fprintf(w, "# TYPE bsimd_store_events_total counter\n")
+		for _, e := range []struct {
+			event string
+			v     int64
+		}{{"hit", store.Hits}, {"miss", store.Misses}, {"write", store.Writes}, {"corrupt", store.Corruptions}} {
+			fmt.Fprintf(w, "bsimd_store_events_total{event=%q} %d\n", e.event, e.v)
+		}
+		fmt.Fprintf(w, "# HELP bsimd_store_bytes_total Persistent trace store traffic by direction.\n")
+		fmt.Fprintf(w, "# TYPE bsimd_store_bytes_total counter\n")
+		fmt.Fprintf(w, "bsimd_store_bytes_total{dir=\"read\"} %d\n", store.BytesRead)
+		fmt.Fprintf(w, "bsimd_store_bytes_total{dir=\"written\"} %d\n", store.BytesWritten)
+	}
 
 	fmt.Fprintf(w, "# HELP bsimd_artifact_cache_events_total Artifact cache hits/misses/evictions by cache.\n")
 	fmt.Fprintf(w, "# TYPE bsimd_artifact_cache_events_total counter\n")

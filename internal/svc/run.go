@@ -28,6 +28,17 @@ type builtProgram struct {
 	enlarge *core.Stats // nil for conventional programs
 }
 
+// cachedTrace is the trace artifact cached across requests: the trace itself
+// plus, when it was loaded from the persistent store, the file's opaque aux
+// section (an encoded predecoded-op-table, if a previous process attached
+// one). Immutable after construction — the predecode write-through updates
+// the file, not this struct, so readers never race.
+type cachedTrace struct {
+	tr        *emu.Trace
+	aux       []byte
+	fromStore bool
+}
+
 // execute runs one job end to end: program (cached) → trace (cached) →
 // timing engine, with the same routing rule as the CLI tools — the fused
 // single-pass sweep engine whenever the config batch qualifies, per-config
@@ -74,17 +85,37 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	}
 	bp := pv.(*builtProgram)
 
-	// Trace artifact: record the committed stream once per program+budget.
-	tv, traceHit, err := s.traces.do(traceKey(progKey, plan.EmuCfg.MaxOps), func() (any, error) {
+	// Trace artifact: record the committed stream once per program+budget. A
+	// configured store interposes on the miss path: load-and-validate from
+	// disk first (a hit skips the recording entirely), and write a fresh
+	// recording through so the next process starts warm. Store failures only
+	// ever degrade to a re-record — they never fail the job.
+	tKey := traceKey(progKey, plan.EmuCfg.MaxOps)
+	tv, traceHit, err := s.traces.do(tKey, func() (any, error) {
+		if st := s.cfg.Store; st != nil {
+			if tr, aux, ok := st.LoadTrace(tKey, bp.prog, plan.EmuCfg); ok {
+				return &cachedTrace{tr: tr, aux: aux, fromStore: true}, nil
+			}
+		}
 		t0 := time.Now()
 		tr, err := emu.Record(bp.prog, plan.EmuCfg)
 		s.metrics.observeStage(stageTrace, time.Since(t0))
-		return tr, err
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.traceRecords.Add(1)
+		if st := s.cfg.Store; st != nil {
+			if serr := st.SaveTrace(tKey, tr, nil); serr != nil {
+				s.cfg.Logger.Warn("trace store write failed", "key", tKey, "err", serr.Error())
+			}
+		}
+		return &cachedTrace{tr: tr}, nil
 	})
 	if err != nil {
 		return fail(err)
 	}
-	tr := tv.(*emu.Trace)
+	ct := tv.(*cachedTrace)
+	tr := ct.tr
 
 	// Timing: same routing as harness.runMany / bsim -sweep-icache, plus the
 	// segment-parallel engine for single-config plans that qualify when the
@@ -102,19 +133,35 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 
 	// Predecode artifact: the fused sweep engines flatten the program into
 	// per-lane op tables before walking the trace; share that flattening
-	// across requests (it depends only on program + issue width).
+	// across requests (it depends only on program + issue width). With a
+	// store, the trace file's aux section carries the table across restarts:
+	// decode it when it matches this issue width, and attach a freshly
+	// flattened table to the stored trace otherwise (one aux per trace file —
+	// the width most recently swept wins, which is the one a restarted
+	// process re-asks for first).
 	var pre *uarch.Predecoded
 	preHit := false
 	if engine == engineSweep || engine == enginePredSweep {
 		iw := plan.Configs[0].EffectiveIssueWidth()
 		prv, hit, perr := s.predecodes.do(predecodeKey(progKey, iw), func() (any, error) {
-			return uarch.Predecode(bp.prog, iw), nil
+			if ct.aux != nil {
+				if dec, derr := uarch.DecodePredecoded(ct.aux, bp.prog); derr == nil && dec.IssueWidth() == iw {
+					return dec, nil
+				}
+			}
+			fresh := uarch.Predecode(bp.prog, iw)
+			if st := s.cfg.Store; st != nil {
+				if serr := st.SaveTrace(tKey, tr, fresh.EncodeBytes()); serr != nil {
+					s.cfg.Logger.Warn("trace store aux write failed", "key", tKey, "err", serr.Error())
+				}
+			}
+			return fresh, nil
 		})
 		if perr == nil {
 			pre, preHit = prv.(*uarch.Predecoded), hit
 		}
 	}
-	resp.ArtifactCache = &ArtifactHits{Program: progHit, Trace: traceHit, Predecode: preHit}
+	resp.ArtifactCache = &ArtifactHits{Program: progHit, Trace: traceHit, Predecode: preHit, Store: ct.fromStore}
 
 	t0 := time.Now()
 	var results []*uarch.Result

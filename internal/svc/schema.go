@@ -191,11 +191,14 @@ type SimResponse struct {
 
 // ArtifactHits reports per-job artifact cache outcomes. Predecode is only
 // meaningful on jobs routed to a fused sweep engine (the only consumers of
-// predecoded tables).
+// predecoded tables). Store marks a trace that came off the persistent store
+// rather than being recorded by this process (schema-additive; always false
+// when the server runs without a store).
 type ArtifactHits struct {
 	Program   bool `json:"program"`
 	Trace     bool `json:"trace"`
 	Predecode bool `json:"predecode,omitempty"`
+	Store     bool `json:"store,omitempty"`
 }
 
 // Table is the JSON form of a rendered stats.Table.

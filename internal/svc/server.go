@@ -37,6 +37,11 @@ type ServerConfig struct {
 	ProgramCacheEntries   int
 	TraceCacheEntries     int
 	PredecodeCacheEntries int
+	// Store, when non-nil, persists recorded traces (and their predecoded op
+	// tables) on disk under the in-memory trace cache: misses fall through to
+	// the store before re-recording, and fresh recordings write through. A
+	// nil Store keeps the service purely in-memory.
+	Store *Store
 	// Logger receives structured per-job logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -176,7 +181,12 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.metrics.writeProm(w, s.programs.counters(), s.traces.counters(), s.predecodes.counters())
+		var store *storeCounters
+		if s.cfg.Store != nil {
+			cc := s.cfg.Store.counters()
+			store = &cc
+		}
+		s.metrics.writeProm(w, s.programs.counters(), s.traces.counters(), s.predecodes.counters(), store)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -205,21 +215,34 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout, errPlanDeadline)
 		defer cancel()
 	}
 
 	// Coalesce concurrent identical plans onto one pass: the first request
 	// for a key leads and runs the job; the rest wait on its flight and share
 	// the outcome. A follower whose leader died of its *own* lifetime (the
-	// leader's context was cancelled or timed out) retries — that outcome says
-	// nothing about this request — and either leads the next flight or joins
-	// one that formed in the meantime.
+	// leader's client went away, or the client's own request deadline fired)
+	// retries — that outcome says nothing about this request — and either
+	// leads the next flight or joins one that formed in the meantime.
+	//
+	// A job that exceeded its plan's deadline is different: that outcome is a
+	// property of the plan, and the same pass would be just as doomed under
+	// the next follower, so followers share it instead of serially re-running
+	// it (the retry storm this distinction exists to prevent). Leaders mark
+	// those outcomes with errPlanDeadline; the mark is derived from the
+	// timeout context's cancellation cause, so a client disconnect is never
+	// misclassified as a plan deadline. Lifetime retries are additionally
+	// capped so a pathological churn of dying leaders cannot pin a follower
+	// in the loop forever.
 	key := coalesceKey(plan)
-	for {
+	for retries := 0; ; retries++ {
 		f, leader := s.coal.join(key)
 		if leader {
 			out := s.runJob(ctx, req, plan)
+			if errors.Is(out.err, context.DeadlineExceeded) && errors.Is(context.Cause(ctx), errPlanDeadline) {
+				out.err = fmt.Errorf("%w: %w", errPlanDeadline, out.err)
+			}
 			s.coal.finish(key, f, out)
 			s.answer(w, req.ID, out)
 			return
@@ -232,7 +255,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		out := f.out
-		if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+		if leaderLifetimeOutcome(out.err) && retries < maxFollowerRetries {
 			continue // leader-lifetime outcome; run our own pass
 		}
 		s.metrics.coalesced.Add(1)
@@ -246,6 +269,30 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.answer(w, req.ID, out)
 		return
 	}
+}
+
+// errPlanDeadline marks a pass that exceeded its own plan's deadline (the
+// request's timeout_ms or the server default), as opposed to dying with its
+// leader's lifetime. Plan-deadline outcomes are deterministic for the plan:
+// coalesced followers share them rather than re-running the doomed pass. A
+// client that wants the answer anyway should retry with a longer timeout_ms
+// once the flight has closed; that request leads its own pass under its own
+// deadline.
+var errPlanDeadline = errors.New("svc: pass exceeded its plan deadline")
+
+// maxFollowerRetries caps how many leader-lifetime outcomes one follower will
+// chase with a fresh flight before giving up and sharing the last outcome.
+const maxFollowerRetries = 2
+
+// leaderLifetimeOutcome reports whether a flight outcome only reflects the
+// leader's own lifetime — its client disconnecting (Canceled) or the client's
+// own request deadline (DeadlineExceeded without the plan-deadline mark) —
+// and therefore says nothing about whether a follower's pass would succeed.
+func leaderLifetimeOutcome(err error) bool {
+	if errors.Is(err, errPlanDeadline) {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Sentinels for submission failures that never reach a worker; answer maps

@@ -1,0 +1,133 @@
+package svc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+)
+
+// Store is a persistent content-addressed trace store layered under the
+// in-memory artifact caches. Files are named by a hash of the artifact key
+// (the same programKey/traceKey strings the caches use), so a store directory
+// can be shared across restarts — and across processes — and a key can only
+// ever resolve to bytes written for that exact program + emulation budget.
+//
+// The store is strictly a cache tier: every read is re-validated (checksum
+// and program shape, via emu.DecodeTrace) before it is served, a file that
+// fails validation is quarantined and reported as a miss so the caller
+// rebuilds from source, and every write goes through a temp file + rename so
+// readers and concurrent writers never observe a partial file. Corruption is
+// therefore never fatal and never poisons a key: the worst a flipped bit
+// costs is one re-record.
+type Store struct {
+	dir string
+
+	hits, misses, writes, corruptions atomic.Int64
+	bytesRead, bytesWritten           atomic.Int64
+}
+
+// NewStore opens (creating if needed) a trace store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("svc: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps an artifact key to its file. Keys are hashed so the filename is
+// fixed-width and never leaks key syntax into the filesystem.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".bstr")
+}
+
+// LoadTrace returns the stored trace (and its optional aux section) for key,
+// or ok=false on a miss. A file that exists but fails validation — bad
+// checksum, truncation, wrong format version, or a stream that does not match
+// prog/cfg — is quarantined (renamed aside with a .corrupt suffix, for post
+// mortems) and reported as a miss, so the caller falls through to a rebuild.
+func (s *Store) LoadTrace(key string, prog *isa.Program, cfg emu.Config) (tr *emu.Trace, aux []byte, ok bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		// Not-exists is the ordinary cold miss; any other read error (perms,
+		// I/O) degrades to a miss the same way — the store never fails a job.
+		s.misses.Add(1)
+		return nil, nil, false
+	}
+	tr, aux, err = emu.DecodeTrace(data, prog)
+	if err != nil || tr.EmuConfig() != cfg {
+		// The content does not belong under this key: either the bytes
+		// rotted, or something else wrote the file. Same remedy either way.
+		s.quarantine(p)
+		s.corruptions.Add(1)
+		s.misses.Add(1)
+		return nil, nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	return tr, aux, true
+}
+
+// SaveTrace writes the trace (and optional aux section) for key atomically: a
+// reader concurrent with this write sees either the old complete file or the
+// new complete file, never a prefix. Concurrent writers of one key are safe —
+// each rename is atomic and both sides wrote equivalent content.
+func (s *Store) SaveTrace(key string, tr *emu.Trace, aux []byte) error {
+	blob := tr.EncodeBytes(aux)
+	tmp, err := os.CreateTemp(s.dir, ".bstr-tmp-*")
+	if err != nil {
+		return fmt.Errorf("svc: store: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.path(key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("svc: store: %w", werr)
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(blob)))
+	return nil
+}
+
+// quarantine moves a failed-validation file aside so it cannot be served
+// again but stays inspectable. A second corruption of the same key
+// overwrites the previous quarantine; if even the rename fails, the file is
+// removed outright.
+func (s *Store) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		os.Remove(path)
+	}
+}
+
+// storeCounters is a consistent snapshot of the store's counters.
+type storeCounters struct {
+	Hits, Misses, Writes, Corruptions int64
+	BytesRead, BytesWritten           int64
+}
+
+func (s *Store) counters() storeCounters {
+	return storeCounters{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Writes:       s.writes.Load(),
+		Corruptions:  s.corruptions.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}

@@ -1,0 +1,159 @@
+package uarch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bsisa/internal/isa"
+)
+
+// Predecoded-op-table codec: the payload of the binary trace format's
+// optional aux section (emu/tracebin.go). Serializing the flattened tables
+// lets a persistent trace store hand a restarted daemon both the committed
+// stream and the sweep engines' predecode in one read, skipping the flatten
+// as well as the recording. The blob is framed by the trace file's checksum,
+// so this codec only needs structural validation: the decoded tables must
+// belong to the supplied program, and any mismatch (or truncation) fails
+// with ErrBadPredecode rather than yielding tables that disagree with a
+// fresh Predecode.
+//
+// Layout: version u8 · issue width, block count (uvarint) · per block a
+// presence byte and, when present, addr/size/op count (uvarint) followed by
+// the raw 8-byte laneOps. fetchCycles is derived from the op count and issue
+// width on decode, exactly as flattenSweepProgram derives it.
+
+// ErrBadPredecode is wrapped by every DecodePredecoded failure.
+var ErrBadPredecode = errors.New("uarch: bad predecode encoding")
+
+const predecodeVersion = 1
+
+// EncodeBytes serializes the predecoded tables.
+func (p *Predecoded) EncodeBytes() []byte {
+	buf := make([]byte, 0, int(p.Footprint()))
+	buf = append(buf, predecodeVersion)
+	buf = binary.AppendUvarint(buf, uint64(p.issueWidth))
+	buf = binary.AppendUvarint(buf, uint64(len(p.lp)))
+	for i := range p.lp {
+		lb := &p.lp[i]
+		if lb.ops == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(lb.addr))
+		buf = binary.AppendUvarint(buf, uint64(lb.size))
+		buf = binary.AppendUvarint(buf, uint64(len(lb.ops)))
+		for j := range lb.ops {
+			op := &lb.ops[j]
+			buf = append(buf, op.reads[0], op.reads[1], op.reads[2],
+				op.nReads, op.w1, op.w2, op.flags, op.lat)
+		}
+	}
+	return buf
+}
+
+// DecodePredecoded reconstructs predecoded tables for prog from one encoded
+// blob. The block structure is validated against prog — block count,
+// presence, layout address/size, and op count must all match — so a blob
+// written for a different program (or a stale layout) decodes to an error.
+// The returned tables are exactly what Predecode(prog, issueWidth) builds.
+func DecodePredecoded(data []byte, prog *isa.Program) (*Predecoded, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("%w: nil program", ErrBadPredecode)
+	}
+	if len(data) < 1 {
+		return nil, fmt.Errorf("%w: empty blob", ErrBadPredecode)
+	}
+	if data[0] != predecodeVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadPredecode, data[0], predecodeVersion)
+	}
+	pos := 1
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrBadPredecode, pos)
+		}
+		pos += n
+		return v, nil
+	}
+	iw, err := uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if iw == 0 || iw > 1024 {
+		return nil, fmt.Errorf("%w: issue width %d", ErrBadPredecode, iw)
+	}
+	issueWidth := int(iw)
+	numBlocks, err := uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if numBlocks != uint64(len(prog.Blocks)) {
+		return nil, fmt.Errorf("%w: tables cover %d blocks, program has %d", ErrBadPredecode, numBlocks, len(prog.Blocks))
+	}
+	lp := make([]laneBlock, len(prog.Blocks))
+	for id := range lp {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: truncated at block %d", ErrBadPredecode, id)
+		}
+		present := data[pos]
+		pos++
+		b := prog.Blocks[id]
+		if present == 0 {
+			if b != nil {
+				return nil, fmt.Errorf("%w: B%d absent from the tables but present in the program", ErrBadPredecode, id)
+			}
+			continue
+		}
+		if present != 1 {
+			return nil, fmt.Errorf("%w: B%d presence byte %d", ErrBadPredecode, id, present)
+		}
+		if b == nil {
+			return nil, fmt.Errorf("%w: B%d present in the tables but absent from the program", ErrBadPredecode, id)
+		}
+		addr, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		size, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nOps, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if addr != uint64(b.Addr) || size != uint64(b.Size) || nOps != uint64(len(b.Ops)) {
+			return nil, fmt.Errorf("%w: B%d is %d ops at %d+%d in the tables, %d ops at %d+%d in the program",
+				ErrBadPredecode, id, nOps, addr, size, len(b.Ops), b.Addr, b.Size)
+		}
+		lb := &lp[id]
+		lb.addr = uint32(addr)
+		lb.size = uint32(size)
+		lb.numOps = int(nOps)
+		n := (int(nOps) + issueWidth - 1) / issueWidth
+		if n < 1 {
+			n = 1
+		}
+		lb.fetchCycles = int64(n)
+		if pos+int(nOps)*8 > len(data) {
+			return nil, fmt.Errorf("%w: truncated op table for B%d", ErrBadPredecode, id)
+		}
+		lb.ops = make([]laneOp, nOps)
+		for j := range lb.ops {
+			raw := data[pos : pos+8]
+			pos += 8
+			op := &lb.ops[j]
+			op.reads = [3]uint8{raw[0], raw[1], raw[2]}
+			op.nReads, op.w1, op.w2, op.flags, op.lat = raw[3], raw[4], raw[5], raw[6], raw[7]
+			if op.nReads > 3 {
+				return nil, fmt.Errorf("%w: B%d op %d reads %d registers", ErrBadPredecode, id, j, op.nReads)
+			}
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPredecode, len(data)-pos)
+	}
+	return &Predecoded{prog: prog, issueWidth: issueWidth, lp: lp}, nil
+}
