@@ -282,7 +282,7 @@ func BenchmarkICacheSweepLegacy(b *testing.B) {
 	}
 }
 
-// BenchmarkICacheSweepFused times the fused engine on the identical grid:
+// BenchmarkICacheSweepFused times the unified engine on the identical grid:
 // one enriched decode pass shared by all sweep points, then per-config
 // timing lanes.
 func BenchmarkICacheSweepFused(b *testing.B) {
@@ -290,7 +290,7 @@ func BenchmarkICacheSweepFused(b *testing.B) {
 	cfgs := sweepBenchGrid()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := uarch.SweepICache(tr, cfgs, 0); err != nil {
+		if _, err := uarch.Sweep(tr, cfgs, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -323,15 +323,61 @@ func BenchmarkPredSweepLegacy(b *testing.B) {
 	}
 }
 
-// BenchmarkPredSweepFused times the fused predictor-sweep engine on the
-// identical grid: one enriched decode pass with a predictor bank evaluating
+// BenchmarkPredSweepFused times the unified engine on the identical
+// predictor grid: one enriched decode pass with a predictor bank evaluating
 // every history length per control event, then per-config timing lanes.
 func BenchmarkPredSweepFused(b *testing.B) {
 	tr := sweepBenchTrace(b)
 	cfgs := predBenchGrid()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := uarch.SweepPredictor(tr, cfgs, 0); err != nil {
+		if _, err := uarch.Sweep(tr, cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// xsweepBenchGrid is the acceptance grid for the unified engine: four
+// branch-history lengths crossed with four icache sizes, sixteen lanes off
+// one enrichment replay.
+func xsweepBenchGrid() []uarch.Config {
+	var cfgs []uarch.Config
+	for _, hb := range []int{4, 8, 12, 16} {
+		for sz := 4096; sz <= 32768; sz *= 2 {
+			var cfg uarch.Config
+			cfg.ICache.SizeBytes = sz
+			cfg.Predictor.HistoryBits = hb
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkXSweepLegacy times the 4x4 history x icache cross product the
+// pre-fusion way: one full trace replay per grid point.
+func BenchmarkXSweepLegacy(b *testing.B) {
+	tr := sweepBenchTrace(b)
+	cfgs := xsweepBenchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.SimulateMany(tr, cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXSweepFused times the unified multi-axis engine on the identical
+// cross product: one enrichment replay feeding all sixteen lanes. -benchmem
+// also pins the per-call allocation profile — lane scratch comes from the
+// geometry-keyed pool, so steady-state calls must not scale allocations
+// with trace length.
+func BenchmarkXSweepFused(b *testing.B) {
+	tr := sweepBenchTrace(b)
+	cfgs := xsweepBenchGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.Sweep(tr, cfgs, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

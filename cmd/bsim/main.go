@@ -14,9 +14,11 @@
 //	                 segments (0 = auto); results are identical either way
 //	-icache N        icache size in bytes (0 = perfect)
 //	-sweep-icache L  comma-separated icache sizes: record the committed-block
-//	                 trace once, replay it per size, print a cycles table
+//	                 trace once, time every size from it, print a cycles table
 //	-sweep-pred L    comma-separated branch-history lengths: record the trace
-//	                 once, time every predictor point in one fused walk
+//	                 once, time every predictor point from it
+//	                 (with -sweep-icache: the full history x size cross
+//	                 product, all from one fused enrichment replay)
 //	-perfect-bp      perfect branch prediction
 //	-max-ops N       emulation budget
 //	-q               suppress program output values
@@ -73,17 +75,10 @@ func main() {
 	}
 
 	emuCfg := emu.Config{MaxOps: *maxOps}
-	if *sweep != "" && *sweepPred != "" {
-		fatal(fmt.Errorf("-sweep-icache and -sweep-pred are mutually exclusive"))
-	}
-	if *sweep != "" {
-		if err := sweepICache(prog, emuCfg, *sweep, *perfectBP, quiet); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *sweepPred != "" {
-		if err := sweepPredictor(prog, emuCfg, *sweepPred, *icache, *perfectBP, quiet); err != nil {
+	if *sweep != "" || *sweepPred != "" {
+		// The two axes compose: each flag alone sweeps its axis, both
+		// together sweep the cross product, always from one recorded trace.
+		if err := sweepGrid(prog, emuCfg, *sweep, *sweepPred, *icache, *perfectBP, quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -141,102 +136,87 @@ func main() {
 		tres.FetchStallICache, tres.FetchStallWindow, tres.RecoveryStall)
 }
 
-// sweepICache is the trace-once path: one functional emulation records the
-// committed-block trace, then every icache size is timed from it — through
-// the fused single-pass sweep engine when the size list qualifies (two or
-// more sizes, at least one finite), falling back to one replay per size.
-func sweepICache(prog *isa.Program, emuCfg emu.Config, list string, perfectBP bool, quiet *bool) error {
-	var sizes []int
+// parseIntList parses one comma-separated sweep-axis flag.
+func parseIntList(flagName, list string) ([]int, error) {
+	var out []int
 	for _, f := range strings.Split(list, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return fmt.Errorf("bad -sweep-icache entry %q: %v", f, err)
+			return nil, fmt.Errorf("bad %s entry %q: %v", flagName, f, err)
 		}
-		sizes = append(sizes, n)
+		out = append(out, n)
 	}
-	tr, err := emu.Record(prog, emuCfg)
-	if err != nil {
-		return err
-	}
-	report(prog, tr.EmuResult(), quiet)
-	cfgs := make([]uarch.Config, len(sizes))
-	for i, sz := range sizes {
-		cfgs[i] = uarch.Config{
-			ICache:    cache.Config{SizeBytes: sz, Ways: 4},
-			PerfectBP: perfectBP,
-		}
-	}
-	var results []*uarch.Result
-	if uarch.CanSweepICache(cfgs) {
-		fmt.Printf("trace:             %d blocks recorded (%d KB), fused sweep over %d sizes\n",
-			tr.NumEvents(), tr.Footprint()/1024, len(sizes))
-		results, err = uarch.SweepICache(tr, cfgs, 0)
-	} else {
-		fmt.Printf("trace:             %d blocks recorded (%d KB), replayed %d times\n",
-			tr.NumEvents(), tr.Footprint()/1024, len(sizes))
-		results, err = uarch.SimulateMany(tr, cfgs, 0)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%12s %12s %8s %10s\n", "icache", "cycles", "IPC", "icmiss%")
-	for i, r := range results {
-		label := fmt.Sprintf("%dB", sizes[i])
-		if sizes[i] == 0 {
-			label = "perfect"
-		}
-		fmt.Printf("%12s %12d %8.3f %10.2f\n", label, r.Cycles, r.IPC(), 100*r.ICache.MissRate())
-	}
-	return nil
+	return out, nil
 }
 
-// sweepPredictor is the predictor-space twin of sweepICache: one functional
-// emulation records the trace, then every branch-history length is timed
-// from it — through the fused predictor-sweep engine when the list qualifies
-// (two or more points, no perfect prediction), falling back to one replay
-// per point.
-func sweepPredictor(prog *isa.Program, emuCfg emu.Config, list string, icache int, perfectBP bool, quiet *bool) error {
-	var hists []int
-	for _, f := range strings.Split(list, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return fmt.Errorf("bad -sweep-pred entry %q: %v", f, err)
+// sweepGrid is the trace-once path: one functional emulation records the
+// committed-block trace, then every point of the icache-size x history-length
+// grid is timed from it — through the unified multi-axis sweep engine when
+// the grid qualifies (uarch.CanSweep), falling back to one replay per point.
+// An omitted axis is pinned at its base value (-icache, or the default
+// predictor), so single-axis sweeps are the degenerate grids.
+func sweepGrid(prog *isa.Program, emuCfg emu.Config, sizeList, histList string, icache int, perfectBP bool, quiet *bool) error {
+	sizes := []int{icache}
+	if sizeList != "" {
+		var err error
+		if sizes, err = parseIntList("-sweep-icache", sizeList); err != nil {
+			return err
 		}
-		hists = append(hists, n)
+	}
+	hists := []int{0} // 0 = the default predictor geometry
+	if histList != "" {
+		var err error
+		if hists, err = parseIntList("-sweep-pred", histList); err != nil {
+			return err
+		}
 	}
 	tr, err := emu.Record(prog, emuCfg)
 	if err != nil {
 		return err
 	}
 	report(prog, tr.EmuResult(), quiet)
-	cfgs := make([]uarch.Config, len(hists))
-	for i, hb := range hists {
-		cfgs[i] = uarch.Config{
-			ICache:    cache.Config{SizeBytes: icache, Ways: 4},
-			Predictor: bpred.Config{HistoryBits: hb},
-			PerfectBP: perfectBP,
-		}
-		if err := cfgs[i].Validate(); err != nil {
-			return fmt.Errorf("history length %d: %v", hb, err)
+	type point struct{ hist, size int }
+	var grid []point
+	var cfgs []uarch.Config
+	for _, hb := range hists {
+		for _, sz := range sizes {
+			cfg := uarch.Config{
+				ICache:    cache.Config{SizeBytes: sz, Ways: 4},
+				Predictor: bpred.Config{HistoryBits: hb},
+				PerfectBP: perfectBP,
+			}
+			if err := cfg.Validate(); err != nil {
+				return fmt.Errorf("history %d, icache %dB: %v", hb, sz, err)
+			}
+			grid = append(grid, point{hb, sz})
+			cfgs = append(cfgs, cfg)
 		}
 	}
 	var results []*uarch.Result
-	if uarch.CanSweepPredictor(cfgs) {
-		fmt.Printf("trace:             %d blocks recorded (%d KB), fused sweep over %d predictors\n",
-			tr.NumEvents(), tr.Footprint()/1024, len(hists))
-		results, err = uarch.SweepPredictor(tr, cfgs, 0)
+	if ok, _ := uarch.CanSweep(cfgs); ok && len(cfgs) > 1 {
+		fmt.Printf("trace:             %d blocks recorded (%d KB), fused multi-axis sweep over %d configs\n",
+			tr.NumEvents(), tr.Footprint()/1024, len(cfgs))
+		results, err = uarch.Sweep(tr, cfgs, 0)
 	} else {
 		fmt.Printf("trace:             %d blocks recorded (%d KB), replayed %d times\n",
-			tr.NumEvents(), tr.Footprint()/1024, len(hists))
+			tr.NumEvents(), tr.Footprint()/1024, len(cfgs))
 		results, err = uarch.SimulateMany(tr, cfgs, 0)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%12s %12s %8s %12s\n", "history", "cycles", "IPC", "mispredicts")
+	fmt.Printf("%12s %12s %12s %8s %10s %12s\n", "icache", "history", "cycles", "IPC", "icmiss%", "mispredicts")
 	for i, r := range results {
-		fmt.Printf("%12d %12d %8.3f %12d\n", hists[i], r.Cycles, r.IPC(),
-			r.TrapMispredicts+r.FaultMispredicts+r.Misfetches)
+		szLabel := fmt.Sprintf("%dB", grid[i].size)
+		if grid[i].size == 0 {
+			szLabel = "perfect"
+		}
+		histLabel := "default"
+		if grid[i].hist != 0 {
+			histLabel = strconv.Itoa(grid[i].hist)
+		}
+		fmt.Printf("%12s %12s %12d %8.3f %10.2f %12d\n", szLabel, histLabel, r.Cycles, r.IPC(),
+			100*r.ICache.MissRate(), r.TrapMispredicts+r.FaultMispredicts+r.Misfetches)
 	}
 	return nil
 }

@@ -65,6 +65,21 @@ func smokeOccupier(id string) *svc.SimRequest {
 	}
 }
 
+// smokeXRequest is the multi-axis question: branch-history lengths crossed
+// with icache sizes in one SweepSpec, answered by the unified sweep engine
+// from the same cached trace.
+func smokeXRequest(id string) *svc.SimRequest {
+	return &svc.SimRequest{
+		Version: svc.SchemaVersion,
+		ID:      id,
+		Program: svc.ProgramSpec{Workload: "compress", Scale: smokeScale, ISA: "conv"},
+		Sweep: &svc.SweepSpec{
+			ICacheSizes: []int{8 * 1024, 32 * 1024},
+			HistoryBits: []int{4, 12},
+		},
+	}
+}
+
 // smokePredRequest asks the predictor-sensitivity question over the same
 // program, so the daemon serves the grid from the already-cached trace.
 func smokePredRequest(id string) *svc.SimRequest {
@@ -80,7 +95,8 @@ func smokePredRequest(id string) *svc.SimRequest {
 }
 
 // runSmoke is the CI service-smoke stage: equivalence against the direct
-// library path for the sweep, predictor-sweep, and segment-parallel engines,
+// library path for the unified sweep engine (icache, predictor, and
+// multi-axis grids) and the segment-parallel engine,
 // then a 32-way concurrent identical load that must coalesce onto one pass,
 // with the cache hits, coalesced count, and segment metrics checked on
 // /metrics — and finally a restart against the same trace store, which must
@@ -133,8 +149,8 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 	if err != nil {
 		return fmt.Errorf("direct path: %w", err)
 	}
-	if got.Engine != "sweep-icache" {
-		return fmt.Errorf("service routed the sweep through %q, want the fused engine", got.Engine)
+	if got.Engine != "sweep" {
+		return fmt.Errorf("service routed the sweep through %q, want the unified engine", got.Engine)
 	}
 	if len(got.Results) != len(want) {
 		return fmt.Errorf("service returned %d results, want %d", len(got.Results), len(want))
@@ -153,13 +169,13 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 	if err != nil {
 		return err
 	}
-	if predGot.Engine != "sweep-predictor" {
-		return fmt.Errorf("service routed the predictor sweep through %q, want the fused engine", predGot.Engine)
+	if predGot.Engine != "sweep" {
+		return fmt.Errorf("service routed the predictor sweep through %q, want the unified engine", predGot.Engine)
 	}
 	if predGot.ArtifactCache == nil || !predGot.ArtifactCache.Trace {
 		return fmt.Errorf("predictor sweep missed the trace cache: %+v", predGot.ArtifactCache)
 	}
-	predWant, err := directPredSweep(smokePredRequest(""))
+	predWant, err := directSweep(smokePredRequest(""))
 	if err != nil {
 		return fmt.Errorf("direct predictor path: %w", err)
 	}
@@ -178,6 +194,39 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 		}
 	}
 	logger.Info("smoke: predictor sweep served from cached trace, matches direct path", "configs", len(predWant))
+
+	// 2b. The history x icache cross product in one request: the unified
+	// engine must serve the whole grid from the cached trace and echo each
+	// point's predictor, matching the direct library path field-for-field.
+	xGot, err := postSim(base, smokeXRequest("smoke-multiaxis"))
+	if err != nil {
+		return err
+	}
+	if xGot.Engine != "sweep" {
+		return fmt.Errorf("service routed the multi-axis sweep through %q, want the unified engine", xGot.Engine)
+	}
+	if xGot.ArtifactCache == nil || !xGot.ArtifactCache.Trace {
+		return fmt.Errorf("multi-axis sweep missed the trace cache: %+v", xGot.ArtifactCache)
+	}
+	xWant, err := directSweep(smokeXRequest(""))
+	if err != nil {
+		return fmt.Errorf("direct multi-axis path: %w", err)
+	}
+	if len(xGot.Results) != len(xWant) {
+		return fmt.Errorf("multi-axis sweep returned %d results, want %d", len(xGot.Results), len(xWant))
+	}
+	for i := range xWant {
+		g, w := xGot.Results[i], xWant[i]
+		if g.Predictor == nil || w.Predictor == nil || *g.Predictor != *w.Predictor {
+			return fmt.Errorf("multi-axis config %d predictor echo diverges: %+v, want %+v", i, g.Predictor, w.Predictor)
+		}
+		g.Predictor, w.Predictor = nil, nil
+		if g != w {
+			return fmt.Errorf("multi-axis config %d diverges from the CLI path\nservice: %+v\ndirect:  %+v",
+				i, g, w)
+		}
+	}
+	logger.Info("smoke: multi-axis cross product matches direct path field-for-field", "configs", len(xWant))
 
 	// 3. A single-config request with a segment hint: the segment-parallel
 	// engine must serve it and answer exactly what sequential replay answers.
@@ -269,8 +318,10 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 	}{
 		{`bsimd_artifact_cache_events_total{cache="trace",event="hit"}`, 2},
 		{`bsimd_artifact_cache_events_total{cache="program",event="hit"}`, 2},
-		{`bsimd_stage_seconds_count{stage="sweep"}`, 3},
-		{`bsimd_stage_seconds_count{stage="predsweep"}`, 1},
+		// The unified sweep stage absorbs every grid shape: the phase-1
+		// icache sweep, the predictor sweep, the multi-axis cross product,
+		// the occupier, and the coalesce leader.
+		{`bsimd_stage_seconds_count{stage="sweep"}`, 5},
 		{`bsimd_stage_seconds_count{stage="segreplay"}`, 1},
 		{`bsimd_segments_completed_total`, 1},
 	} {
@@ -368,9 +419,11 @@ func waitMetric(base, series string, min float64, timeout time.Duration) error {
 	}
 }
 
-// directSweep computes the same answer bsim -sweep-icache would: compile,
-// record, and run the sweep engine directly, using svc.BuildConfig for the
-// configs so the service and the check share one config-assembly path.
+// directSweep computes the same answer bsim -sweep-icache / -sweep-pred
+// would: compile, record, and run the unified sweep engine directly, using
+// svc.BuildConfig for the configs so the service and the check share one
+// config-assembly path. Predictor points are echoed like the service does,
+// so multi-axis grids compare field-for-field.
 func directSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
 	plan, err := svc.BuildConfig(req)
 	if err != nil {
@@ -392,16 +445,19 @@ func directSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !uarch.CanSweepICache(plan.Configs) {
-		return nil, fmt.Errorf("smoke grid should be sweepable")
+	if ok, reason := uarch.CanSweep(plan.Configs); !ok {
+		return nil, fmt.Errorf("smoke grid should be sweepable: %s", reason)
 	}
-	rs, err := uarch.SweepICache(tr, plan.Configs, 0)
+	rs, err := uarch.Sweep(tr, plan.Configs, 0)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]svc.SimResult, len(rs))
 	for i, r := range rs {
 		out[i] = svc.ResultOf(plan.ICacheBytes[i], r)
+		if plan.Predictors != nil {
+			out[i].Predictor = plan.Predictors[i]
+		}
 	}
 	return out, nil
 }
@@ -435,44 +491,6 @@ func directReplay(req *svc.SimRequest) (*svc.SimResult, error) {
 	}
 	out := svc.ResultOf(plan.ICacheBytes[0], r)
 	return &out, nil
-}
-
-// directPredSweep is directSweep's predictor-space twin: the answer bsim
-// -sweep-pred would compute, via svc.BuildConfig and uarch.SweepPredictor.
-func directPredSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
-	plan, err := svc.BuildConfig(req)
-	if err != nil {
-		return nil, err
-	}
-	prof, ok := workload.ProfileByName("compress", smokeScale)
-	if !ok {
-		return nil, fmt.Errorf("no compress profile")
-	}
-	src, err := workload.Source(prof)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := compile.Compile(src, "compress", compile.DefaultOptions(isa.Conventional))
-	if err != nil {
-		return nil, err
-	}
-	tr, err := emu.Record(prog, emu.Config{})
-	if err != nil {
-		return nil, err
-	}
-	if !uarch.CanSweepPredictor(plan.Configs) {
-		return nil, fmt.Errorf("smoke predictor grid should be sweepable")
-	}
-	rs, err := uarch.SweepPredictor(tr, plan.Configs, 0)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]svc.SimResult, len(rs))
-	for i, r := range rs {
-		out[i] = svc.ResultOf(plan.ICacheBytes[i], r)
-		out[i].Predictor = plan.Predictors[i]
-	}
-	return out, nil
 }
 
 func postSim(base string, req *svc.SimRequest) (*svc.SimResponse, error) {

@@ -7,8 +7,8 @@ import (
 )
 
 // Bank steps a whole grid of predictor variants of one kind in lockstep over
-// a single committed block stream. It is the predictor half of the fused
-// sweep engine (uarch.SweepPredictor): predictor state depends only on the
+// a single committed block stream. It is the predictor half of the unified
+// sweep engine (uarch.Sweep): predictor state depends only on the
 // committed stream — never on timing — so one walk of the trace can train
 // every variant and emit each lane's prediction for every control event.
 //

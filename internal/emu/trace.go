@@ -183,7 +183,7 @@ func (t *Trace) Program() *isa.Program { return t.prog }
 
 // BlockIDs returns the recorded committed block ID sequence, one entry per
 // event. The slice aliases the trace's internal storage and must not be
-// mutated; it lets batch engines (uarch.SweepICache) iterate the stream
+// mutated; it lets batch engines (uarch.Sweep) iterate the stream
 // without reconstructing BlockEvents.
 func (t *Trace) BlockIDs() []isa.BlockID { return t.blocks }
 

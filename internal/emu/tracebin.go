@@ -11,7 +11,7 @@ import (
 	"bsisa/internal/isa"
 )
 
-// Binary trace format ("BSTR", version 1). A recorded committed-block trace
+// Binary trace format ("BSTR", version 2). A recorded committed-block trace
 // serializes to a compact byte stream so a persistent store can amortize one
 // recording across every future replay — the same economics the paper claims
 // for block enlargement, applied to the simulator's own artifacts.
@@ -27,9 +27,14 @@ import (
 //	         taken:   branch outcomes, LSB-first bitset
 //	         mem:     LD/ST byte addresses, delta-zigzag varint
 //	         result:  emulator stats, program output, return value
-//	aux      optional opaque section (flagAux): uvarint length + bytes;
-//	         the store puts a predecoded-op-table blob (uarch) here
+//	aux      optional tagged sections (flagAux): uvarint section count, then
+//	         per section uvarint tag · uvarint length · bytes, tags strictly
+//	         increasing; the store puts one predecoded-op-table blob (uarch)
+//	         here per issue width, tagged by the width
 //	trailer  CRC-32C (Castagnoli) of everything above, little-endian
+//
+// Version 1 carried at most one untagged aux section; v1 files decode to
+// ErrBadTrace and the store re-records, the ordinary cache-tier remedy.
 //
 // Encoding is deterministic, so Encode∘Decode∘Encode is byte-identical, and
 // decoding reconstructs the exact flat slices Record builds: replay walks
@@ -44,9 +49,9 @@ var ErrBadTrace = errors.New("emu: bad trace encoding")
 
 const (
 	traceMagic   = "BSTR"
-	traceVersion = 1
+	traceVersion = 2
 
-	// flagAux marks the presence of the optional aux section.
+	// flagAux marks the presence of the optional aux sections.
 	flagAux = 1 << 0
 
 	// traceHeaderLen and traceTrailerLen bound the fixed-size framing.
@@ -57,13 +62,27 @@ const (
 // crcTable is the Castagnoli polynomial, hardware-accelerated on amd64/arm64.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// EncodeBytes serializes the trace (and, when aux is non-nil, the opaque aux
-// section) into a fresh checksummed buffer.
-func (t *Trace) EncodeBytes(aux []byte) []byte {
+// AuxSection is one opaque tagged payload riding along with an encoded
+// trace. The trace store keys predecoded-op-table blobs by issue width
+// (Tag = width), one section per width, so attaching a new width never
+// clobbers another width's table.
+type AuxSection struct {
+	Tag  uint64
+	Data []byte
+}
+
+// EncodeBytes serializes the trace (and any aux sections) into a fresh
+// checksummed buffer. Section tags must be strictly increasing — the
+// canonical form DecodeTrace enforces; Store.AttachAux maintains it.
+func (t *Trace) EncodeBytes(aux []AuxSection) []byte {
+	auxLen := 0
+	for _, s := range aux {
+		auxLen += len(s.Data) + 2*binary.MaxVarintLen64
+	}
 	// Size hint: varints average well under the flat in-memory footprint.
-	buf := make([]byte, 0, traceHeaderLen+int(t.Footprint()/2)+len(aux)+traceTrailerLen)
+	buf := make([]byte, 0, traceHeaderLen+int(t.Footprint()/2)+auxLen+traceTrailerLen)
 	var flags byte
-	if aux != nil {
+	if len(aux) > 0 {
 		flags |= flagAux
 	}
 	buf = append(buf, traceMagic...)
@@ -111,9 +130,13 @@ func (t *Trace) EncodeBytes(aux []byte) []byte {
 		buf = binary.AppendVarint(buf, t.result.ReturnValue)
 	}
 
-	if aux != nil {
+	if len(aux) > 0 {
 		buf = binary.AppendUvarint(buf, uint64(len(aux)))
-		buf = append(buf, aux...)
+		for _, s := range aux {
+			buf = binary.AppendUvarint(buf, s.Tag)
+			buf = binary.AppendUvarint(buf, uint64(len(s.Data)))
+			buf = append(buf, s.Data...)
+		}
 	}
 
 	sum := crc32.Checksum(buf, crcTable)
@@ -121,7 +144,7 @@ func (t *Trace) EncodeBytes(aux []byte) []byte {
 }
 
 // Encode writes EncodeBytes to w.
-func (t *Trace) Encode(w io.Writer, aux []byte) error {
+func (t *Trace) Encode(w io.Writer, aux []AuxSection) error {
 	_, err := w.Write(t.EncodeBytes(aux))
 	return err
 }
@@ -160,12 +183,12 @@ func (r *traceReader) bytes(n int) ([]byte, error) {
 }
 
 // DecodeTrace reconstructs a trace recorded from prog out of one encoded
-// buffer, returning the optional aux section (nil when absent). The decoded
-// trace replays field-for-field identically to the trace EncodeBytes was
-// called on. The stream is validated against prog — block IDs, successor
+// buffer, returning the aux sections in tag order (nil when absent). The
+// decoded trace replays field-for-field identically to the trace EncodeBytes
+// was called on. The stream is validated against prog — block IDs, successor
 // indices, and static memory-operation counts must all match — so a file
 // keyed to the wrong program decodes to an error, never to a wrong answer.
-func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []byte, error) {
+func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []AuxSection, error) {
 	if prog == nil {
 		return nil, nil, fmt.Errorf("%w: nil program", ErrBadTrace)
 	}
@@ -322,17 +345,39 @@ func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []byte, error) {
 		t.result = res
 	}
 
-	var aux []byte
+	var aux []AuxSection
 	if flags&flagAux != 0 {
-		n, err := r.uvarint()
+		cnt, err := r.uvarint()
 		if err != nil {
 			return nil, nil, err
 		}
-		raw, err := r.bytes(int(n))
-		if err != nil {
-			return nil, nil, err
+		// The flag without sections is non-canonical, and every section costs
+		// at least two body bytes, so both bounds reject malformed counts.
+		if cnt == 0 || cnt > uint64(len(body)) {
+			return nil, nil, fmt.Errorf("%w: aux section count %d", ErrBadTrace, cnt)
 		}
-		aux = append([]byte(nil), raw...)
+		aux = make([]AuxSection, 0, cnt)
+		prevTag := uint64(0)
+		for i := uint64(0); i < cnt; i++ {
+			tag, err := r.uvarint()
+			if err != nil {
+				return nil, nil, err
+			}
+			if i > 0 && tag <= prevTag {
+				return nil, nil, fmt.Errorf("%w: aux tag %d after %d (tags must strictly increase)",
+					ErrBadTrace, tag, prevTag)
+			}
+			prevTag = tag
+			n, err := r.uvarint()
+			if err != nil {
+				return nil, nil, err
+			}
+			raw, err := r.bytes(int(n))
+			if err != nil {
+				return nil, nil, err
+			}
+			aux = append(aux, AuxSection{Tag: tag, Data: append([]byte(nil), raw...)})
+		}
 	}
 	if r.pos != len(body) {
 		return nil, nil, fmt.Errorf("%w: %d trailing bytes after the last section", ErrBadTrace, len(body)-r.pos)

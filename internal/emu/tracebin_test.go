@@ -46,7 +46,7 @@ func replayEvents(t *testing.T, tr *emu.Trace) []recordedEvent {
 // TestTraceCodecRoundTrip is the format's property test: over generated
 // programs for both ISAs, Decode(Encode(t)) replays field-for-field identical
 // to t, carries the same functional result and budget, re-encodes
-// byte-identically, and round-trips the optional aux section.
+// byte-identically, and round-trips the optional aux sections.
 func TestTraceCodecRoundTrip(t *testing.T) {
 	seeds := 10
 	if testing.Short() {
@@ -61,18 +61,22 @@ func TestTraceCodecRoundTrip(t *testing.T) {
 				t.Fatalf("seed %d: record: %v", seed, err)
 			}
 
-			aux := []byte{0xde, 0xad, 0xbe, 0xef, byte(seed)}
+			aux := []emu.AuxSection{{Tag: 8, Data: []byte{0xde, 0xad, byte(seed)}}}
+			multi := []emu.AuxSection{
+				{Tag: 8, Data: []byte{0xde, 0xad, byte(seed)}},
+				{Tag: 16, Data: []byte{0xbe, 0xef}},
+			}
 			for _, tc := range []struct {
 				name string
-				aux  []byte
-			}{{"no-aux", nil}, {"aux", aux}} {
+				aux  []emu.AuxSection
+			}{{"no-aux", nil}, {"aux", aux}, {"multi-aux", multi}} {
 				blob := tr.EncodeBytes(tc.aux)
 				got, gotAux, err := emu.DecodeTrace(blob, prog)
 				if err != nil {
 					t.Fatalf("seed %d %s: decode: %v", seed, tc.name, err)
 				}
-				if !bytes.Equal(gotAux, tc.aux) {
-					t.Fatalf("seed %d %s: aux = %x, want %x", seed, tc.name, gotAux, tc.aux)
+				if !reflect.DeepEqual(gotAux, tc.aux) {
+					t.Fatalf("seed %d %s: aux = %+v, want %+v", seed, tc.name, gotAux, tc.aux)
 				}
 				if got.NumEvents() != tr.NumEvents() {
 					t.Fatalf("seed %d %s: %d events, want %d", seed, tc.name, got.NumEvents(), tr.NumEvents())
@@ -105,7 +109,7 @@ func TestTraceCodecDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob := tr.EncodeBytes([]byte("predecode-tables-go-here"))
+	blob := tr.EncodeBytes([]emu.AuxSection{{Tag: 16, Data: []byte("predecode-tables-go-here")}})
 	if _, _, err := emu.DecodeTrace(blob, prog); err != nil {
 		t.Fatalf("pristine blob must decode: %v", err)
 	}
@@ -148,5 +152,28 @@ func TestTraceCodecRejectsVersionAndProgramMismatch(t *testing.T) {
 	}
 	if _, _, err := emu.DecodeTrace(blob, bsa); !errors.Is(err, emu.ErrBadTrace) {
 		t.Fatalf("wrong program: err = %v, want ErrBadTrace", err)
+	}
+}
+
+// TestTraceCodecRejectsNonCanonicalAux pins the canonical-form rule that makes
+// per-width aux sections unambiguous: tags must strictly increase, so a
+// descending or duplicated tag — the shape the old "one untagged section"
+// format could silently clobber into — is rejected at decode, never served.
+func TestTraceCodecRejectsNonCanonicalAux(t *testing.T) {
+	prog := codecProgram(t, 9023, isa.Conventional)
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		aux  []emu.AuxSection
+	}{
+		{"descending-tags", []emu.AuxSection{{Tag: 16, Data: []byte("b")}, {Tag: 8, Data: []byte("a")}}},
+		{"duplicate-tags", []emu.AuxSection{{Tag: 16, Data: []byte("a")}, {Tag: 16, Data: []byte("b")}}},
+	} {
+		if _, _, err := emu.DecodeTrace(tr.EncodeBytes(tc.aux), prog); !errors.Is(err, emu.ErrBadTrace) {
+			t.Fatalf("%s: err = %v, want ErrBadTrace", tc.name, err)
+		}
 	}
 }

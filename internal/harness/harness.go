@@ -297,10 +297,10 @@ func (h *Harness) Run(key string, prog *isa.Program, cfg uarch.Config) (*uarch.R
 
 // runMany simulates one program under several configs at once, memoizing
 // each by its key. Missing configurations share a single committed-block
-// trace (recorded on first need): pure icache-size batches go through the
-// fused single-pass sweep engine (uarch.SweepICache), pure predictor batches
-// through its predictor-space sibling (uarch.SweepPredictor), single
-// eligible configurations through the segment-parallel replay
+// trace (recorded on first need): any batch the unified multi-axis engine
+// accepts (uarch.CanSweep — icache sizes, predictor tables and core geometry
+// varying together) goes through one fused enrichment replay (uarch.Sweep),
+// single eligible configurations through the segment-parallel replay
 // (uarch.ReplayTraceSegmented), and everything else fans out over
 // uarch.SimulateMany's worker pool — every routed engine returns results
 // identical to the fallback, so routing never changes a table. Programs
@@ -333,11 +333,10 @@ func (h *Harness) runMany(keys []string, prog *isa.Program, cfgs []uarch.Config)
 			need[j] = cfgs[i]
 		}
 		var rs []*uarch.Result
+		sweepable, _ := uarch.CanSweep(need)
 		switch {
-		case uarch.CanSweepICache(need):
-			rs, err = uarch.SweepICacheContext(h.Opts.ctx(), tr, need, h.Opts.workers())
-		case uarch.CanSweepPredictor(need):
-			rs, err = uarch.SweepPredictorContext(h.Opts.ctx(), tr, need, h.Opts.workers())
+		case len(need) > 1 && sweepable:
+			rs, err = uarch.SweepContext(h.Opts.ctx(), tr, need, h.Opts.workers())
 		case len(need) == 1 && uarch.CanSegment(need[0]) && h.Opts.workers() > 1:
 			// A single missing configuration has no config fan-out to feed, so
 			// the worker budget goes to trace segments instead (the Options

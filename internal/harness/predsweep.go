@@ -24,8 +24,8 @@ func predSpeedGrid() []uarch.Config {
 }
 
 // PredSweepSpeed times an 8-point predictor history sweep both ways: one
-// independent replay per configuration (uarch.SimulateMany) versus the fused
-// single-pass predictor-sweep engine (uarch.SweepPredictor), over every
+// independent replay per configuration (uarch.SimulateMany) versus the
+// unified multi-axis sweep engine (uarch.Sweep), over every
 // benchmark and both ISAs, verifying on the way that the two engines return
 // identical results. Like SweepSpeed it deliberately ignores the result
 // memo: every cell is real simulation work, so the table is the perf
@@ -59,7 +59,7 @@ func (h *Harness) PredSweepSpeed() (*stats.Table, error) {
 			}
 			legacyMs := time.Since(start)
 			start = time.Now()
-			fused, err := uarch.SweepPredictor(tr, cfgs, h.Opts.workers())
+			fused, err := uarch.Sweep(tr, cfgs, h.Opts.workers())
 			if err != nil {
 				return nil, err
 			}
@@ -148,12 +148,12 @@ func (h *Harness) PredictorSensitivity() (*stats.Table, error) {
 	return t, nil
 }
 
-// sweepablePredGrid asserts at init time that the harness's predictor grids
-// satisfy the fused engine's gate — a grid drifting out of CanSweepPredictor
-// would silently fall back to per-config replay.
+// The init-time assertion that the harness's predictor grids satisfy the
+// unified engine's gate — a grid drifting out of CanSweep would silently
+// fall back to per-config replay.
 var _ = func() bool {
-	if !uarch.CanSweepPredictor(predSpeedGrid()) {
-		panic("harness: predSpeedGrid is not sweepable")
+	if ok, reason := uarch.CanSweep(predSpeedGrid()); !ok {
+		panic("harness: predSpeedGrid is not sweepable: " + reason)
 	}
 	// The A4 grid: baseConfig differing only in HistoryBits.
 	var a4 []uarch.Config
@@ -162,8 +162,11 @@ var _ = func() bool {
 		cfg.Predictor = bpred.Config{HistoryBits: hb}
 		a4 = append(a4, cfg)
 	}
-	if !uarch.CanSweepPredictor(a4) {
-		panic("harness: AblateHistory grid is not sweepable")
+	if ok, reason := uarch.CanSweep(a4); !ok {
+		panic("harness: AblateHistory grid is not sweepable: " + reason)
+	}
+	if ok, reason := uarch.CanSweep(xsweepGrid()); !ok {
+		panic("harness: xsweepGrid is not sweepable: " + reason)
 	}
 	return true
 }()

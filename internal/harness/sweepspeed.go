@@ -12,8 +12,8 @@ import (
 // SweepSpeed times a dense icache sensitivity sweep — a perfect icache plus
 // every power-of-two size from three octaves below the Figure 6/7 grid up to
 // an octave above it — both ways: one independent replay per configuration
-// (uarch.SimulateMany) versus the fused single-pass engine
-// (uarch.SweepICache), over every benchmark and both ISAs, verifying on the
+// (uarch.SimulateMany) versus the unified multi-axis engine
+// (uarch.Sweep), over every benchmark and both ISAs, verifying on the
 // way that the two engines return identical results. Dense grids are the
 // fused engine's designed workload (the stack-distance profiler prices every
 // extra power-of-two size at one cheap timing lane). It deliberately ignores
@@ -59,7 +59,7 @@ func (h *Harness) SweepSpeed() (*stats.Table, error) {
 			}
 			legacyMs := time.Since(start)
 			start = time.Now()
-			fused, err := uarch.SweepICache(tr, cfgs, h.Opts.workers())
+			fused, err := uarch.Sweep(tr, cfgs, h.Opts.workers())
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"bsisa/internal/isa"
+	"bsisa/internal/stats"
+	"bsisa/internal/uarch"
+)
+
+// xsweepGrid is the 4x4 history-length x icache-size cross product the
+// unified multi-axis engine is benchmarked on (ISSUE 8's acceptance grid):
+// sixteen configurations covering every combination of two orthogonal sweep
+// axes, which the retired per-axis engines could not batch at all.
+func xsweepGrid() []uarch.Config {
+	var cfgs []uarch.Config
+	for _, hb := range []int{4, 8, 12, 16} {
+		for sz := 4 * 1024; sz <= 32*1024; sz *= 2 {
+			cfg := baseConfig(sz, false)
+			cfg.Predictor.HistoryBits = hb
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// XSweepSpeed times the 4x4 history x icache cross grid both ways: one
+// independent replay per configuration (uarch.SimulateMany) versus the
+// unified multi-axis sweep engine (uarch.Sweep), over every benchmark and
+// both ISAs, verifying on the way that the two engines return identical
+// results. The cross product exercises what makes the unified engine new —
+// one enrichment replay feeds lanes that differ along more than one axis —
+// so this table is the perf trajectory record for the multi-axis path
+// (bsbench exports it as BENCH_xsweep.json). Like the other *Speed
+// experiments it deliberately ignores the result memo: every cell is real
+// simulation work.
+func (h *Harness) XSweepSpeed() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Cross sweep speed: per-config replay (legacy) vs unified multi-axis sweep",
+		Columns: []string{"Benchmark", "ISA", "Configs", "Legacy (ms)", "Fused (ms)", "Speedup"},
+		Note:    "4x4 history-bits x icache-size cross grid at the Figure 3 machine; engines verified to return identical results.",
+	}
+	cfgs := xsweepGrid()
+	var legacyTotal, fusedTotal time.Duration
+	for _, b := range h.Benches {
+		for _, side := range []struct {
+			tag  string
+			prog *isa.Program
+		}{{"conv", b.Conv}, {"bsa", b.BSA}} {
+			tr, traced, err := h.Trace(side.prog)
+			if err != nil {
+				return nil, err
+			}
+			if !traced {
+				return nil, fmt.Errorf("harness: xsweep: %s/%s has no trace slot", b.Profile.Name, side.tag)
+			}
+			h.Opts.progress("xsweep %-8s %s", b.Profile.Name, side.tag)
+			start := time.Now()
+			legacy, err := uarch.SimulateMany(tr, cfgs, h.Opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			legacyMs := time.Since(start)
+			start = time.Now()
+			fused, err := uarch.Sweep(tr, cfgs, h.Opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			fusedMs := time.Since(start)
+			for i := range legacy {
+				if *legacy[i] != *fused[i] {
+					return nil, fmt.Errorf("harness: xsweep: %s/%s config %d: fused result diverges:\nlegacy %+v\nfused  %+v",
+						b.Profile.Name, side.tag, i, *legacy[i], *fused[i])
+				}
+			}
+			legacyTotal += legacyMs
+			fusedTotal += fusedMs
+			t.AddRow(b.Profile.Name, side.tag, len(cfgs),
+				legacyMs.Milliseconds(), fusedMs.Milliseconds(),
+				fmt.Sprintf("%.2fx", float64(legacyMs)/float64(fusedMs)))
+		}
+	}
+	t.AddRow("TOTAL", "", len(cfgs), legacyTotal.Milliseconds(), fusedTotal.Milliseconds(),
+		fmt.Sprintf("%.2fx", float64(legacyTotal)/float64(fusedTotal)))
+	return t, nil
+}

@@ -29,7 +29,8 @@ type Plan struct {
 	// ICacheBytes echoes each config's icache size for the response.
 	ICacheBytes []int
 	// Predictors echoes each config's predictor point for the response on
-	// predictor sweeps (nil otherwise).
+	// predictor sweeps and on multi-axis sweeps that set a predictor axis
+	// (nil otherwise).
 	Predictors []*PredictorSpec
 	// Sweep records whether the request was a SweepSpec (the response
 	// renders a sweep table).
@@ -116,33 +117,9 @@ func BuildConfig(req *SimRequest) (*Plan, error) {
 		plan.Configs = []uarch.Config{cfg}
 		plan.ICacheBytes = []int{cfg.ICache.SizeBytes}
 	case req.Sweep != nil:
-		if len(req.Sweep.ICacheSizes) == 0 {
-			return nil, fmt.Errorf("%w: no icache sizes", ErrBadSweep)
+		if err := buildSweep(plan, req.Sweep); err != nil {
+			return nil, err
 		}
-		base := ConfigSpec{}
-		if req.Sweep.Base != nil {
-			base = *req.Sweep.Base
-		}
-		if base.ICache == nil {
-			// The bsbench/bsim sweep geometry: 4-way, default lines.
-			base.ICache = &CacheSpec{Ways: 4}
-		}
-		for _, sz := range req.Sweep.ICacheSizes {
-			if sz < 0 {
-				return nil, fmt.Errorf("%w: negative icache size %d", ErrBadSweep, sz)
-			}
-			spec := base
-			ic := *base.ICache
-			ic.SizeBytes = sz
-			spec.ICache = &ic
-			cfg := spec.toUarch()
-			if err := cfg.Validate(); err != nil {
-				return nil, fmt.Errorf("%w: size %dB: %v", ErrBadSweep, sz, err)
-			}
-			plan.Configs = append(plan.Configs, cfg)
-			plan.ICacheBytes = append(plan.ICacheBytes, sz)
-		}
-		plan.Sweep = true
 	case req.PredSweep != nil:
 		if err := buildPredSweep(plan, req.PredSweep); err != nil {
 			return nil, err
@@ -151,6 +128,98 @@ func BuildConfig(req *SimRequest) (*Plan, error) {
 		return nil, fmt.Errorf("%w: request sets none of config, sweep, pred_sweep", ErrBadRequest)
 	}
 	return plan, nil
+}
+
+// buildSweep expands a SweepSpec into the plan's configuration grid: the
+// cross product of every set axis over the shared base machine, in
+// axis-major order (history outermost, then PHT entries, then BTB sets, then
+// icache sizes innermost — the order the unified engine's lanes are
+// cheapest to walk in). With only ICacheSizes set this reduces exactly to
+// the original single-axis icache sweep: no predictor echo, same configs,
+// same order.
+func buildSweep(plan *Plan, sw *SweepSpec) error {
+	hasPred := len(sw.HistoryBits) > 0 || len(sw.PHTEntries) > 0 || len(sw.BTBSets) > 0
+	if len(sw.ICacheSizes) == 0 && !hasPred {
+		return fmt.Errorf("%w: no icache sizes", ErrBadSweep)
+	}
+	base := ConfigSpec{}
+	if sw.Base != nil {
+		base = *sw.Base
+	}
+	if base.ICache == nil {
+		// The bsbench/bsim sweep geometry: 4-way, default lines.
+		base.ICache = &CacheSpec{Ways: 4}
+	}
+	if hasPred && base.PerfectBP {
+		return fmt.Errorf("%w: perfect_bp in the base makes every predictor point identical", ErrBadSweep)
+	}
+	for _, ax := range []struct {
+		name string
+		vals []int
+	}{{"history_bits", sw.HistoryBits}, {"pht_entries", sw.PHTEntries}, {"btb_sets", sw.BTBSets}} {
+		for _, v := range ax.vals {
+			if v < 0 {
+				return fmt.Errorf("%w: negative %s %d", ErrBadSweep, ax.name, v)
+			}
+		}
+	}
+	basePred := PredictorSpec{}
+	if base.Predictor != nil {
+		basePred = *base.Predictor
+	}
+	// An unset axis contributes the base value as its single point; the
+	// sentinel -1 marks "keep base" so an explicit 0 (the paper's default)
+	// stays distinguishable.
+	axis := func(vals []int) []int {
+		if len(vals) == 0 {
+			return []int{-1}
+		}
+		return vals
+	}
+	sizes := sw.ICacheSizes
+	if len(sizes) == 0 {
+		sizes = []int{base.ICache.SizeBytes}
+	}
+	for _, hist := range axis(sw.HistoryBits) {
+		for _, pht := range axis(sw.PHTEntries) {
+			for _, btb := range axis(sw.BTBSets) {
+				for _, sz := range sizes {
+					if sz < 0 {
+						return fmt.Errorf("%w: negative icache size %d", ErrBadSweep, sz)
+					}
+					spec := base
+					ic := *base.ICache
+					ic.SizeBytes = sz
+					spec.ICache = &ic
+					pred := basePred
+					if hist >= 0 {
+						pred.HistoryBits = hist
+					}
+					if pht >= 0 {
+						pred.PHTEntries = pht
+					}
+					if btb >= 0 {
+						pred.BTBSets = btb
+					}
+					p := pred
+					if hasPred {
+						spec.Predictor = &p
+					}
+					cfg := spec.toUarch()
+					if err := cfg.Validate(); err != nil {
+						return fmt.Errorf("%w: point hist=%d pht=%d btb=%d size=%dB: %v", ErrBadSweep, hist, pht, btb, sz, err)
+					}
+					plan.Configs = append(plan.Configs, cfg)
+					plan.ICacheBytes = append(plan.ICacheBytes, sz)
+					if hasPred {
+						plan.Predictors = append(plan.Predictors, &p)
+					}
+				}
+			}
+		}
+	}
+	plan.Sweep = true
+	return nil
 }
 
 // buildPredSweep expands a PredSweepSpec into the plan's configuration grid:

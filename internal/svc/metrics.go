@@ -9,20 +9,19 @@ import (
 )
 
 // Pipeline stages instrumented with latency histograms. "replay" is the
-// per-config SimulateMany path, "sweep" the fused single-pass icache engine,
-// "predsweep" the fused predictor-sweep engine, "segreplay" the
+// per-config SimulateMany path, "sweep" the unified multi-axis single-pass
+// engine (icache, predictor, and cross-product grids alike), "segreplay" the
 // segment-parallel single-config engine; a job exercises exactly one of the
-// four.
+// three.
 const (
 	stageCompile   = "compile"
 	stageTrace     = "trace"
 	stageReplay    = "replay"
 	stageSweep     = "sweep"
-	stagePredSweep = "predsweep"
 	stageSegReplay = "segreplay"
 )
 
-var stageNames = []string{stageCompile, stageTrace, stageReplay, stageSweep, stagePredSweep, stageSegReplay}
+var stageNames = []string{stageCompile, stageTrace, stageReplay, stageSweep, stageSegReplay}
 
 // histBounds are the histogram bucket upper bounds in seconds (+Inf is
 // implicit): tuned to straddle the pipeline's dynamic range, from cached

@@ -16,8 +16,7 @@ import (
 
 // Engine names reported in responses and logs.
 const (
-	engineSweep     = "sweep-icache"
-	enginePredSweep = "sweep-predictor"
+	engineSweep     = "sweep"
 	engineSegmented = "replay-segmented"
 	engineMany      = "simulate-many"
 )
@@ -29,19 +28,19 @@ type builtProgram struct {
 }
 
 // cachedTrace is the trace artifact cached across requests: the trace itself
-// plus, when it was loaded from the persistent store, the file's opaque aux
-// section (an encoded predecoded-op-table, if a previous process attached
-// one). Immutable after construction — the predecode write-through updates
-// the file, not this struct, so readers never race.
+// plus, when it was loaded from the persistent store, the file's aux sections
+// (encoded predecoded-op-tables, one per issue width a previous process
+// attached, tagged by width). Immutable after construction — the predecode
+// write-through updates the file, not this struct, so readers never race.
 type cachedTrace struct {
 	tr        *emu.Trace
-	aux       []byte
+	aux       []emu.AuxSection
 	fromStore bool
 }
 
 // execute runs one job end to end: program (cached) → trace (cached) →
-// timing engine, with the same routing rule as the CLI tools — the fused
-// single-pass sweep engine whenever the config batch qualifies, per-config
+// timing engine, with the same routing rule as the CLI tools — the unified
+// multi-axis sweep engine whenever the config batch qualifies, per-config
 // replay otherwise — so service answers are field-for-field identical to
 // CLI answers. The returned error (also recorded in the envelope's Error
 // field) classifies the failure for the HTTP layer.
@@ -121,37 +120,40 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	// segment-parallel engine for single-config plans that qualify when the
 	// job has workers to spend (no sweep to fan out over).
 	engine, stage := engineMany, stageReplay
+	sweepable, _ := uarch.CanSweep(plan.Configs)
 	switch {
-	case uarch.CanSweepICache(plan.Configs):
+	case len(plan.Configs) > 1 && sweepable:
 		engine, stage = engineSweep, stageSweep
-	case uarch.CanSweepPredictor(plan.Configs):
-		engine, stage = enginePredSweep, stagePredSweep
 	case len(plan.Configs) == 1 && uarch.CanSegment(plan.Configs[0]) && s.jobWorkers() > 1:
 		engine, stage = engineSegmented, stageSegReplay
 	}
 	resp.Engine = engine
 
-	// Predecode artifact: the fused sweep engines flatten the program into
+	// Predecode artifact: the sweep engine flattens the program into
 	// per-lane op tables before walking the trace; share that flattening
 	// across requests (it depends only on program + issue width). With a
-	// store, the trace file's aux section carries the table across restarts:
-	// decode it when it matches this issue width, and attach a freshly
-	// flattened table to the stored trace otherwise (one aux per trace file —
-	// the width most recently swept wins, which is the one a restarted
-	// process re-asks for first).
+	// store, the trace file carries one aux section per issue width across
+	// restarts: decode the matching section when present, and attach a
+	// freshly flattened table for this width otherwise (sections for other
+	// widths are preserved).
 	var pre *uarch.Predecoded
 	preHit := false
-	if engine == engineSweep || engine == enginePredSweep {
+	if engine == engineSweep {
 		iw := plan.Configs[0].EffectiveIssueWidth()
 		prv, hit, perr := s.predecodes.do(predecodeKey(progKey, iw), func() (any, error) {
-			if ct.aux != nil {
-				if dec, derr := uarch.DecodePredecoded(ct.aux, bp.prog); derr == nil && dec.IssueWidth() == iw {
+			for _, sec := range ct.aux {
+				if sec.Tag != uint64(iw) {
+					continue
+				}
+				if dec, derr := uarch.DecodePredecoded(sec.Data, bp.prog); derr == nil && dec.IssueWidth() == iw {
 					return dec, nil
 				}
+				break // stale payload under this width's tag: reflatten and overwrite it
 			}
 			fresh := uarch.Predecode(bp.prog, iw)
 			if st := s.cfg.Store; st != nil {
-				if serr := st.SaveTrace(tKey, tr, fresh.EncodeBytes()); serr != nil {
+				sec := emu.AuxSection{Tag: uint64(iw), Data: fresh.EncodeBytes()}
+				if serr := st.AttachAux(tKey, tr, sec); serr != nil {
 					s.cfg.Logger.Warn("trace store aux write failed", "key", tKey, "err", serr.Error())
 				}
 			}
@@ -167,9 +169,7 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	var results []*uarch.Result
 	switch engine {
 	case engineSweep:
-		results, err = uarch.SweepICachePredecoded(j.ctx, tr, plan.Configs, s.cfg.JobWorkers, pre)
-	case enginePredSweep:
-		results, err = uarch.SweepPredictorPredecoded(j.ctx, tr, plan.Configs, s.cfg.JobWorkers, pre)
+		results, err = uarch.SweepPredecoded(j.ctx, tr, plan.Configs, s.cfg.JobWorkers, pre)
 	case engineSegmented:
 		var r *uarch.Result
 		r, err = uarch.ReplayTraceSegmentedContext(j.ctx, tr, plan.Configs[0], uarch.SegmentOptions{
@@ -262,12 +262,17 @@ func renderTable(plan *Plan, results []SimResult) *Table {
 		}
 		return TableOf(t)
 	}
+	multiAxis := plan.Sweep && plan.Predictors != nil
 	t := &stats.Table{
 		Columns: []string{"ICache", "Cycles", "IPC", "ICMiss%", "Mispredicts"},
 	}
-	if plan.Sweep {
+	switch {
+	case multiAxis:
+		t.Title = fmt.Sprintf("Multi-axis sweep (%s)", plan.Program.ISA)
+		t.Columns = []string{"ICache", "Predictor", "Cycles", "IPC", "ICMiss%", "Mispredicts"}
+	case plan.Sweep:
 		t.Title = fmt.Sprintf("ICache sweep (%s)", plan.Program.ISA)
-	} else {
+	default:
 		t.Title = fmt.Sprintf("Timing (%s)", plan.Program.ISA)
 	}
 	for _, r := range results {
@@ -279,8 +284,12 @@ func renderTable(plan *Plan, results []SimResult) *Table {
 		if r.ICache.Accesses > 0 {
 			miss = 100 * float64(r.ICache.Misses) / float64(r.ICache.Accesses)
 		}
-		t.AddRow(label, r.Cycles, r.IPC, fmt.Sprintf("%.2f", miss),
-			r.TrapMispredicts+r.FaultMispredicts+r.Misfetches)
+		mp := r.TrapMispredicts + r.FaultMispredicts + r.Misfetches
+		if multiAxis {
+			t.AddRow(label, predictorLabel(r.Predictor), r.Cycles, r.IPC, fmt.Sprintf("%.2f", miss), mp)
+		} else {
+			t.AddRow(label, r.Cycles, r.IPC, fmt.Sprintf("%.2f", miss), mp)
+		}
 	}
 	return TableOf(t)
 }

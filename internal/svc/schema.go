@@ -120,14 +120,27 @@ type PredictorSpec struct {
 	RASDepth    int `json:"ras_depth,omitempty"`
 }
 
-// SweepSpec requests one timing result per icache size over a shared base
-// configuration — the Figure 6/7 question. Size 0 is the perfect-icache
-// reference point.
+// SweepSpec requests one timing result per point of a multi-axis grid over a
+// shared base configuration: the cross product of every set axis, in
+// axis-major order (history outermost, then PHT entries, then BTB sets, then
+// icache sizes innermost). With only ICacheSizes set this is the Figure 6/7
+// question, exactly as before the predictor axes were added
+// (schema-additive; older clients never see them). Size 0 is the
+// perfect-icache reference point; an unset axis keeps the base
+// configuration's value for that knob.
 type SweepSpec struct {
 	// ICacheSizes are the swept sizes in bytes, in the order results are
 	// wanted.
-	ICacheSizes []int `json:"icache_sizes"`
-	// Base carries every non-icache knob (nil = the paper's machine, 4-way
+	ICacheSizes []int `json:"icache_sizes,omitempty"`
+	// HistoryBits sweeps the branch-history register length (0..32). Like
+	// the other predictor axes it rejects a perfect-BP base, which would
+	// make every point identical.
+	HistoryBits []int `json:"history_bits,omitempty"`
+	// PHTEntries sweeps the pattern-history-table size (powers of two).
+	PHTEntries []int `json:"pht_entries,omitempty"`
+	// BTBSets sweeps the branch-target-buffer set count (powers of two).
+	BTBSets []int `json:"btb_sets,omitempty"`
+	// Base carries every non-swept knob (nil = the paper's machine, 4-way
 	// icache — the bsbench/bsim configuration).
 	Base *ConfigSpec `json:"base,omitempty"`
 }
@@ -169,10 +182,9 @@ type SimResponse struct {
 	WallMs int64 `json:"wall_ms"`
 	// Error is set (and Results/Table unset) when the job failed.
 	Error string `json:"error,omitempty"`
-	// Engine reports which timing path ran: "sweep-icache" or
-	// "sweep-predictor" (the fused single-pass engines), "replay-segmented"
-	// (the segment-parallel single-config engine), or "simulate-many" (one
-	// replay per config).
+	// Engine reports which timing path ran: "sweep" (the unified multi-axis
+	// single-pass engine), "replay-segmented" (the segment-parallel
+	// single-config engine), or "simulate-many" (one replay per config).
 	Engine string `json:"engine,omitempty"`
 	// ArtifactCache reports whether this job reused a cached compiled
 	// program / recorded trace.
@@ -225,7 +237,8 @@ type CacheStatsJSON struct {
 type SimResult struct {
 	ICacheBytes int `json:"icache_bytes"` // 0 = perfect
 	// Predictor echoes the configuration's predictor point on predictor
-	// sweeps (nil elsewhere; schema-additive).
+	// sweeps and on multi-axis sweeps that set a predictor axis (nil
+	// elsewhere; schema-additive).
 	Predictor *PredictorSpec `json:"predictor,omitempty"`
 
 	Cycles int64   `json:"cycles"`

@@ -97,6 +97,14 @@ func TestBuildConfigTypedErrors(t *testing.T) {
 			r.Config = nil
 			r.Sweep = &SweepSpec{ICacheSizes: []int{3000}}
 		}, ErrBadSweep},
+		{"multi-axis sweep over perfect prediction", func(r *SimRequest) {
+			r.Config = nil
+			r.Sweep = &SweepSpec{HistoryBits: []int{2, 4}, Base: &ConfigSpec{PerfectBP: true}}
+		}, ErrBadSweep},
+		{"multi-axis sweep negative history", func(r *SimRequest) {
+			r.Config = nil
+			r.Sweep = &SweepSpec{HistoryBits: []int{-2}, ICacheSizes: []int{8192}}
+		}, ErrBadSweep},
 		{"both config and pred sweep", func(r *SimRequest) {
 			r.PredSweep = &PredSweepSpec{HistoryBits: []int{2, 4}}
 		}, ErrBadRequest},
@@ -237,9 +245,90 @@ func TestBuildConfigPredSweep(t *testing.T) {
 		}
 	}
 
-	// Every pred-sweep grid over a plain base must satisfy the fused
-	// engine's gate, so the service routes it to SweepPredictor.
-	if len(p.Configs) >= 2 && !uarch.CanSweepPredictor(p.Configs) {
-		t.Fatal("pred-sweep plan is not sweepable by the fused engine")
+	// Every pred-sweep grid over a plain base must satisfy the unified
+	// engine's gate, so the service routes it to Sweep.
+	if ok, reason := uarch.CanSweep(p.Configs); len(p.Configs) >= 2 && !ok {
+		t.Fatalf("pred-sweep plan is not sweepable by the unified engine: %s", reason)
+	}
+}
+
+func TestBuildConfigMultiAxisSweep(t *testing.T) {
+	// A SweepSpec with predictor axes builds the full cross product in
+	// axis-major order — history outermost, icache size innermost — and
+	// echoes each point's predictor so responses stay self-describing.
+	p, err := BuildConfig(&SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Workload: "compress", ISA: "bsa"},
+		Sweep: &SweepSpec{
+			ICacheSizes: []int{4096, 8192},
+			HistoryBits: []int{4, 8},
+			PHTEntries:  []int{1024},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Sweep || p.PredSweep {
+		t.Fatalf("plan flags wrong: %+v", p)
+	}
+	if len(p.Configs) != 4 || len(p.Predictors) != 4 || len(p.ICacheBytes) != 4 {
+		t.Fatalf("cross product has %d configs, %d echoes, %d sizes; want 4 each",
+			len(p.Configs), len(p.Predictors), len(p.ICacheBytes))
+	}
+	wantPoints := []struct{ hist, pht, size int }{
+		{4, 1024, 4096}, {4, 1024, 8192}, {8, 1024, 4096}, {8, 1024, 8192},
+	}
+	for i, want := range wantPoints {
+		cfg := p.Configs[i]
+		if cfg.Predictor.HistoryBits != want.hist || cfg.Predictor.PHTEntries != want.pht ||
+			cfg.ICache.SizeBytes != want.size {
+			t.Errorf("point %d: hist=%d pht=%d size=%d, want %+v",
+				i, cfg.Predictor.HistoryBits, cfg.Predictor.PHTEntries, cfg.ICache.SizeBytes, want)
+		}
+		if p.ICacheBytes[i] != want.size {
+			t.Errorf("icache echo %d: %d, want %d", i, p.ICacheBytes[i], want.size)
+		}
+		echo := p.Predictors[i]
+		if echo == nil || echo.HistoryBits != want.hist || echo.PHTEntries != want.pht {
+			t.Errorf("predictor echo %d: %+v, want %+v", i, echo, want)
+		}
+	}
+	if ok, reason := uarch.CanSweep(p.Configs); !ok {
+		t.Fatalf("multi-axis plan is not sweepable by the unified engine: %s", reason)
+	}
+
+	// An icache-only SweepSpec keeps Predictors nil, so existing clients see
+	// the same response shape as before the predictor axes existed.
+	p2, err := BuildConfig(&SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Workload: "compress", ISA: "bsa"},
+		Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Predictors != nil {
+		t.Fatalf("icache-only sweep grew predictor echoes: %+v", p2.Predictors)
+	}
+
+	// A predictor-only SweepSpec pins the icache at the base geometry.
+	p3, err := BuildConfig(&SimRequest{
+		Version: SchemaVersion,
+		Program: ProgramSpec{Workload: "compress", ISA: "bsa"},
+		Sweep: &SweepSpec{
+			HistoryBits: []int{2, 4},
+			Base:        &ConfigSpec{ICache: &CacheSpec{SizeBytes: 8192, Ways: 4}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p3.Configs) != 2 || len(p3.Predictors) != 2 {
+		t.Fatalf("predictor-only sweep has %d configs, %d echoes; want 2 each", len(p3.Configs), len(p3.Predictors))
+	}
+	for i, cfg := range p3.Configs {
+		if cfg.ICache.SizeBytes != 8192 || p3.ICacheBytes[i] != 8192 {
+			t.Errorf("point %d lost the base icache: %+v (echo %d)", i, cfg.ICache, p3.ICacheBytes[i])
+		}
 	}
 }

@@ -85,8 +85,8 @@ func TestServerMatchesLibraryPath(t *testing.T) {
 		if resp.Version != SchemaVersion || resp.Experiment != "sweep" {
 			t.Fatalf("%s: envelope %+v", isaName, resp)
 		}
-		if resp.Engine != "sweep-icache" {
-			t.Fatalf("%s: engine %q, want the fused sweep", isaName, resp.Engine)
+		if resp.Engine != "sweep" {
+			t.Fatalf("%s: engine %q, want the unified sweep", isaName, resp.Engine)
 		}
 
 		// Direct path, sharing only BuildConfig for config assembly.
@@ -111,7 +111,7 @@ func TestServerMatchesLibraryPath(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := uarch.SweepICache(tr, plan.Configs, 0)
+		want, err := uarch.Sweep(tr, plan.Configs, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,8 +169,8 @@ func TestServerPredictorSweep(t *testing.T) {
 		if resp.Experiment != "predsweep" {
 			t.Fatalf("%s: experiment %q", isaName, resp.Experiment)
 		}
-		if resp.Engine != "sweep-predictor" {
-			t.Fatalf("%s: engine %q, want the fused predictor sweep", isaName, resp.Engine)
+		if resp.Engine != "sweep" {
+			t.Fatalf("%s: engine %q, want the unified sweep", isaName, resp.Engine)
 		}
 
 		// Direct path, sharing only BuildConfig for config assembly.
@@ -195,7 +195,7 @@ func TestServerPredictorSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := uarch.SweepPredictor(tr, plan.Configs, 0)
+		want, err := uarch.Sweep(tr, plan.Configs, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -50,12 +50,12 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".bstr")
 }
 
-// LoadTrace returns the stored trace (and its optional aux section) for key,
+// LoadTrace returns the stored trace (and its aux sections, if any) for key,
 // or ok=false on a miss. A file that exists but fails validation — bad
 // checksum, truncation, wrong format version, or a stream that does not match
 // prog/cfg — is quarantined (renamed aside with a .corrupt suffix, for post
 // mortems) and reported as a miss, so the caller falls through to a rebuild.
-func (s *Store) LoadTrace(key string, prog *isa.Program, cfg emu.Config) (tr *emu.Trace, aux []byte, ok bool) {
+func (s *Store) LoadTrace(key string, prog *isa.Program, cfg emu.Config) (tr *emu.Trace, aux []emu.AuxSection, ok bool) {
 	p := s.path(key)
 	data, err := os.ReadFile(p)
 	if err != nil {
@@ -78,11 +78,11 @@ func (s *Store) LoadTrace(key string, prog *isa.Program, cfg emu.Config) (tr *em
 	return tr, aux, true
 }
 
-// SaveTrace writes the trace (and optional aux section) for key atomically: a
+// SaveTrace writes the trace (and any aux sections) for key atomically: a
 // reader concurrent with this write sees either the old complete file or the
 // new complete file, never a prefix. Concurrent writers of one key are safe —
 // each rename is atomic and both sides wrote equivalent content.
-func (s *Store) SaveTrace(key string, tr *emu.Trace, aux []byte) error {
+func (s *Store) SaveTrace(key string, tr *emu.Trace, aux []emu.AuxSection) error {
 	blob := tr.EncodeBytes(aux)
 	tmp, err := os.CreateTemp(s.dir, ".bstr-tmp-*")
 	if err != nil {
@@ -103,6 +103,42 @@ func (s *Store) SaveTrace(key string, tr *emu.Trace, aux []byte) error {
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(blob)))
 	return nil
+}
+
+// AttachAux upserts one tagged aux section into key's trace file: the current
+// file's sections are re-read from disk (so a section another process attached
+// since our load survives), the same-tag section is replaced, every other tag
+// is preserved, and the merged file is rewritten atomically. A missing or
+// invalid file degrades to writing the trace with just this section — the
+// attach never fails harder than a plain SaveTrace. This is what fixes the
+// old "last width wins" behavior: with one untagged section, attaching a
+// predecode table for a second issue width clobbered the first width's table,
+// and the two widths then thrashed each other's write-through forever.
+func (s *Store) AttachAux(key string, tr *emu.Trace, sec emu.AuxSection) error {
+	var sections []emu.AuxSection
+	if data, err := os.ReadFile(s.path(key)); err == nil {
+		if cur, aux, derr := emu.DecodeTrace(data, tr.Program()); derr == nil && cur.EmuConfig() == tr.EmuConfig() {
+			sections = aux
+		}
+	}
+	merged := make([]emu.AuxSection, 0, len(sections)+1)
+	inserted := false
+	for _, other := range sections {
+		switch {
+		case other.Tag == sec.Tag:
+			merged = append(merged, sec)
+			inserted = true
+		case other.Tag > sec.Tag && !inserted:
+			merged = append(merged, sec, other)
+			inserted = true
+		default:
+			merged = append(merged, other)
+		}
+	}
+	if !inserted {
+		merged = append(merged, sec)
+	}
+	return s.SaveTrace(key, tr, merged)
 }
 
 // quarantine moves a failed-validation file aside so it cannot be served

@@ -31,7 +31,7 @@ func storeTrace(t *testing.T, seed int64) (*isa.Program, *emu.Trace) {
 
 // requireSame asserts the loaded trace is the recorded one, field for field:
 // same event stream, same emulator result, and a byte-identical re-encode.
-func requireSame(t *testing.T, want, got *emu.Trace, wantAux, gotAux []byte) {
+func requireSame(t *testing.T, want, got *emu.Trace, wantAux, gotAux []emu.AuxSection) {
 	t.Helper()
 	if !reflect.DeepEqual(got.BlockIDs(), want.BlockIDs()) {
 		t.Fatal("loaded trace's event stream diverges")
@@ -45,8 +45,8 @@ func requireSame(t *testing.T, want, got *emu.Trace, wantAux, gotAux []byte) {
 	if !bytes.Equal(got.EncodeBytes(gotAux), want.EncodeBytes(wantAux)) {
 		t.Fatal("loaded trace does not re-encode byte-identically")
 	}
-	if !bytes.Equal(gotAux, wantAux) {
-		t.Fatalf("aux section diverges: %d bytes vs %d", len(gotAux), len(wantAux))
+	if !reflect.DeepEqual(gotAux, wantAux) {
+		t.Fatalf("aux sections diverge: %+v vs %+v", gotAux, wantAux)
 	}
 }
 
@@ -61,7 +61,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	if _, _, ok := st.LoadTrace(key, prog, emu.Config{}); ok {
 		t.Fatal("cold store claims a hit")
 	}
-	aux := []byte("predecode-blob")
+	aux := []emu.AuxSection{{Tag: 16, Data: []byte("predecode-blob")}}
 	if err := st.SaveTrace(key, tr, aux); err != nil {
 		t.Fatal(err)
 	}
@@ -151,6 +151,58 @@ func TestStoreQuarantinesCorruption(t *testing.T) {
 			requireSame(t, tr, got, nil, gotAux)
 		})
 	}
+}
+
+// TestStoreAttachAuxPerWidth is the regression test for the per-width aux
+// fix: attaching a predecode blob for a second issue width must preserve the
+// first width's blob (the old single-section format let the last writer win),
+// and re-attaching an existing width replaces only that width's payload.
+func TestStoreAttachAuxPerWidth(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, tr := storeTrace(t, 4248)
+	key := traceKey("prog-e", 0)
+	if err := st.SaveTrace(key, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach width 16 first, then width 8: both must survive, in tag order.
+	if err := st.AttachAux(key, tr, emu.AuxSection{Tag: 16, Data: []byte("wide")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AttachAux(key, tr, emu.AuxSection{Tag: 8, Data: []byte("narrow")}); err != nil {
+		t.Fatal(err)
+	}
+	want := []emu.AuxSection{{Tag: 8, Data: []byte("narrow")}, {Tag: 16, Data: []byte("wide")}}
+	got, gotAux, ok := st.LoadTrace(key, prog, emu.Config{})
+	if !ok {
+		t.Fatal("trace with attached aux not served")
+	}
+	requireSame(t, tr, got, want, gotAux)
+
+	// Re-attaching a width replaces that payload without touching the other.
+	if err := st.AttachAux(key, tr, emu.AuxSection{Tag: 16, Data: []byte("wider")}); err != nil {
+		t.Fatal(err)
+	}
+	want[1].Data = []byte("wider")
+	got, gotAux, ok = st.LoadTrace(key, prog, emu.Config{})
+	if !ok {
+		t.Fatal("trace not served after re-attach")
+	}
+	requireSame(t, tr, got, want, gotAux)
+
+	// Attaching to a missing file degrades to a plain save with one section.
+	key2 := traceKey("prog-e2", 0)
+	if err := st.AttachAux(key2, tr, emu.AuxSection{Tag: 8, Data: []byte("solo")}); err != nil {
+		t.Fatal(err)
+	}
+	got, gotAux, ok = st.LoadTrace(key2, prog, emu.Config{})
+	if !ok {
+		t.Fatal("attach-to-missing-file trace not served")
+	}
+	requireSame(t, tr, got, []emu.AuxSection{{Tag: 8, Data: []byte("solo")}}, gotAux)
 }
 
 // TestStoreRejectsMismatchedContent covers the two "right checksum, wrong

@@ -127,55 +127,43 @@ func TestSimulateManyContextCanceled(t *testing.T) {
 	}
 }
 
-func TestSweepICacheContextCanceled(t *testing.T) {
+func TestSweepContextCanceled(t *testing.T) {
 	tr := cancelTrace(t)
-	cfgs := sweepGrid(false)
-	if !CanSweepICache(cfgs) {
-		t.Fatal("grid should be sweepable")
+	grids := map[string][]Config{
+		"icache": sweepGrid(false),
+		"pred":   predGrid(1024),
+		"cross":  crossGrid(),
 	}
-	for _, workers := range []int{1, 4} {
-		baseline := runtime.NumGoroutine()
-		results, err := SweepICacheContext(newCountdownCtx(3), tr, cfgs, workers)
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+	for label, cfgs := range grids {
+		if ok, reason := CanSweep(cfgs); !ok {
+			t.Fatalf("%s: grid should be sweepable: %s", label, reason)
 		}
-		if results != nil {
-			t.Fatalf("workers=%d: canceled call returned results", workers)
+		for _, workers := range []int{1, 4} {
+			baseline := runtime.NumGoroutine()
+			results, err := SweepContext(newCountdownCtx(3), tr, cfgs, workers)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s workers=%d: got %v, want context.Canceled", label, workers, err)
+			}
+			if results != nil {
+				t.Fatalf("%s workers=%d: canceled call returned results", label, workers)
+			}
+			checkNoGoroutineLeak(t, baseline)
 		}
-		checkNoGoroutineLeak(t, baseline)
-	}
-}
-
-func TestSweepPredictorContextCanceled(t *testing.T) {
-	tr := cancelTrace(t)
-	cfgs := predGrid(1024)
-	if !CanSweepPredictor(cfgs) {
-		t.Fatal("grid should be sweepable")
-	}
-	for _, workers := range []int{1, 4} {
-		baseline := runtime.NumGoroutine()
-		results, err := SweepPredictorContext(newCountdownCtx(3), tr, cfgs, workers)
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
-		}
-		if results != nil {
-			t.Fatalf("workers=%d: canceled call returned results", workers)
-		}
-		checkNoGoroutineLeak(t, baseline)
 	}
 
 	// A background context must not perturb results.
-	want, err := SweepPredictor(tr, cfgs, 0)
+	cfgs := predGrid(1024)
+	want, err := Sweep(tr, cfgs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := SweepPredictorContext(context.Background(), tr, cfgs, 0)
+	got, err := SweepContext(context.Background(), tr, cfgs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range want {
 		if *got[i] != *want[i] {
-			t.Fatalf("context predsweep diverged at config %d:\n got %+v\nwant %+v", i, got[i], want[i])
+			t.Fatalf("context sweep diverged at config %d:\n got %+v\nwant %+v", i, got[i], want[i])
 		}
 	}
 }

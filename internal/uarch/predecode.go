@@ -5,8 +5,8 @@ import (
 )
 
 // Predecoded is a reusable predecode of a program's blocks for the fused
-// sweep engines: the flattened per-block operation tables both SweepICache
-// and SweepPredictor otherwise rebuild on every call. The table depends only
+// sweep engine: the flattened per-block operation tables Sweep otherwise
+// rebuilds on every call. The table depends only
 // on the program and the (defaulted) issue width — never on the trace or any
 // cache/predictor knob — so a service can build it once per program and hand
 // it to every sweep over that program. A Predecoded is immutable after
@@ -39,7 +39,7 @@ func (p *Predecoded) IssueWidth() int { return p.issueWidth }
 // Footprint returns the approximate in-memory size of the tables in bytes,
 // for cache accounting.
 func (p *Predecoded) Footprint() int64 {
-	n := int64(len(p.lp)) * 40
+	n := int64(len(p.lp)) * 48
 	for i := range p.lp {
 		n += int64(len(p.lp[i].ops)) * 8
 	}
@@ -47,12 +47,12 @@ func (p *Predecoded) Footprint() int64 {
 }
 
 // tables returns the predecoded block table for prog at issueWidth, reusing
-// p's when it matches (a nil or mismatched p flattens fresh). shared reports
-// whether the returned slice is p's own — callers that mutate per-geometry
-// fields (the predictor sweep's line split) must copy a shared table first.
-func (p *Predecoded) tables(prog *isa.Program, issueWidth int) (lp []laneBlock, shared bool) {
+// p's when it matches (a nil or mismatched p flattens fresh). The table is
+// immutable — the sweep engine copies per-width metadata rather than ever
+// writing into it.
+func (p *Predecoded) tables(prog *isa.Program, issueWidth int) []laneBlock {
 	if p != nil && p.prog == prog && p.issueWidth == issueWidth {
-		return p.lp, true
+		return p.lp
 	}
-	return flattenSweepProgram(prog, issueWidth), false
+	return flattenSweepProgram(prog, issueWidth)
 }

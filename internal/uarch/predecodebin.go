@@ -26,7 +26,11 @@ import (
 // ErrBadPredecode is wrapped by every DecodePredecoded failure.
 var ErrBadPredecode = errors.New("uarch: bad predecode encoding")
 
-const predecodeVersion = 1
+// Version 2: the laneOp register encoding became branchless — three
+// RegZero-padded read slots (no read count) and sink-padded write slots.
+// Version-1 blobs fail decode and rebuild through the normal quarantine
+// path.
+const predecodeVersion = 2
 
 // EncodeBytes serializes the predecoded tables.
 func (p *Predecoded) EncodeBytes() []byte {
@@ -44,10 +48,10 @@ func (p *Predecoded) EncodeBytes() []byte {
 		buf = binary.AppendUvarint(buf, uint64(lb.addr))
 		buf = binary.AppendUvarint(buf, uint64(lb.size))
 		buf = binary.AppendUvarint(buf, uint64(len(lb.ops)))
-		for j := range lb.ops {
-			op := &lb.ops[j]
-			buf = append(buf, op.reads[0], op.reads[1], op.reads[2],
-				op.nReads, op.w1, op.w2, op.flags, op.lat)
+		for _, op := range lb.ops {
+			// The packed word's little-endian bytes are exactly the wire
+			// order: r0, r1, r2, w1, w2, flags, lat, 0.
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(op))
 		}
 	}
 	return buf
@@ -142,14 +146,19 @@ func DecodePredecoded(data []byte, prog *isa.Program) (*Predecoded, error) {
 		}
 		lb.ops = make([]laneOp, nOps)
 		for j := range lb.ops {
-			raw := data[pos : pos+8]
+			v := binary.LittleEndian.Uint64(data[pos:])
 			pos += 8
-			op := &lb.ops[j]
-			op.reads = [3]uint8{raw[0], raw[1], raw[2]}
-			op.nReads, op.w1, op.w2, op.flags, op.lat = raw[3], raw[4], raw[5], raw[6], raw[7]
-			if op.nReads > 3 {
-				return nil, fmt.Errorf("%w: B%d op %d reads %d registers", ErrBadPredecode, id, j, op.nReads)
+			v &= 1<<56 - 1 // byte 7 is padding
+			r0, r1, r2 := uint8(v), uint8(v>>8), uint8(v>>16)
+			w1, w2 := uint8(v>>24), uint8(v>>32)
+			if r0 >= isa.NumRegs || r1 >= isa.NumRegs || r2 >= isa.NumRegs {
+				return nil, fmt.Errorf("%w: B%d op %d reads register beyond the file", ErrBadPredecode, id, j)
 			}
+			if w1 == uint8(isa.RegZero) || w1 > laneRegSink ||
+				w2 == uint8(isa.RegZero) || w2 > laneRegSink {
+				return nil, fmt.Errorf("%w: B%d op %d writes register beyond the file", ErrBadPredecode, id, j)
+			}
+			lb.ops[j] = laneOp(v)
 		}
 	}
 	if pos != len(data) {

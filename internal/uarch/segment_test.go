@@ -178,9 +178,9 @@ func TestSegmentedCancellation(t *testing.T) {
 	}
 }
 
-// TestSegmentedMatchesSweeps closes the loop with the fused sweep engines:
+// TestSegmentedMatchesSweeps closes the loop with the fused sweep engine:
 // per-configuration segmented replays must agree field-for-field with the
-// fused icache sweep over the same grid (which is itself pinned against
+// fused sweep over the same grid (which is itself pinned against
 // SimulateMany), so every engine in the package answers identically.
 func TestSegmentedMatchesSweeps(t *testing.T) {
 	if testing.Short() {
@@ -188,7 +188,7 @@ func TestSegmentedMatchesSweeps(t *testing.T) {
 	}
 	tr := segTrace(t, 7400, isa.BlockStructured)
 	cfgs := sweepGrid(false)
-	want, err := SweepICache(tr, cfgs, 0)
+	want, err := Sweep(tr, cfgs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

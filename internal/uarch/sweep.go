@@ -3,7 +3,9 @@ package uarch
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sync"
 
 	"bsisa/internal/bpred"
 	"bsisa/internal/cache"
@@ -11,42 +13,59 @@ import (
 	"bsisa/internal/isa"
 )
 
-// This file implements the single-pass icache sweep engine. An icache
-// sensitivity sweep (Figures 6 and 7) runs the same trace under N
-// configurations that differ only in ICache.SizeBytes. Under SimulateMany
-// that costs N full replays, but almost all of the work those replays do is
-// identical: the committed stream fixes the fetch order, so the predictor
-// sees the same history (its tables never observe timing), the dcache sees
-// the same address sequence, the misprediction of every event classifies the
-// same way, and even the icache's address stream — fetches plus wrong-path
-// pollution — is the same; only the *outcome* of each icache access and the
-// resulting stall arithmetic differ per size.
+// This file implements the unified multi-axis sweep engine. A sweep runs the
+// same trace under N configurations drawn from a config grid whose axes are
+// icache size, predictor tables, and core geometry (issue width, window
+// size, FU count, front-end depth, latencies). Under SimulateMany that costs
+// N full replays, but almost all of the work those replays do is identical:
+// the committed stream fixes the fetch order, so every predictor variant
+// sees the same history (predictor tables never observe timing), the dcache
+// sees the same address sequence, each config's mispredictions classify the
+// same way given its predictor, and the icache address stream — fetches plus
+// wrong-path pollution — depends only on which predictor the config uses;
+// only the per-config *outcomes* and the stall arithmetic differ.
 //
-// SweepICache therefore splits the sweep into one shared "enrich" pass and N
-// cheap per-config "lanes". The enrich pass replays the trace once, driving
-// a cache.StackDist profiler with the exact icache address stream (which
-// yields per-access miss counts for every sweep size simultaneously), the
-// real dcache, and the real predictor; it records per event the fetch miss
-// count at each size, the misprediction kind, the per-load dcache outcome,
-// and for fault mispredictions the wrongly fetched block and its fetch miss
-// counts. Each lane then re-runs only the timing arithmetic — window, FU
-// scoreboard, rename ready times, retire — against those precomputed
-// outcomes, over a flattened operation table that strips decode work out of
-// the hot loop. Lane results are identical, field for field, to ReplayTrace
-// under the same configuration (sweep_test.go enforces this exhaustively).
+// Sweep therefore splits the grid into one shared enrichment replay and N
+// cheap per-config timing lanes:
+//
+//   - Pass A replays the trace once, driving the real dcache (shared: load
+//     outcomes are config-independent) and a bpred.Bank holding one lane per
+//     *distinct* predictor config — the grid's predictor classes. Each
+//     class's mispredictions are classified and stored sparsely (ascending
+//     event indices, kinds, wrong-path blocks), and the committed and
+//     wrong-path line counts are accumulated for perfect-icache accounting.
+//   - Pass B walks the committed block stream once per class through a
+//     cache.StackDist profiler fed with that class's pollution stream,
+//     yielding exact per-event fetch miss counts for every swept icache
+//     size simultaneously. Classes profile independently (pollution alters
+//     LRU state), but every class shares pass A and the block tables.
+//   - Each lane then re-runs only the timing arithmetic — window, FU
+//     scoreboard, rename ready times, retire, recovery — against the
+//     precomputed outcomes of its (class, icache level) pair, over a
+//     flattened operation table that strips decode work out of the hot
+//     loop. Core-geometry axes need no shared state at all: they are plain
+//     per-lane knobs of that arithmetic.
+//
+// Lane results are identical, field for field, to ReplayTrace under the
+// same configuration (sweep_test.go enforces this exhaustively against
+// SimulateMany, including cross-axis grids and per-axis marginals).
 
 // laneOp is a predecoded operation: exactly the fields laneSchedule needs,
-// with zero-register reads/writes already dropped (reading or writing
-// isa.RegZero never touches the ready table). The struct is packed to eight
-// bytes so a block's operation table stays dense in cache; lat fits a byte
-// because Table 1 latencies top out at 8 cycles.
-type laneOp struct {
-	reads  [3]uint8
-	nReads uint8
-	w1     uint8 // destination register, 0 = none
-	w2     uint8 // link register for CALL, 0 = none
-	flags  uint8
-	lat    uint8
+// packed to eight bytes so a block's operation table stays dense in cache
+// (lat fits a byte because Table 1 latencies top out at 8 cycles). The
+// register encoding makes the scheduling loop branchless: unused read slots
+// are padded with isa.RegZero, whose ready slot is never written, and unused
+// write slots point at laneRegSink, which is never read — so every op does
+// exactly three ready-table reads and two writes, no count checks.
+// laneOp packs one predecoded operation into a single word so the scheduling
+// loop extracts fields with shifts instead of memory round-trips (byte order,
+// low to high: r0, r1, r2, w1, w2, flags, lat, unused). Source slots pad with
+// RegZero, destination slots with laneRegSink.
+type laneOp uint64
+
+func packLaneOp(r0, r1, r2, w1, w2, flags, lat uint8) laneOp {
+	return laneOp(uint64(r0) | uint64(r1)<<8 | uint64(r2)<<16 |
+		uint64(w1)<<24 | uint64(w2)<<32 | uint64(flags)<<40 | uint64(lat)<<48)
 }
 
 const (
@@ -55,24 +74,44 @@ const (
 	laneFault
 )
 
+// laneRegSink is the write target of ops without one: a scratch slot past
+// the architectural registers that no read slot can name.
+const laneRegSink = isa.NumRegs
+
+// laneRegsUsed bounds the live prefix of a laneRegs table: the architectural
+// registers plus the sink.
+const laneRegsUsed = isa.NumRegs + 1
+
+// laneRegs is a lane's register-ready table. It is sized to the uint8 index
+// space so the scheduling loop needs no bounds checks or masking; only the
+// first laneRegsUsed slots are ever touched, so the dead tail costs no cache
+// traffic.
+type laneRegs [256]int64
+
 // laneBlock is a predecoded block, indexed by BlockID in a laneProg slice.
-// addr/size carry the block's layout footprint so predictor-sweep lanes can
-// drive their live per-lane icache straight off the table (see sweeppred.go).
+// addr/size carry the block's layout footprint for the predecode codec and
+// the enrichment passes.
 type laneBlock struct {
 	ops         []laneOp
 	numOps      int
 	fetchCycles int64
 	addr        uint32
 	size        uint32
-	// line0/line1 are the block's footprint as icache line addresses, filled
-	// in by the predictor sweep (whose lanes all share one icache geometry)
-	// so each fetch skips the address split; the icache sweep ignores them.
-	line0, line1 uint32
 }
 
-// flattenSweepProgram predecodes every block once for all lanes.
+// flattenSweepProgram predecodes every block once for all lanes. The op
+// tables of all blocks live in one arena allocation so lane walks stream
+// through contiguous memory instead of chasing per-block slices.
 func flattenSweepProgram(prog *isa.Program, issueWidth int) []laneBlock {
 	lp := make([]laneBlock, len(prog.Blocks))
+	total := 0
+	for _, b := range prog.Blocks {
+		if b != nil {
+			total += len(b.Ops)
+		}
+	}
+	arena := make([]laneOp, total)
+	off := 0
 	for id, b := range prog.Blocks {
 		if b == nil {
 			continue
@@ -86,40 +125,60 @@ func flattenSweepProgram(prog *isa.Program, issueWidth int) []laneBlock {
 			n = 1
 		}
 		lb.fetchCycles = int64(n)
-		lb.ops = make([]laneOp, len(b.Ops))
+		lb.ops = arena[off : off+len(b.Ops) : off+len(b.Ops)]
+		off += len(b.Ops)
 		for i := range b.Ops {
 			op := &b.Ops[i]
-			lo := &lb.ops[i]
 			reads, nr := op.ReadRegs()
+			var rs [3]uint8
 			for k := 0; k < nr; k++ {
-				if reads[k] != isa.RegZero {
-					lo.reads[lo.nReads] = uint8(reads[k])
-					lo.nReads++
-				}
+				rs[k] = uint8(reads[k])
 			}
+			w1, w2 := uint8(laneRegSink), uint8(laneRegSink)
 			if rd, ok := op.Writes(); ok && rd != isa.RegZero {
-				lo.w1 = uint8(rd)
+				w1 = uint8(rd)
 			}
 			if op.Opcode == isa.CALL {
-				lo.w2 = uint8(isa.RegLR)
+				w2 = uint8(isa.RegLR)
 			}
-			lo.lat = uint8(op.Opcode.Latency())
+			var flags uint8
 			if op.Opcode == isa.LD {
-				lo.flags |= laneLD
+				flags |= laneLD
 			}
 			if op.Opcode.IsBlockEnd() {
-				lo.flags |= laneTerm
+				flags |= laneTerm
 			}
 			if op.Opcode == isa.FAULT {
-				lo.flags |= laneFault
+				flags |= laneFault
 			}
+			lb.ops[i] = packLaneOp(rs[0], rs[1], rs[2], w1, w2, flags,
+				uint8(op.Opcode.Latency()))
 		}
 	}
 	return lp
 }
 
-// sweepCancelChunk is how many lockstep events a lane group processes
-// between context checks (power of two; mirrors emu's replay chunking).
+// widthTables returns a block table with fetchCycles recomputed for a
+// non-base issue width. The op arena is shared with base — only the
+// per-block metadata is copied.
+func widthTables(prog *isa.Program, base []laneBlock, issueWidth int) []laneBlock {
+	lp := append([]laneBlock(nil), base...)
+	for id, b := range prog.Blocks {
+		if b == nil {
+			continue
+		}
+		n := (len(b.Ops) + issueWidth - 1) / issueWidth
+		if n < 1 {
+			n = 1
+		}
+		lp[id].fetchCycles = int64(n)
+	}
+	return lp
+}
+
+// sweepCancelChunk is how many lockstep events a lane group (or enrichment
+// walk) processes between context checks (power of two; mirrors emu's replay
+// chunking).
 const sweepCancelChunk = 4096
 
 // Per-event misprediction kinds as stored by the enrich pass. swFaultNoBlock
@@ -132,29 +191,59 @@ const (
 	swFaultNoBlock
 )
 
-// sweepShared is the enrich pass's output: everything config-dependent work
-// needs, precomputed once. Lanes read it concurrently and never write it.
-type sweepShared struct {
-	levels int // profiler levels; stride of fetchMiss/wrongMiss
+// sweepNoMp is the nextMp sentinel for a lane with no mispredictions left.
+const sweepNoMp = ^uint32(0)
 
-	// Per event (trace order). fetchMiss is transposed — [level*numEvents +
-	// event] — so each lane walks one contiguous per-level run instead of
-	// striding through all levels' data.
-	mpKind    []uint8
-	fetchMiss []uint8
-
-	// Per fault-kind event, in trace order (lanes keep a running cursor);
-	// wrongMiss is per level for the same locality reason.
+// sweepClass holds everything the enrichment passes compute for one
+// predictor class — one distinct Predictor config in the grid (or the single
+// implicit class under perfect prediction). Lanes read it concurrently and
+// never write it.
+type sweepClass struct {
+	// Sparse mispredict streams: ascending event indices, a parallel kind
+	// stream, and (fault kinds only, same order) the wrongly predicted
+	// block. Mispredicts are a few percent of events, so this replaces
+	// numEvents-sized dense tables with short arrays a lane consumes
+	// through a cursor.
+	mpEv       []uint32
+	mpKind     []uint8
 	faultBlock []isa.BlockID
-	wrongMiss  [][]uint8
 
-	// Per committed LD, in stream order:
-	ldHit []bool
+	// Icache outcomes at every profiled level. fetchMiss is transposed —
+	// [level*numEvents + event] — so each lane walks one contiguous
+	// per-level run; wrongMiss is per level, per fault ordinal, for the
+	// same locality reason. Both are nil when no lane of this class has a
+	// real icache.
+	fetchMiss []uint8
+	wrongMiss [][]uint8
+	icStats   []cache.Stats // per level
 
-	icStats    []cache.Stats // per level
-	icAccesses int64         // line accesses (identical at every level)
-	dcStats    cache.Stats
-	bpStats    bpred.Stats
+	// accesses is the class's total icache line traffic (committed fetches
+	// plus this class's wrong-path pollution): what a perfect icache
+	// reports, since it counts accesses but never misses.
+	accesses int64
+
+	bp bpred.Stats
+}
+
+// sweepShared is the config-independent half of the enrichment output.
+type sweepShared struct {
+	levels int // profiled icache levels; stride of fetchMiss
+	// ldMiss is 1 per committed load that misses the shared dcache, 0 on a
+	// hit: a maskable byte, so the scheduling loop folds L2 latency in with
+	// arithmetic instead of a branch.
+	ldMiss  []uint8
+	noMiss  []uint8 // all-zero table for shadow passes (length ≥ any block's ops)
+	dcStats cache.Stats
+	classes []*sweepClass
+}
+
+// sweepEnrich carries pass A outputs that only pass B consumes.
+type sweepEnrich struct {
+	sh *sweepShared
+	// poll is, per class and parallel to mpEv, the wrong-path block the
+	// class fetches at that mispredict (NoBlock when nothing is fetched:
+	// misfetches, nonexistent trap targets, fault-no-block).
+	poll [][]isa.BlockID
 }
 
 // laneRing is a lane's functional-unit scoreboard: the same ring arithmetic
@@ -217,140 +306,186 @@ func (r *laneRing) grow(cycle int64) {
 	r.counts, r.mask = nc, nm
 }
 
-// sweepLane is one configuration's view of the shared pass. fm and wm are
-// this lane's level slices of sh.fetchMiss / sh.wrongMiss (nil for a perfect
-// icache). A predictor-sweep lane (sweeppred.go) instead carries per-lane
-// mispredict streams and a live icache: predictor variants diverge in which
-// wrong-path blocks pollute the icache, so cache state cannot be shared.
+// laneScratch is the mutable per-lane working set — FU ring, register-ready
+// tables, window ring — pooled across sweeps (keyed by window geometry) so
+// repeated daemon sweeps stop re-allocating it.
+type laneScratch struct {
+	ring   laneRing
+	regs   laneRegs
+	shadow laneRegs
+	win    []windowEntry
+}
+
+// laneScratchPools maps WindowBlocks -> *sync.Pool of *laneScratch. The key
+// is the one geometry knob baked into the scratch (the window ring's
+// length); everything else resets cheaply.
+var laneScratchPools sync.Map
+
+func getLaneScratch(windowBlocks int) *laneScratch {
+	p, ok := laneScratchPools.Load(windowBlocks)
+	if !ok {
+		p, _ = laneScratchPools.LoadOrStore(windowBlocks, &sync.Pool{})
+	}
+	if v := p.(*sync.Pool).Get(); v != nil {
+		s := v.(*laneScratch)
+		s.reset()
+		return s
+	}
+	return &laneScratch{
+		ring: newLaneRing(),
+		win:  make([]windowEntry, windowBlocks+1),
+	}
+}
+
+func putLaneScratch(windowBlocks int, s *laneScratch) {
+	if p, ok := laneScratchPools.Load(windowBlocks); ok {
+		p.(*sync.Pool).Put(s)
+	}
+}
+
+func (s *laneScratch) reset() {
+	clear(s.ring.counts)
+	s.ring.base = 0
+	clear(s.regs[:laneRegsUsed])
+	clear(s.shadow[:laneRegsUsed])
+	// win needs no clear: pushWindow writes every entry before popWindow
+	// reads it.
+}
+
+// sweepLane is one configuration's view of the shared enrichment. fm and wm
+// are this lane's level runs of its class's fetchMiss/wrongMiss (nil for a
+// perfect icache).
 type sweepLane struct {
 	sh       *sweepShared
+	cls      *sweepClass
 	lp       []laneBlock
 	fm       []uint8
 	wm       []uint8
-	ring     laneRing
-	level    int // profiler level of this config's icache size; -1 = perfect
-	ldOff    int // cursor into sh.ldHit
-	faultOff int // cursor into sh.faultBlock / wm
-
-	// Predictor-sweep mode only. Mispredict kinds are stored sparsely —
-	// ascending event indices plus a parallel kind stream — so the per-event
-	// hot path is one cursor compare instead of a load from a dense
-	// numEvents-sized array per lane.
-	ic       *cache.Cache  // live per-lane icache
-	mpEv     []uint32      // event indices with a mispredict, ascending
-	mpKind   []uint8       // mispredict kind, parallel to mpEv
-	mpOff    int           // cursor into mpEv/mpKind
-	wrong    []isa.BlockID // wrong-path block per swTrap/swFault event (NoBlock = none fetched)
-	wrongOff int           // cursor into wrong
-	bp       bpred.Stats   // this lane's predictor stats from the Bank
+	scr      *laneScratch
+	level    int    // profiler level of this config's icache size; -1 = perfect
+	ldOff    int    // cursor into sh.ldHit
+	mpOff    int    // cursor into cls.mpEv/mpKind
+	faultOff int    // cursor into cls.faultBlock / wm
+	nextMp   uint32 // cls.mpEv[mpOff], or sweepNoMp when exhausted
 }
 
-// enrichSweep replays the trace once through the profiler, dcache and
-// predictor, recording per-event outcomes. base carries the shared
-// configuration (ICache.SizeBytes is ignored); sizes are the nonzero sweep
-// sizes.
-func enrichSweep(ctx context.Context, t *emu.Trace, base Config, sizes []int) (*sweepShared, error) {
-	minSize, maxSize := sizes[0], sizes[0]
-	for _, sz := range sizes[1:] {
-		if sz < minSize {
-			minSize = sz
-		}
-		if sz > maxSize {
-			maxSize = sz
-		}
-	}
-	prof, err := cache.NewStackDist(base.ICache, minSize, maxSize)
-	if err != nil {
-		return nil, fmt.Errorf("uarch: sweep: %w", err)
-	}
+// enrichSweepA replays the trace once, training the whole predictor-class
+// Bank (nil classCfgs under perfect prediction) and the shared dcache, and
+// recording per-class sparse mispredict streams, pollution blocks, and line
+// traffic. classes has one entry per predictor class, already allocated.
+func enrichSweepA(ctx context.Context, t *emu.Trace, base Config, classCfgs []bpred.Config, classes []*sweepClass) (*sweepEnrich, error) {
 	dc, err := cache.New(base.DCache)
 	if err != nil {
 		return nil, fmt.Errorf("uarch: sweep: dcache: %w", err)
 	}
 	prog := t.Program()
-	var pred bpred.Predictor
-	if !base.PerfectBP {
-		if prog.Kind == isa.BlockStructured {
-			pred = bpred.NewBSA(base.Predictor)
-		} else {
-			pred = bpred.NewTwoLevel(base.Predictor)
-		}
+	var bank *bpred.Bank
+	var preds []isa.BlockID
+	if len(classCfgs) > 0 {
+		bank = bpred.NewBank(prog.Kind, classCfgs)
+		preds = make([]isa.BlockID, bank.Len())
 	}
 
-	ne := t.NumEvents()
-	levels := prof.Levels()
-	sh := &sweepShared{
-		levels:    levels,
-		mpKind:    make([]uint8, ne),
-		fetchMiss: make([]uint8, ne*levels),
-		wrongMiss: make([][]uint8, levels),
-	}
-	scratch := make([]int, levels)
-	check := func() error {
-		for _, m := range scratch {
-			if m > 255 {
-				return fmt.Errorf("uarch: sweep: block spans %d missing lines, exceeds encoding", m)
+	// Per-block line counts at the shared icache line size, so perfect-cache
+	// access totals fall out of pass A without touching a profiler; the
+	// count mirrors Cache.AccessRange (a zero-size block still touches its
+	// first line).
+	shift := uint32(bits.TrailingZeros32(uint32(base.ICache.LineBytes)))
+	lineCnt := make([]int64, len(prog.Blocks))
+	// Most blocks touch no memory; precompute which do (one pass over the
+	// static program) so the dynamic handler skips the per-op scan for the
+	// rest.
+	hasMem := make([]bool, len(prog.Blocks))
+	maxOps := 0
+	for id, b := range prog.Blocks {
+		if b == nil {
+			continue
+		}
+		sz := b.Size
+		if sz == 0 {
+			sz = 1
+		}
+		lineCnt[id] = int64((b.Addr+sz-1)>>shift - b.Addr>>shift + 1)
+		for i := range b.Ops {
+			if op := b.Ops[i].Opcode; op == isa.LD || op == isa.ST {
+				hasMem[id] = true
+				break
 			}
 		}
-		return nil
+		maxOps = max(maxOps, len(b.Ops))
 	}
+
+	en := &sweepEnrich{
+		sh:   &sweepShared{classes: classes},
+		poll: make([][]isa.BlockID, len(classes)),
+	}
+	sh := en.sh
+	// Shadow scheduling passes read this zeroed miss table: wrong-path loads
+	// assume L1 hits, exactly like scheduleOps. One extra byte keeps the
+	// cursor in bounds for ops past a block's last load.
+	sh.noMiss = make([]uint8, maxOps+1)
+	var commitLines int64
+	pollLines := make([]int64, len(classes))
 	ei := 0
 	err = t.ReplayContext(ctx, func(ev *emu.BlockEvent) error {
 		b := ev.Block
-		clear(scratch)
-		prof.AccessRange(b.Addr, b.Size, scratch)
-		if err := check(); err != nil {
-			return err
-		}
-		for l, m := range scratch {
-			sh.fetchMiss[l*ne+ei] = uint8(m)
-		}
-		memIdx := 0
-		for i := range b.Ops {
-			switch b.Ops[i].Opcode {
-			case isa.LD:
-				hit := true
-				if memIdx < len(ev.MemAddrs) {
-					hit = dc.Access(ev.MemAddrs[memIdx])
-					memIdx++
-				}
-				sh.ldHit = append(sh.ldHit, hit)
-			case isa.ST:
-				if memIdx < len(ev.MemAddrs) {
-					dc.Access(ev.MemAddrs[memIdx])
-					memIdx++
+		commitLines += lineCnt[b.ID]
+		if hasMem[b.ID] {
+			memIdx := 0
+			for i := range b.Ops {
+				switch b.Ops[i].Opcode {
+				case isa.LD:
+					hit := true
+					if memIdx < len(ev.MemAddrs) {
+						hit = dc.Access(ev.MemAddrs[memIdx])
+						memIdx++
+					}
+					var m uint8
+					if !hit {
+						m = 1
+					}
+					sh.ldMiss = append(sh.ldMiss, m)
+				case isa.ST:
+					if memIdx < len(ev.MemAddrs) {
+						dc.Access(ev.MemAddrs[memIdx])
+						memIdx++
+					}
 				}
 			}
 		}
-		if ev.Next != isa.NoBlock && !base.PerfectBP {
-			predicted := pred.Predict(b)
-			pred.Update(b, ev.Next, ev.Taken, ev.SuccIdx)
-			if predicted != ev.Next {
+		if ev.Next != isa.NoBlock && bank != nil {
+			bank.Step(b, ev.Next, ev.Taken, ev.SuccIdx, preds)
+			for c, predicted := range preds {
+				if predicted == ev.Next {
+					continue
+				}
+				cls := classes[c]
+				var kind uint8
+				wb := isa.NoBlock
 				switch classifyMispredict(b, predicted, ev.Next) {
 				case mpMisfetch:
-					sh.mpKind[ei] = swMisfetch
+					kind = swMisfetch
 				case mpTrap:
-					sh.mpKind[ei] = swTrap
-					if wb := prog.Block(predicted); wb != nil {
-						prof.AccessRange(wb.Addr, wb.Size, nil)
+					kind = swTrap
+					// The wrong-path block pollutes the class's icache
+					// stream only if it exists.
+					if prog.Block(predicted) != nil {
+						wb = predicted
+						pollLines[c] += lineCnt[predicted]
 					}
 				case mpFault:
-					pb := prog.Block(predicted)
-					if pb == nil {
-						sh.mpKind[ei] = swFaultNoBlock
+					if prog.Block(predicted) == nil {
+						kind = swFaultNoBlock
 						break
 					}
-					sh.mpKind[ei] = swFault
-					sh.faultBlock = append(sh.faultBlock, predicted)
-					clear(scratch)
-					prof.AccessRange(pb.Addr, pb.Size, scratch)
-					if err := check(); err != nil {
-						return err
-					}
-					for l, m := range scratch {
-						sh.wrongMiss[l] = append(sh.wrongMiss[l], uint8(m))
-					}
+					kind = swFault
+					wb = predicted
+					pollLines[c] += lineCnt[predicted]
+					cls.faultBlock = append(cls.faultBlock, predicted)
 				}
+				cls.mpEv = append(cls.mpEv, uint32(ei))
+				cls.mpKind = append(cls.mpKind, kind)
+				en.poll[c] = append(en.poll[c], wb)
 			}
 		}
 		ei++
@@ -359,110 +494,253 @@ func enrichSweep(ctx context.Context, t *emu.Trace, base Config, sizes []int) (*
 	if err != nil {
 		return nil, err
 	}
-	sh.icStats = make([]cache.Stats, levels)
-	for l := 0; l < levels; l++ {
-		sh.icStats[l] = prof.StatsAt(l)
-	}
-	sh.icAccesses = prof.Accesses()
+	// Non-load ops read (and mask off) the byte at the cursor, so ops after
+	// the trace's final load need one sentinel byte to stay in bounds.
+	sh.ldMiss = append(sh.ldMiss, 0)
 	sh.dcStats = dc.Stats()
-	if pred != nil {
-		sh.bpStats = pred.Stats()
+	for c, cls := range classes {
+		cls.accesses = commitLines + pollLines[c]
+		if bank != nil {
+			cls.bp = bank.LaneStats(c)
+		}
 	}
-	return sh, nil
+	return en, nil
+}
+
+// enrichSweepB walks the committed block stream once through a class's
+// stack-distance profiler, interleaving that class's wrong-path pollution at
+// the recorded mispredict events, and fills the class's per-level fetch/
+// wrong miss tables and stats.
+func enrichSweepB(ctx context.Context, t *emu.Trace, prof *cache.StackDist, cls *sweepClass, poll []isa.BlockID) error {
+	prog := t.Program()
+	ids := t.BlockIDs()
+	ne := len(ids)
+	levels := prof.Levels()
+	cls.fetchMiss = make([]uint8, ne*levels)
+	cls.wrongMiss = make([][]uint8, levels)
+	scratch := make([]int, levels)
+	mpOff := 0
+	for ei, id := range ids {
+		if ei&(sweepCancelChunk-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		b := prog.Blocks[id]
+		clear(scratch)
+		prof.AccessRange(b.Addr, b.Size, scratch)
+		for l, m := range scratch {
+			if m > 255 {
+				return fmt.Errorf("uarch: sweep: block spans %d missing lines, exceeds encoding", m)
+			}
+			cls.fetchMiss[l*ne+ei] = uint8(m)
+		}
+		if mpOff < len(cls.mpEv) && cls.mpEv[mpOff] == uint32(ei) {
+			kind := cls.mpKind[mpOff]
+			wb := poll[mpOff]
+			mpOff++
+			switch kind {
+			case swTrap:
+				if wb != isa.NoBlock {
+					pb := prog.Blocks[wb]
+					prof.AccessRange(pb.Addr, pb.Size, nil)
+				}
+			case swFault:
+				pb := prog.Blocks[wb]
+				clear(scratch)
+				prof.AccessRange(pb.Addr, pb.Size, scratch)
+				for l, m := range scratch {
+					if m > 255 {
+						return fmt.Errorf("uarch: sweep: block spans %d missing lines, exceeds encoding", m)
+					}
+					cls.wrongMiss[l] = append(cls.wrongMiss[l], uint8(m))
+				}
+			}
+		}
+	}
+	cls.icStats = make([]cache.Stats, levels)
+	for l := 0; l < levels; l++ {
+		cls.icStats[l] = prof.StatsAt(l)
+	}
+	return nil
+}
+
+// laneFlagState is the minority-path scheduling state — load outcomes,
+// terminator and fault times. It lives behind a pointer in a noinline helper
+// so the hot loop's live set fits the register file; inlining it back (or
+// folding these updates into per-op masked arithmetic) measurably slows the
+// sweep down.
+type laneFlagState struct {
+	ldMiss     []uint8
+	ldOff      int
+	l2         int64
+	term       int64
+	firstFault int64
+}
+
+// flagged applies a flagged op's extra scheduling: L2 latency on a missing
+// load, terminator and first-fault completion times. Shadow passes wire the
+// zeroed miss table in, so wrong-path loads assume L1 hits exactly like
+// scheduleOps.
+//
+//go:noinline
+func (fs *laneFlagState) flagged(flags uint8, done int64) int64 {
+	if flags&laneLD != 0 {
+		if fs.ldMiss[fs.ldOff] != 0 {
+			done += fs.l2
+		}
+		fs.ldOff++
+	}
+	if flags&laneTerm != 0 {
+		fs.term = done
+	}
+	if flags&laneFault != 0 && fs.firstFault == 0 {
+		fs.firstFault = done
+	}
+	return done
 }
 
 // laneSchedule is scheduleOps for a lane: identical dataflow/FU arithmetic
 // over the predecoded operation table, with dcache outcomes read from the
-// shared pass instead of a live cache. Shadow (commit=false) passes assume
-// L1 load hits, exactly like scheduleOps.
-func (s *Sim) laneSchedule(lb *laneBlock, issue int64, regReady *[isa.NumRegs]int64, commit bool) schedTimes {
-	st := schedTimes{done: issue, term: issue + 1}
+// shared pass instead of a live cache.
+func (s *Sim) laneSchedule(lb *laneBlock, issue int64, regs *laneRegs, commit bool) schedTimes {
 	// The FU ring allocation (allocFU) is inlined with the ring state held in
 	// locals: this loop runs once per operation per lane and dominates sweep
-	// time. grow is the only call that moves counts/mask; advance (which moves
+	// time. grow is the only call that moves counts; advance (which moves
 	// base) never runs mid-block.
-	r := &s.sw.ring
-	base, mask, counts := r.base, r.mask, r.counts
-	limit := uint8(s.cfg.NumFUs)
-	var ldHit []bool
-	ldOff := 0
-	if commit {
-		ldHit = s.sw.sh.ldHit
-		ldOff = s.sw.ldOff
+	r := &s.sw.scr.ring
+	base, counts := r.base, r.counts
+	if len(counts) == 0 {
+		return schedTimes{done: issue, term: issue + 1} // unreachable: newLaneRing allocates
 	}
-	l2 := int64(s.cfg.L2Latency)
+	// mask mirrors len(counts)-1 so ready&mask provably stays in bounds.
+	mask := uint64(len(counts)) - 1
+	limit := uint8(s.cfg.NumFUs)
+	fs := laneFlagState{l2: int64(s.cfg.L2Latency), term: issue + 1, ldMiss: s.sw.sh.noMiss}
+	if commit {
+		fs.ldMiss = s.sw.sh.ldMiss
+		fs.ldOff = s.sw.ldOff
+	}
+	stDone := issue
 	for _, op := range lb.ops {
-		ready := issue
-		// reads hold valid register numbers (< NumRegs) by construction; the
-		// mask only elides the bounds check. The loop is unrolled with
-		// constant indices so the reads-array accesses need no bounds checks
-		// either (nReads <= 3 is a laneOp invariant the compiler cannot see).
-		if op.nReads > 0 {
-			if rr := regReady[op.reads[0]%isa.NumRegs]; rr > ready {
-				ready = rr
-			}
-			if op.nReads > 1 {
-				if rr := regReady[op.reads[1]%isa.NumRegs]; rr > ready {
-					ready = rr
-				}
-				if op.nReads > 2 {
-					if rr := regReady[op.reads[2]%isa.NumRegs]; rr > ready {
-						ready = rr
-					}
-				}
-			}
-		}
+		// Branchless operand reads: unused slots read RegZero's slot, which
+		// is never written and so never raises ready. max compiles to
+		// conditional moves — these compares are data-dependent, so branches
+		// here would mispredict constantly.
+		ready := max(issue, regs[op&0xff], regs[(op>>8)&0xff], regs[(op>>16)&0xff])
 		// No ready < base clamp is needed here (unlike allocFU): ready starts
 		// at issue, which is at or past the fetch cycle the ring base was
 		// advanced to.
 		for {
-			if ready-base >= int64(len(counts)) {
+			if uint64(ready-base) > mask {
 				r.grow(ready)
-				mask, counts = r.mask, r.counts
+				counts = r.counts
+				if len(counts) == 0 {
+					break // unreachable: grow only enlarges
+				}
+				mask = uint64(len(counts)) - 1
 			}
-			if c := counts[ready&mask]; c < limit {
-				counts[ready&mask] = c + 1
+			if c := counts[uint64(ready)&mask]; c < limit {
+				counts[uint64(ready)&mask] = c + 1
 				break
 			}
 			ready++
 		}
-		lat := int64(op.lat)
-		done := ready + lat
-		if op.flags != 0 {
-			// Flagged ops (loads, terminators, faults) are the minority; one
-			// combined test keeps the common path down to the checks above.
-			if op.flags&laneLD != 0 && commit {
-				if !ldHit[ldOff] {
-					done += l2
-				}
-				ldOff++
-			}
-			if op.flags&laneTerm != 0 {
-				st.term = done
-			}
-			if op.flags&laneFault != 0 && st.firstFault == 0 {
-				st.firstFault = done
-			}
+		done := ready + int64(op>>48)
+		if flags := uint8(op >> 40); flags != 0 {
+			// Flagged ops (loads, terminators, faults) are the minority.
+			done = fs.flagged(flags, done)
 		}
-		if op.w1 != 0 {
-			regReady[op.w1%isa.NumRegs] = done
-		}
-		if op.w2 != 0 {
-			regReady[op.w2%isa.NumRegs] = done
-		}
-		if done > st.done {
-			st.done = done
-		}
+		// Branchless writes: ops without a destination write the sink slot,
+		// which is never read.
+		regs[(op>>24)&0xff] = done
+		regs[(op>>32)&0xff] = done
+		stDone = max(stDone, done)
 	}
 	if commit {
-		s.sw.ldOff = ldOff
+		s.sw.ldOff = fs.ldOff
 	}
-	return st
+	return schedTimes{done: stDone, term: fs.term, firstFault: fs.firstFault}
 }
 
-// sweepRecover is recover for a lane: the kind and the wrong-path icache
-// outcome come from the shared pass.
-func (s *Sim) sweepRecover(ei int, kind uint8, trapResolve, issue int64) (int64, bool) {
+// laneSchedule2 is laneSchedule for two committed lanes at once. Every lane
+// schedules the identical operation stream (the per-width tables share one op
+// arena), so fusing a pair gives the core two independent dependency chains
+// per op where the single-lane loop is bound by one serial regs
+// store-to-load chain. Results are bit-identical to two laneSchedule calls:
+// the lanes touch disjoint state except the read-only shared streams.
+func laneSchedule2(sa, sb *Sim, lb *laneBlock, issueA, issueB int64) (schedTimes, schedTimes) {
+	ra, rb := &sa.sw.scr.ring, &sb.sw.scr.ring
+	regsA, regsB := &sa.sw.scr.regs, &sb.sw.scr.regs
+	baseA, countsA := ra.base, ra.counts
+	baseB, countsB := rb.base, rb.counts
+	if len(countsA) == 0 || len(countsB) == 0 {
+		// Unreachable: newLaneRing allocates.
+		return schedTimes{done: issueA, term: issueA + 1}, schedTimes{done: issueB, term: issueB + 1}
+	}
+	maskA := uint64(len(countsA)) - 1
+	maskB := uint64(len(countsB)) - 1
+	limitA := uint8(sa.cfg.NumFUs)
+	limitB := uint8(sb.cfg.NumFUs)
+	fsA := laneFlagState{l2: int64(sa.cfg.L2Latency), term: issueA + 1, ldMiss: sa.sw.sh.ldMiss, ldOff: sa.sw.ldOff}
+	fsB := laneFlagState{l2: int64(sb.cfg.L2Latency), term: issueB + 1, ldMiss: sb.sw.sh.ldMiss, ldOff: sb.sw.ldOff}
+	stDoneA, stDoneB := issueA, issueB
+	for _, op := range lb.ops {
+		readyA := max(issueA, regsA[op&0xff], regsA[(op>>8)&0xff], regsA[(op>>16)&0xff])
+		readyB := max(issueB, regsB[op&0xff], regsB[(op>>8)&0xff], regsB[(op>>16)&0xff])
+		for {
+			if uint64(readyA-baseA) > maskA {
+				ra.grow(readyA)
+				countsA = ra.counts
+				if len(countsA) == 0 {
+					break // unreachable: grow only enlarges
+				}
+				maskA = uint64(len(countsA)) - 1
+			}
+			if c := countsA[uint64(readyA)&maskA]; c < limitA {
+				countsA[uint64(readyA)&maskA] = c + 1
+				break
+			}
+			readyA++
+		}
+		for {
+			if uint64(readyB-baseB) > maskB {
+				rb.grow(readyB)
+				countsB = rb.counts
+				if len(countsB) == 0 {
+					break // unreachable: grow only enlarges
+				}
+				maskB = uint64(len(countsB)) - 1
+			}
+			if c := countsB[uint64(readyB)&maskB]; c < limitB {
+				countsB[uint64(readyB)&maskB] = c + 1
+				break
+			}
+			readyB++
+		}
+		lat := int64(op >> 48)
+		doneA := readyA + lat
+		doneB := readyB + lat
+		if flags := uint8(op >> 40); flags != 0 {
+			doneA = fsA.flagged(flags, doneA)
+			doneB = fsB.flagged(flags, doneB)
+		}
+		regsA[(op>>24)&0xff] = doneA
+		regsA[(op>>32)&0xff] = doneA
+		regsB[(op>>24)&0xff] = doneB
+		regsB[(op>>32)&0xff] = doneB
+		stDoneA = max(stDoneA, doneA)
+		stDoneB = max(stDoneB, doneB)
+	}
+	sa.sw.ldOff = fsA.ldOff
+	sb.sw.ldOff = fsB.ldOff
+	return schedTimes{done: stDoneA, term: fsA.term, firstFault: fsA.firstFault},
+		schedTimes{done: stDoneB, term: fsB.term, firstFault: fsB.firstFault}
+}
+
+// sweepRecover is recover for a lane: the kind, the wrong-path block and the
+// shadow fetch's icache outcome all come from the lane's class streams.
+func (s *Sim) sweepRecover(kind uint8, trapResolve, issue int64) (int64, bool) {
 	sw := s.sw
 	switch kind {
 	case swMisfetch:
@@ -476,8 +754,9 @@ func (s *Sim) sweepRecover(ei int, kind uint8, trapResolve, issue int64) (int64,
 		return trapResolve, true
 	}
 	s.res.FaultMispredicts++
-	pb := &sw.lp[sw.sh.faultBlock[sw.faultOff]]
-	s.shadowRegReady = s.regReady
+	pb := &sw.lp[sw.cls.faultBlock[sw.faultOff]]
+	scr := sw.scr
+	copy(scr.shadow[:laneRegsUsed], scr.regs[:laneRegsUsed])
 	shadowIssue := issue + 1
 	if sw.wm != nil {
 		if misses := int(sw.wm[sw.faultOff]); misses > 0 {
@@ -485,7 +764,7 @@ func (s *Sim) sweepRecover(ei int, kind uint8, trapResolve, issue int64) (int64,
 		}
 	}
 	sw.faultOff++
-	shadow := s.laneSchedule(pb, shadowIssue, &s.shadowRegReady, false)
+	shadow := s.laneSchedule(pb, shadowIssue, &scr.shadow, false)
 	faultResolve := shadow.firstFault
 	if faultResolve == 0 {
 		faultResolve = shadow.done
@@ -497,10 +776,21 @@ func (s *Sim) sweepRecover(ei int, kind uint8, trapResolve, issue int64) (int64,
 }
 
 // sweepStep is OnBlock for a lane: the same window, stall, retire and
-// recovery arithmetic, with every cache/predictor outcome precomputed.
-func (s *Sim) sweepStep(lb *laneBlock, ei int) {
+// recovery arithmetic, with every cache/predictor outcome precomputed. It is
+// split into sweepPre (window/fetch) and sweepPost (retire/recovery) halves
+// so the lockstep loop can fuse the scheduling of two lanes in between.
+func (s *Sim) sweepStep(idx, ei int) {
+	lb, issue := s.sweepPre(idx, ei)
+	sched := s.laneSchedule(lb, issue, &s.sw.scr.regs, true)
+	s.sweepPost(lb, ei, issue, sched)
+}
+
+// sweepPre is the front half of sweepStep: window drain, fetch stalls, cycle
+// and FU-ring advance. It returns the lane's table entry for the block and
+// the issue time its scheduling starts from.
+func (s *Sim) sweepPre(idx, ei int) (lb *laneBlock, issue int64) {
 	sw := s.sw
-	sh := sw.sh
+	lb = &sw.lp[idx]
 
 	fetch := s.nextFetch
 	for s.winLen > 0 {
@@ -527,10 +817,15 @@ func (s *Sim) sweepStep(lb *laneBlock, ei int) {
 		}
 	}
 	s.cycle = fetch
-	sw.ring.advance(fetch)
+	sw.scr.ring.advance(fetch)
+	return lb, fetch + int64(s.cfg.FrontEndDepth)
+}
 
-	issue := fetch + int64(s.cfg.FrontEndDepth)
-	sched := s.laneSchedule(lb, issue, &s.regReady, true)
+// sweepPost is the back half of sweepStep: retire bookkeeping, window push
+// and mispredict/fault recovery for the block just scheduled.
+func (s *Sim) sweepPost(lb *laneBlock, ei int, issue int64, sched schedTimes) {
+	sw := s.sw
+	fetch := issue - int64(s.cfg.FrontEndDepth)
 	blockDone, trapResolve := sched.done, sched.term
 
 	retire := blockDone + 1
@@ -543,8 +838,15 @@ func (s *Sim) sweepStep(lb *laneBlock, ei int) {
 	s.res.Blocks++
 
 	nextFetch := fetch + lb.fetchCycles
-	if kind := sh.mpKind[ei]; kind != swNone {
-		resolve, wasFault := s.sweepRecover(ei, kind, trapResolve, issue)
+	if uint32(ei) == sw.nextMp {
+		kind := sw.cls.mpKind[sw.mpOff]
+		sw.mpOff++
+		if sw.mpOff < len(sw.cls.mpEv) {
+			sw.nextMp = sw.cls.mpEv[sw.mpOff]
+		} else {
+			sw.nextMp = sweepNoMp
+		}
+		resolve, wasFault := s.sweepRecover(kind, trapResolve, issue)
 		restart := resolve + int64(s.cfg.FrontEndDepth)
 		if wasFault {
 			restart += int64(s.cfg.FaultSquashPenalty)
@@ -558,18 +860,19 @@ func (s *Sim) sweepStep(lb *laneBlock, ei int) {
 }
 
 // sweepFinish is Finish for a lane: shared statistics are copied into the
-// per-config result. A perfect icache reports the stream's line accesses
-// with zero misses, exactly like a live perfect cache.
+// per-config result. A perfect icache reports the class's line accesses
+// (committed fetches plus that class's pollution) with zero misses, exactly
+// like a live perfect cache.
 func (s *Sim) sweepFinish() *Result {
 	s.res.Cycles = s.lastRetire
-	sh := s.sw.sh
-	if s.sw.level >= 0 {
-		s.res.ICache = sh.icStats[s.sw.level]
+	sw := s.sw
+	if sw.level >= 0 {
+		s.res.ICache = sw.cls.icStats[sw.level]
 	} else {
-		s.res.ICache = cache.Stats{Accesses: sh.icAccesses}
+		s.res.ICache = cache.Stats{Accesses: sw.cls.accesses}
 	}
-	s.res.DCache = sh.dcStats
-	s.res.Bpred = sh.bpStats
+	s.res.DCache = sw.sh.dcStats
+	s.res.Bpred = sw.cls.bp
 	return &s.res
 }
 
@@ -586,70 +889,85 @@ func normalizeSweepConfigs(cfgs []Config) []Config {
 	return norm
 }
 
-// sweepCheck validates that normalized configs are a pure icache-size sweep.
+// stripSweepAxes zeroes the swept axes of a normalized config, leaving only
+// the fields every lane must share: icache geometry (ways, line size),
+// dcache config, perfect-BP mode, and the fetch rivals.
+func stripSweepAxes(cfg Config) Config {
+	cfg.ICache.SizeBytes = 0
+	cfg.Predictor = bpred.Config{}
+	cfg.IssueWidth = 0
+	cfg.WindowBlocks = 0
+	cfg.WindowOps = 0
+	cfg.NumFUs = 0
+	cfg.FrontEndDepth = 0
+	cfg.L2Latency = 0
+	cfg.FaultSquashPenalty = 0
+	return cfg
+}
+
+// sweepCheck validates that normalized configs form a sweepable grid.
 func sweepCheck(norm []Config) error {
-	if len(norm) < 2 {
-		return fmt.Errorf("uarch: sweep: need at least 2 configurations, got %d", len(norm))
+	if len(norm) == 0 {
+		return fmt.Errorf("uarch: sweep: no configurations")
 	}
-	if norm[0].NumFUs > 255 {
-		// The lane FU scoreboard holds per-cycle byte counts.
-		return fmt.Errorf("uarch: sweep: %d functional units exceed the lane scoreboard range", norm[0].NumFUs)
-	}
-	ref := norm[0]
-	ref.ICache.SizeBytes = 0
-	nonzero := 0
+	ref := stripSweepAxes(norm[0])
 	for i, cfg := range norm {
 		if cfg.TraceCache.Enabled() || cfg.MultiBlock.Enabled() {
 			return fmt.Errorf("uarch: sweep: config %d uses a trace cache or multi-block fetch", i)
 		}
-		sz := cfg.ICache.SizeBytes
-		cfg.ICache.SizeBytes = 0
-		if cfg != ref {
-			return fmt.Errorf("uarch: sweep: config %d differs from config 0 beyond ICache.SizeBytes", i)
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("uarch: sweep: config %d: %w", i, err)
 		}
-		if sz != 0 {
-			nonzero++
-			ic := norm[i].ICache
-			if _, err := cache.New(ic); err != nil {
-				return fmt.Errorf("uarch: sweep: config %d: %w", i, err)
-			}
+		if cfg.NumFUs > 255 {
+			// The lane FU scoreboard holds per-cycle byte counts.
+			return fmt.Errorf("uarch: sweep: config %d: %d functional units exceed the lane scoreboard range", i, cfg.NumFUs)
 		}
-	}
-	if nonzero == 0 {
-		return fmt.Errorf("uarch: sweep: all configurations have a perfect icache")
+		if stripSweepAxes(cfg) != ref {
+			return fmt.Errorf("uarch: sweep: config %d differs from config 0 beyond the swept axes", i)
+		}
 	}
 	return nil
 }
 
-// CanSweepICache reports whether SweepICache accepts cfgs: at least two
-// configurations, identical except for ICache.SizeBytes (perfect allowed),
-// valid icache geometries, and no trace cache or multi-block fetch (their
-// fetch paths observe per-config timing, which breaks the shared pass).
-func CanSweepICache(cfgs []Config) bool {
-	return sweepCheck(normalizeSweepConfigs(cfgs)) == nil
+// CanSweep reports whether Sweep accepts cfgs, and if not, why. A grid is
+// sweepable when every configuration is valid, uses neither a trace cache
+// nor multi-block fetch (their fetch paths observe per-config timing, which
+// breaks the shared enrichment), fits the lane scoreboard (NumFUs ≤ 255),
+// and differs from config 0 only along the swept axes: ICache.SizeBytes
+// (perfect allowed), the Predictor tables, and the core-geometry knobs
+// (IssueWidth, WindowBlocks, WindowOps, NumFUs, FrontEndDepth, L2Latency,
+// FaultSquashPenalty). Icache ways and line size, the dcache, and perfect-BP
+// mode must be shared. Rejected grids fall back to SimulateMany, which
+// accepts anything.
+func CanSweep(cfgs []Config) (bool, string) {
+	if err := sweepCheck(normalizeSweepConfigs(cfgs)); err != nil {
+		return false, err.Error()
+	}
+	return true, ""
 }
 
-// SweepICache simulates one trace under configurations differing only in
-// ICache.SizeBytes, replaying the trace once (plus one cheap timing lane per
-// configuration) instead of once per configuration. Results are returned in
-// configuration order and are identical, field for field, to SimulateMany on
-// the same inputs. workers bounds lane concurrency as in SimulateMany.
-func SweepICache(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
-	return SweepICacheContext(context.Background(), t, cfgs, workers)
+// Sweep simulates one trace under every configuration of a multi-axis grid
+// (see CanSweep for the axes), replaying the trace once — plus one cheap
+// timing lane per configuration and one profiler walk per distinct
+// predictor — instead of once per configuration. Results are returned in
+// configuration order and are identical, field for field, to SimulateMany
+// on the same inputs. workers bounds lane concurrency as in SimulateMany.
+func Sweep(t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	return SweepContext(context.Background(), t, cfgs, workers)
 }
 
-// SweepICacheContext is SweepICache with cooperative cancellation: the
-// shared enrich replay and every lockstep timing lane check ctx between
-// trace chunks, and the call returns an error satisfying errors.Is(err,
-// ctx.Err()) with all lane workers drained once the context is done.
-func SweepICacheContext(ctx context.Context, t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
-	return SweepICachePredecoded(ctx, t, cfgs, workers, nil)
+// SweepContext is Sweep with cooperative cancellation: the shared enrichment
+// replay and every lockstep timing lane check ctx between trace chunks, and
+// the call returns an error satisfying errors.Is(err, ctx.Err()) with all
+// lane workers drained once the context is done.
+func SweepContext(ctx context.Context, t *emu.Trace, cfgs []Config, workers int) ([]*Result, error) {
+	return SweepPredecoded(ctx, t, cfgs, workers, nil)
 }
 
-// SweepICachePredecoded is SweepICacheContext reusing a prebuilt Predecode of
-// the trace's program (nil, or one built for a different program or issue
-// width, flattens fresh — results are identical either way).
-func SweepICachePredecoded(ctx context.Context, t *emu.Trace, cfgs []Config, workers int, pre *Predecoded) ([]*Result, error) {
+// SweepPredecoded is SweepContext reusing a prebuilt Predecode of the
+// trace's program (nil, or one built for a different program or issue width,
+// flattens fresh — results are identical either way).
+func SweepPredecoded(ctx context.Context, t *emu.Trace, cfgs []Config, workers int, pre *Predecoded) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -657,50 +975,145 @@ func SweepICachePredecoded(ctx context.Context, t *emu.Trace, cfgs []Config, wor
 	if err := sweepCheck(norm); err != nil {
 		return nil, err
 	}
+	base := norm[0]
+	prog := t.Program()
+
+	// Predictor classes: one Bank lane (and one pollution stream) per
+	// distinct Predictor config, in first-appearance order. Perfect
+	// prediction collapses to a single implicit class with no mispredicts.
+	classOf := make([]int, len(norm))
+	var classCfgs []bpred.Config
+	if !base.PerfectBP {
+		idx := make(map[bpred.Config]int)
+		for i, cfg := range norm {
+			c, ok := idx[cfg.Predictor]
+			if !ok {
+				c = len(classCfgs)
+				idx[cfg.Predictor] = c
+				classCfgs = append(classCfgs, cfg.Predictor)
+			}
+			classOf[i] = c
+		}
+	}
+	nClasses := len(classCfgs)
+	if nClasses == 0 {
+		nClasses = 1
+	}
+	classes := make([]*sweepClass, nClasses)
+	for c := range classes {
+		classes[c] = &sweepClass{}
+	}
+
+	en, err := enrichSweepA(ctx, t, base, classCfgs, classes)
+	if err != nil {
+		return nil, err
+	}
+	sh := en.sh
+
+	// Profile each class that has at least one real-icache lane. All
+	// profilers share one level range (the grid's min/max swept sizes), so
+	// every lane's size maps to the same level index.
 	var sizes []int
 	for _, cfg := range norm {
 		if cfg.ICache.SizeBytes != 0 {
 			sizes = append(sizes, cfg.ICache.SizeBytes)
 		}
 	}
-	sh, err := enrichSweep(ctx, t, norm[0], sizes)
-	if err != nil {
-		return nil, err
-	}
-	lp, _ := pre.tables(t.Program(), norm[0].IssueWidth)
-	ids := t.BlockIDs()
-
-	// Levels double in size starting at the smallest swept size; map each
-	// config's size to its level (validated as a legal geometry by
-	// sweepCheck, hence a power-of-two multiple of the smallest).
-	minSize := sizes[0]
-	for _, sz := range sizes[1:] {
-		if sz < minSize {
-			minSize = sz
+	levelOf := make(map[int]int)
+	if len(sizes) > 0 {
+		minSize, maxSize := sizes[0], sizes[0]
+		for _, sz := range sizes[1:] {
+			if sz < minSize {
+				minSize = sz
+			}
+			if sz > maxSize {
+				maxSize = sz
+			}
+		}
+		profiled := make([]bool, nClasses)
+		for i, cfg := range norm {
+			if cfg.ICache.SizeBytes != 0 {
+				profiled[classOf[i]] = true
+			}
+		}
+		profs := make([]*cache.StackDist, nClasses)
+		var profClasses []int
+		for c := range classes {
+			if !profiled[c] {
+				continue
+			}
+			prof, err := cache.NewStackDist(base.ICache, minSize, maxSize)
+			if err != nil {
+				return nil, fmt.Errorf("uarch: sweep: %w", err)
+			}
+			profs[c] = prof
+			sh.levels = prof.Levels()
+			profClasses = append(profClasses, c)
+		}
+		for sz, lvl := minSize, 0; lvl < sh.levels; sz, lvl = sz*2, lvl+1 {
+			levelOf[sz] = lvl
+		}
+		// Classes profile independently (each walk folds in its own
+		// pollution stream), so they fan out across workers.
+		wB := workers
+		if wB <= 0 {
+			wB = runtime.GOMAXPROCS(0)
+		}
+		if wB > len(profClasses) {
+			wB = len(profClasses)
+		}
+		err = fanOut(ctx, len(profClasses), wB, func(j int) error {
+			c := profClasses[j]
+			return enrichSweepB(ctx, t, profs[c], classes[c], en.poll[c])
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
-	levelOf := make(map[int]int)
-	for sz, lvl := minSize, 0; lvl < sh.levels; sz, lvl = sz*2, lvl+1 {
-		levelOf[sz] = lvl
+	en.poll = nil // pass B consumed the pollution streams
+
+	// Block tables: the op arena is issue-width-independent; only
+	// fetchCycles varies, so non-base widths get a cheap metadata copy over
+	// the shared arena.
+	lpBase := pre.tables(prog, base.IssueWidth)
+	lpByWidth := map[int][]laneBlock{base.IssueWidth: lpBase}
+	lpFor := func(iw int) []laneBlock {
+		lp, ok := lpByWidth[iw]
+		if !ok {
+			lp = widthTables(prog, lpBase, iw)
+			lpByWidth[iw] = lp
+		}
+		return lp
 	}
+	ids := t.BlockIDs()
+	ne := len(ids)
 
 	sims := make([]*Sim, len(norm))
 	for i, cfg := range norm {
-		lane := &sweepLane{sh: sh, lp: lp, level: -1}
+		cls := classes[classOf[i]]
+		lane := &sweepLane{
+			sh:     sh,
+			cls:    cls,
+			lp:     lpFor(cfg.IssueWidth),
+			level:  -1,
+			nextMp: sweepNoMp,
+		}
+		if len(cls.mpEv) > 0 {
+			lane.nextMp = cls.mpEv[0]
+		}
 		if cfg.ICache.SizeBytes != 0 {
 			lvl, ok := levelOf[cfg.ICache.SizeBytes]
 			if !ok {
 				return nil, fmt.Errorf("uarch: sweep: config %d: size %dB is not a profiled level", i, cfg.ICache.SizeBytes)
 			}
-			ne := len(sh.mpKind)
 			lane.level = lvl
-			lane.fm = sh.fetchMiss[lvl*ne : (lvl+1)*ne]
-			lane.wm = sh.wrongMiss[lvl]
+			lane.fm = cls.fetchMiss[lvl*ne : (lvl+1)*ne]
+			lane.wm = cls.wrongMiss[lvl]
 		}
-		lane.ring = newLaneRing()
+		lane.scr = getLaneScratch(cfg.WindowBlocks)
 		sims[i] = &Sim{
 			cfg: cfg,
-			win: make([]windowEntry, cfg.WindowBlocks+1),
+			win: lane.scr.win,
 			sw:  lane,
 		}
 	}
@@ -729,13 +1142,28 @@ func SweepICachePredecoded(ctx context.Context, t *emu.Trace, cfgs []Config, wor
 					return err
 				}
 			}
-			lb := &lp[id]
-			for _, s := range group {
-				s.sweepStep(lb, ei)
+			// Lanes are fused in pairs so each block's scheduling loop carries
+			// two independent dependency chains (see laneSchedule2); an odd
+			// trailing lane steps alone.
+			i := 0
+			for ; i+2 <= len(group); i += 2 {
+				a, b := group[i], group[i+1]
+				lbA, issueA := a.sweepPre(int(id), ei)
+				lbB, issueB := b.sweepPre(int(id), ei)
+				schedA, schedB := laneSchedule2(a, b, lbA, issueA, issueB)
+				a.sweepPost(lbA, ei, issueA, schedA)
+				b.sweepPost(lbB, ei, issueB, schedB)
+			}
+			if i < len(group) {
+				group[i].sweepStep(int(id), ei)
 			}
 		}
 		for i, s := range group {
 			results[lo+i] = s.sweepFinish()
+			scr := s.sw.scr
+			s.sw.scr = nil
+			s.win = nil
+			putLaneScratch(s.cfg.WindowBlocks, scr)
 		}
 		return nil
 	})
