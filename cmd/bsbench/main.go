@@ -6,7 +6,7 @@
 //	bsbench [-scale F] [-exp name[,name...]] [-workers N] [-json] [-v]
 //	        [-cpuprofile F] [-memprofile F]
 //
-// Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 mispredicts
+// Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 headtohead mispredicts
 // ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
 // sweepspeed segspeed predsweep xsweep predsens tracestore summary all
 // (default: the paper's tables and figures).
@@ -80,7 +80,7 @@ func main() {
 		fatal(err)
 	}
 
-	paper := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+	paper := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "headtohead"}
 	extra := []string{"mispredicts", "ablate-size", "ablate-faults", "ablate-superblock",
 		"ablate-history", "ablate-minbias", "ablate-tracecache", "ablate-ifconvert",
 		"ablate-inline", "ablate-hotlayout", "ablate-multiblock", "sweepspeed", "segspeed",
@@ -148,6 +148,8 @@ func run(h *harness.Harness, name string) (*stats.Table, error) {
 		return h.Figure6()
 	case "fig7":
 		return h.Figure7()
+	case "headtohead":
+		return h.HeadToHead()
 	case "mispredicts":
 		return h.Mispredicts()
 	case "ablate-size":
@@ -185,7 +187,7 @@ func run(h *harness.Harness, name string) (*stats.Table, error) {
 	case "summary":
 		return h.Summary()
 	default:
-		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 mispredicts ablate-* sweepspeed segspeed predsweep xsweep predsens tracestore summary)")
+		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 headtohead mispredicts ablate-* sweepspeed segspeed predsweep xsweep predsens tracestore summary)")
 	}
 }
 

@@ -7,7 +7,9 @@
 //
 //	bsc [flags] input.mc
 //
-//	-target conv|bsa    target ISA (default bsa)
+//	-target name        target ISA backend: any registered backend name or
+//	                    alias — conventional (conv), block-structured (bsa),
+//	                    basicblocker (bb), fused (mof) — default bsa
 //	-enlarge            apply block enlargement (bsa only)
 //	-max-ops N          enlargement block size cap (default 16)
 //	-max-faults N       enlargement fault cap (default 2)
@@ -22,13 +24,14 @@ import (
 	"os"
 	"strings"
 
+	"bsisa/internal/backend"
 	"bsisa/internal/compile"
 	"bsisa/internal/core"
 	"bsisa/internal/isa"
 )
 
 func main() {
-	target := flag.String("target", "bsa", "target ISA: conv or bsa")
+	target := flag.String("target", "bsa", "target ISA backend: "+backend.Describe())
 	enlarge := flag.Bool("enlarge", false, "apply block enlargement (bsa only)")
 	maxOps := flag.Int("max-ops", 16, "enlargement: max operations per atomic block")
 	maxFaults := flag.Int("max-faults", 2, "enlargement: max fault operations per block")
@@ -48,32 +51,33 @@ func main() {
 		fatal(err)
 	}
 
-	var kind isa.Kind
-	switch *target {
-	case "conv":
-		kind = isa.Conventional
-	case "bsa":
-		kind = isa.BlockStructured
-	default:
-		fatal(fmt.Errorf("unknown target %q (want conv or bsa)", *target))
+	be, err := backend.Get(*target)
+	if err != nil {
+		fatal(err)
 	}
 
-	opts := compile.Options{Kind: kind, Optimize: *optimize}
+	opts := compile.Options{Kind: be.Kind(), Optimize: *optimize}
 	prog, err := compile.Compile(string(src), input, opts)
 	if err != nil {
 		fatal(err)
 	}
 
-	if *enlarge {
-		if kind != isa.BlockStructured {
-			fatal(fmt.Errorf("-enlarge requires -target bsa"))
-		}
-		st, err := core.Enlarge(prog, core.Params{MaxOps: *maxOps, MaxFaults: *maxFaults})
+	if *enlarge && !be.AcceptsParams() {
+		fatal(fmt.Errorf("-enlarge requires -target bsa (backend %q has no parameterized shaping pass)", be.Name()))
+	}
+	// Parameterized shaping (bsa's enlarger) runs only on request, preserving
+	// bsc's historical default of unenlarged output; every other backend's
+	// shaping pass (bb's linear reshaper; a no-op for conv and fused) is part
+	// of targeting that backend and always runs.
+	if *enlarge || !be.AcceptsParams() {
+		st, err := be.Shape(prog, core.Params{MaxOps: *maxOps, MaxFaults: *maxFaults})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "bsc: enlargement: %d forks, %d merges, code %.2fx\n",
-			st.Forks, st.UncondMerges, st.CodeGrowth())
+		if st != nil {
+			fmt.Fprintf(os.Stderr, "bsc: %s shaping: %d forks, %d merges, code %.2fx\n",
+				be.Name(), st.Forks, st.UncondMerges, st.CodeGrowth())
+		}
 	}
 
 	if *asm {

@@ -134,6 +134,12 @@ func main() {
 		tres.DCache.Accesses, tres.DCache.Misses, 100*tres.DCache.MissRate())
 	fmt.Printf("fetch stalls:      %d icache, %d window, %d recovery\n",
 		tres.FetchStallICache, tres.FetchStallWindow, tres.RecoveryStall)
+	if tres.FetchStallControl > 0 {
+		fmt.Printf("serialize stalls:  %d cycles (non-speculative fetch)\n", tres.FetchStallControl)
+	}
+	if tres.FusedPairs > 0 {
+		fmt.Printf("fused macro-ops:   %d pairs\n", tres.FusedPairs)
+	}
 }
 
 // parseIntList parses one comma-separated sweep-axis flag.
@@ -193,7 +199,7 @@ func sweepGrid(prog *isa.Program, emuCfg emu.Config, sizeList, histList string, 
 		}
 	}
 	var results []*uarch.Result
-	if ok, _ := uarch.CanSweep(cfgs); ok && len(cfgs) > 1 {
+	if ok, _ := uarch.CanSweep(cfgs); ok && len(cfgs) > 1 && uarch.CanSweepKind(prog.Kind) {
 		fmt.Printf("trace:             %d blocks recorded (%d KB), fused multi-axis sweep over %d configs\n",
 			tr.NumEvents(), tr.Footprint()/1024, len(cfgs))
 		results, err = uarch.Sweep(tr, cfgs, 0)

@@ -37,7 +37,9 @@
 // server on an ephemeral port (pool shape pinned: one worker, four job
 // workers) and checks, over HTTP against the direct library path: a
 // Figure-6-style icache sweep, a predictor sweep served from the cached
-// trace, a segmented single-config replay, and a 32-way identical load that
+// trace, a segmented single-config replay, a four-way head-to-head across
+// every registered ISA backend (plus an unknown-ISA rejection carrying the
+// machine-readable error_code), and a 32-way identical load that
 // must coalesce onto one pass — then verifies cache hits, the coalesced
 // count, and segment activity on /metrics, and finally restarts against the
 // same trace store (the -store directory, or a temporary one) to prove a

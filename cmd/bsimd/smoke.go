@@ -13,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"bsisa/internal/backend"
 	"bsisa/internal/compile"
+	"bsisa/internal/core"
 	"bsisa/internal/emu"
 	"bsisa/internal/isa"
 	"bsisa/internal/svc"
@@ -77,6 +79,17 @@ func smokeXRequest(id string) *svc.SimRequest {
 			ICacheSizes: []int{8 * 1024, 32 * 1024},
 			HistoryBits: []int{4, 12},
 		},
+	}
+}
+
+// smokeBackendRequest is a single-config question targeting one ISA backend;
+// the four-way phase posts it once per registered backend.
+func smokeBackendRequest(id, isaName string) *svc.SimRequest {
+	return &svc.SimRequest{
+		Version: svc.SchemaVersion,
+		ID:      id,
+		Program: svc.ProgramSpec{Workload: "compress", Scale: smokeScale, ISA: isaName},
+		Config:  &svc.ConfigSpec{ICache: &svc.CacheSpec{SizeBytes: 32 * 1024, Ways: 4}},
 	}
 }
 
@@ -246,6 +259,56 @@ func runSmoke(cfg svc.ServerConfig, logger *slog.Logger) error {
 			segGot.Results, *segWant)
 	}
 	logger.Info("smoke: segmented replay matches sequential replay field-for-field")
+
+	// 3b. Four-way head-to-head over HTTP: every registered ISA backend must
+	// answer the same single-config question, matching the direct library
+	// pipeline (compile → shaping pass → record → replay) field-for-field.
+	for _, name := range backend.Names() {
+		got, err := postSim(base, smokeBackendRequest("smoke-isa-"+name, name))
+		if err != nil {
+			return fmt.Errorf("backend %s: %w", name, err)
+		}
+		want, err := directBackendRun(smokeBackendRequest("", name))
+		if err != nil {
+			return fmt.Errorf("backend %s direct path: %w", name, err)
+		}
+		if len(got.Results) != 1 || got.Results[0] != *want {
+			return fmt.Errorf("backend %s diverges from the direct path\nservice: %+v\ndirect:  %+v",
+				name, got.Results, *want)
+		}
+	}
+	logger.Info("smoke: every registered backend answers over HTTP, matching the direct path",
+		"backends", strings.Join(backend.Names(), ","))
+
+	// 3c. An unknown ISA must be rejected with a 400, the machine-readable
+	// bad_program code, and an error text listing the registry.
+	blob, err := json.Marshal(smokeBackendRequest("smoke-isa-bogus", "vliw"))
+	if err != nil {
+		return err
+	}
+	bogusResp, err := http.Post(base+"/v1/sim", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	bogusBody, err := io.ReadAll(bogusResp.Body)
+	bogusResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var bogus svc.SimResponse
+	if err := json.Unmarshal(bogusBody, &bogus); err != nil {
+		return fmt.Errorf("unknown-ISA response body: %v\n%s", err, bogusBody)
+	}
+	if bogusResp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("unknown ISA answered status %d, want 400", bogusResp.StatusCode)
+	}
+	if bogus.ErrorCode != "bad_program" {
+		return fmt.Errorf("unknown ISA error_code %q, want bad_program", bogus.ErrorCode)
+	}
+	if !strings.Contains(bogus.Error, "registered backends") {
+		return fmt.Errorf("unknown-ISA error does not list the registry: %q", bogus.Error)
+	}
+	logger.Info("smoke: unknown ISA rejected with bad_program and the registry listing")
 
 	// 4. Coalescing: hold the single worker busy with a slower job, then fire
 	// 32 identical requests. One leads (queued behind the occupier) and the
@@ -460,6 +523,45 @@ func directSweep(req *svc.SimRequest) ([]svc.SimResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// directBackendRun computes the sequential-engine answer for one backend's
+// single-config request — compile for the backend's kind, run its shaping
+// pass, record, replay — the same pipeline the service runs per ISA.
+func directBackendRun(req *svc.SimRequest) (*svc.SimResult, error) {
+	plan, err := svc.BuildConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	be, err := backend.Get(req.Program.ISA)
+	if err != nil {
+		return nil, err
+	}
+	prof, ok := workload.ProfileByName("compress", smokeScale)
+	if !ok {
+		return nil, fmt.Errorf("no compress profile")
+	}
+	src, err := workload.Source(prof)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compile.Compile(src, "compress", compile.DefaultOptions(be.Kind()))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := be.Shape(prog, core.Params{}); err != nil {
+		return nil, err
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		return nil, err
+	}
+	r, err := uarch.ReplayTrace(tr, plan.Configs[0])
+	if err != nil {
+		return nil, err
+	}
+	out := svc.ResultOf(plan.ICacheBytes[0], r)
+	return &out, nil
 }
 
 // directReplay computes the sequential-engine answer for a single-config

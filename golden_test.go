@@ -9,9 +9,9 @@ import (
 	"bsisa/internal/stats"
 )
 
-// TestGoldenFigures regenerates the Figure 3, 6 and 7 tables at the
-// reference scale and asserts they are byte-identical to the recorded run in
-// bench_results.txt. Any change to the predictors, the enlarger or the
+// TestGoldenFigures regenerates the Figure 3, 6 and 7 tables and the
+// four-way backend head-to-head at the reference scale and asserts they are
+// byte-identical to the recorded run in bench_results.txt. Any change to the predictors, the enlarger or the
 // timing model that shifts a recorded number must re-record the file and
 // explain the delta in EXPERIMENTS.md — this test is what makes a silent
 // shift impossible.
@@ -38,6 +38,7 @@ func TestGoldenFigures(t *testing.T) {
 		{"Figure 3", h.Figure3},
 		{"Figure 6", h.Figure6},
 		{"Figure 7", h.Figure7},
+		{"Head-to-head", h.HeadToHead},
 	}
 	for _, fig := range figures {
 		tbl, err := fig.gen()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"bsisa/internal/backend"
 	"bsisa/internal/compile"
 	"bsisa/internal/core"
 	"bsisa/internal/emu"
@@ -45,11 +46,16 @@ type Report struct {
 	Name        string
 	Divergences []Divergence
 
-	// Conv and BSA are the functional results of the two executables (nil
-	// if the corresponding stage never ran).
+	// Conv and BSA are the functional results of the two original
+	// executables (nil if the corresponding stage never ran).
 	Conv, BSA *emu.Result
+	// Results holds every backend's functional result keyed by short tag
+	// (conv, bsa, bb, fused); Conv and BSA alias two of its entries.
+	Results map[string]*emu.Result
 	// EnlargeStats reports what the enlargement pass did.
 	EnlargeStats *core.Stats
+	// ReshapeStats reports what the BasicBlocker reshape pass did.
+	ReshapeStats *core.Stats
 }
 
 // Failed reports whether any stage diverged.
@@ -72,105 +78,127 @@ func (r *Report) failf(stage, format string, args ...any) {
 	r.Divergences = append(r.Divergences, Divergence{Stage: stage, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Differential compiles one MiniC source for both ISAs and cross-checks
-// every execution path the repo has:
+// diffTag is the short stage-name tag for a backend. The historical conv/bsa
+// stage names are load-bearing — cmd/bsfuzz classifies divergences by stage
+// prefix.
+func diffTag(be backend.Backend) string { return backend.Tag(be) }
+
+// Differential compiles one MiniC source for every registered backend and
+// cross-checks every execution path the repo has:
 //
-//  1. conventional compile → emulate (recording a trace);
-//  2. block-structured compile → enlarge → structural + provenance
+//  1. per backend: compile → shaping pass (the enlarger for bsa, the linear
+//     reshaper for bb, nothing for conv/fused) → structural + provenance
 //     invariants → emulate (recording a trace);
-//  3. the two ISAs' architectural results (out() stream, main's return
-//     value) must be identical;
-//  4. for each ISA, the timing model must retire the same cycle/op/block
-//     counts whether driven online by the emulator or by replaying the
-//     recorded trace, with window-occupancy invariants monitored throughout.
+//  2. every backend's architectural results (out() stream, main's return
+//     value) must match the conventional reference — four executables, one
+//     behavior;
+//  3. for each backend, the timing model must retire the same
+//     cycle/op/block counts whether driven online by the emulator or by
+//     replaying the recorded trace, with window-occupancy invariants
+//     monitored throughout.
 //
 // All failures are reported as divergences on the Report; the run never
 // panics on malformed generated programs.
 func Differential(src string, cfg DiffConfig) *Report {
-	rep := &Report{Name: cfg.Name}
+	rep := &Report{Name: cfg.Name, Results: map[string]*emu.Result{}}
 	if rep.Name == "" {
 		rep.Name = "program"
 	}
 	emuCfg := emu.Config{MaxOps: cfg.EmuBudget}
-
-	conv, err := compile.Compile(src, rep.Name, compile.DefaultOptions(isa.Conventional))
-	if err != nil {
-		rep.failf("compile-conv", "%v", err)
-		return rep
-	}
-	bsa, err := compile.Compile(src, rep.Name, compile.DefaultOptions(isa.BlockStructured))
-	if err != nil {
-		rep.failf("compile-bsa", "%v", err)
-		return rep
-	}
 	lim := ParamLimits(cfg.Params)
 	if cfg.Limits != nil {
 		lim = *cfg.Limits
 	}
-	if err := Program(conv, lim); err != nil {
-		rep.failf("invariant-conv", "%v", err)
-	}
-	if err := Program(bsa, lim); err != nil {
-		rep.failf("invariant-bsa-base", "%v", err)
-	}
 
-	params := cfg.Params
-	if params.Static && params.Profile == nil {
-		prof, err := traceProfile(bsa, emuCfg)
+	for _, be := range backend.All() {
+		tag := diffTag(be)
+		prog, err := compile.Compile(src, rep.Name, compile.DefaultOptions(be.Kind()))
 		if err != nil {
-			rep.failf("profile-bsa", "%v", err)
+			rep.failf("compile-"+tag, "%v", err)
 			return rep
 		}
-		params.Profile = prof
-	}
-	stats, err := core.Enlarge(bsa, params)
-	if err != nil {
-		rep.failf("enlarge", "%v", err)
-		return rep
-	}
-	rep.EnlargeStats = stats
-	if err := Program(bsa, lim); err != nil {
-		rep.failf("invariant-bsa", "%v", err)
-	}
-	if err := Enlargement(bsa, stats.Provenance, lim); err != nil {
-		rep.failf("provenance", "%v", err)
-	}
-	bsa.Layout()
+		if err := Program(prog, lim); err != nil {
+			stage := "invariant-" + tag
+			if be.Kind() == isa.BlockStructured {
+				stage += "-base" // pre-enlargement audit keeps its old name
+			}
+			rep.failf(stage, "%v", err)
+		}
 
-	convTrace, err := emu.Record(conv, emuCfg)
-	if err != nil {
-		rep.failf("emu-conv", "%v", err)
-		return rep
-	}
-	rep.Conv = convTrace.EmuResult()
-	bsaTrace, err := emu.Record(bsa, emuCfg)
-	if err != nil {
-		rep.failf("emu-bsa", "%v", err)
-		return rep
-	}
-	rep.BSA = bsaTrace.EmuResult()
+		switch be.Kind() {
+		case isa.BlockStructured:
+			params := cfg.Params
+			if params.Static && params.Profile == nil {
+				prof, err := traceProfile(prog, emuCfg)
+				if err != nil {
+					rep.failf("profile-bsa", "%v", err)
+					return rep
+				}
+				params.Profile = prof
+			}
+			stats, err := be.Shape(prog, params)
+			if err != nil {
+				rep.failf("enlarge", "%v", err)
+				return rep
+			}
+			rep.EnlargeStats = stats
+			if err := Program(prog, lim); err != nil {
+				rep.failf("invariant-bsa", "%v", err)
+			}
+			if err := Enlargement(prog, stats.Provenance, lim); err != nil {
+				rep.failf("provenance", "%v", err)
+			}
+			prog.Layout()
+		case isa.BasicBlocker:
+			stats, err := be.Shape(prog, core.Params{MaxOps: lim.MaxOps})
+			if err != nil {
+				rep.failf("reshape", "%v", err)
+				return rep
+			}
+			rep.ReshapeStats = stats
+			if err := Reshape(prog, stats.Provenance, lim); err != nil {
+				rep.failf("provenance-bb", "%v", err)
+			}
+			prog.Layout()
+		}
 
-	compareOutputs(rep, rep.Conv, rep.BSA)
+		trace, err := emu.Record(prog, emuCfg)
+		if err != nil {
+			rep.failf("emu-"+tag, "%v", err)
+			return rep
+		}
+		res := trace.EmuResult()
+		rep.Results[tag] = res
+		switch be.Kind() {
+		case isa.Conventional:
+			rep.Conv = res
+		case isa.BlockStructured:
+			rep.BSA = res
+		}
 
-	if !cfg.SkipTiming {
-		crossCheckTiming(rep, "conv", conv, convTrace, cfg.Uarch, emuCfg)
-		crossCheckTiming(rep, "bsa", bsa, bsaTrace, cfg.Uarch, emuCfg)
+		if rep.Conv != nil && res != rep.Conv {
+			compareOutputs(rep, tag, rep.Conv, res)
+		}
+		if !cfg.SkipTiming {
+			crossCheckTiming(rep, tag, prog, trace, cfg.Uarch, emuCfg)
+		}
 	}
 	return rep
 }
 
-// compareOutputs asserts the two ISAs computed the same thing.
-func compareOutputs(rep *Report, conv, bsa *emu.Result) {
-	if conv.ReturnValue != bsa.ReturnValue {
-		rep.failf("output", "return value: conv %d, bsa %d", conv.ReturnValue, bsa.ReturnValue)
+// compareOutputs asserts a backend computed the same thing as the
+// conventional reference.
+func compareOutputs(rep *Report, tag string, conv, got *emu.Result) {
+	if conv.ReturnValue != got.ReturnValue {
+		rep.failf("output", "return value: conv %d, %s %d", conv.ReturnValue, tag, got.ReturnValue)
 	}
-	if len(conv.Output) != len(bsa.Output) {
-		rep.failf("output", "out() count: conv %d, bsa %d", len(conv.Output), len(bsa.Output))
+	if len(conv.Output) != len(got.Output) {
+		rep.failf("output", "out() count: conv %d, %s %d", len(conv.Output), tag, len(got.Output))
 		return
 	}
 	for i := range conv.Output {
-		if conv.Output[i] != bsa.Output[i] {
-			rep.failf("output", "out()[%d]: conv %d, bsa %d", i, conv.Output[i], bsa.Output[i])
+		if conv.Output[i] != got.Output[i] {
+			rep.failf("output", "out()[%d]: conv %d, %s %d", i, conv.Output[i], tag, got.Output[i])
 			return
 		}
 	}

@@ -1,0 +1,64 @@
+package check
+
+import (
+	"fmt"
+
+	"bsisa/internal/core"
+	"bsisa/internal/isa"
+)
+
+// Reshape audits the BasicBlocker linear-reshape pass's provenance trail. As
+// with Enlargement it re-derives the pass's contract from its history rather
+// than trusting the merge predicate:
+//
+//   - every merge happened across an unconditional edge of the original CFG
+//     (consecutive chain entries must be recorded in UncondEdges);
+//   - no original block was absorbed twice, within or across chains — linear
+//     reshaping moves blocks, it never duplicates them;
+//   - library blocks were never combined with anything;
+//   - a block that absorbed others respects the ops cap (untouched blocks may
+//     exceed it — the pass only refuses to grow them further).
+//
+// Call it with the Provenance published by core.ReshapeLinear.
+func Reshape(p *isa.Program, prov *core.Provenance, lim Limits) error {
+	if p.Kind != isa.BasicBlocker {
+		return fmt.Errorf("check: reshape audit requires a basicblocker program, got %s", p.Kind)
+	}
+	if prov == nil || prov.UncondEdges == nil {
+		return fmt.Errorf("check: reshape stats carry no provenance")
+	}
+	absorbed := map[isa.BlockID]isa.BlockID{}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		chain := prov.Chains[b.ID]
+		if len(chain) == 0 {
+			return fmt.Errorf("check: B%d has no provenance chain", b.ID)
+		}
+		for _, orig := range chain {
+			if prev, dup := absorbed[orig]; dup {
+				return fmt.Errorf("check: original B%d absorbed by both B%d and B%d (reshape duplicated a block)",
+					orig, prev, b.ID)
+			}
+			absorbed[orig] = b.ID
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			if !prov.UncondEdges[[2]isa.BlockID{chain[i], chain[i+1]}] {
+				return fmt.Errorf("check: B%d merged B%d->B%d which is not an unconditional edge of the original CFG",
+					b.ID, chain[i], chain[i+1])
+			}
+		}
+		if len(chain) > 1 {
+			for _, orig := range chain {
+				if prov.Library[orig] {
+					return fmt.Errorf("check: B%d combined library block B%d", b.ID, orig)
+				}
+			}
+			if len(b.Ops) > lim.MaxOps {
+				return fmt.Errorf("check: merged block B%d has %d ops, cap is %d", b.ID, len(b.Ops), lim.MaxOps)
+			}
+		}
+	}
+	return nil
+}

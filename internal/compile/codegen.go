@@ -314,7 +314,10 @@ func (g *generator) genBlock(b *ir.Block) error {
 	switch t.Op {
 	case ir.Jmp:
 		target := g.blockMap[b.Succs[0]]
-		if g.kind == isa.Conventional {
+		if g.kind.HeaderBytes() == 0 {
+			// Header-carrying kinds (block-structured, basicblocker) encode
+			// the successor in the block header; header-less kinds need the
+			// explicit jump operation.
 			g.emit(isa.Op{Opcode: isa.JMP, Target: target})
 		}
 		g.cur.Succs = []isa.BlockID{target}

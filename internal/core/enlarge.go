@@ -133,6 +133,11 @@ type Provenance struct {
 	// Library marks original block IDs that belonged to library code
 	// (rule 5: these may never be combined).
 	Library map[isa.BlockID]bool
+	// UncondEdges holds the unconditional intra-function edges of the
+	// original CFG (keyed [from, to] in original block IDs). The
+	// BasicBlocker reshape pass records it so internal/check can verify
+	// every merge happened across such an edge; the enlarger leaves it nil.
+	UncondEdges map[[2]isa.BlockID]bool
 }
 
 // CodeGrowth returns static code expansion (bytes after / bytes before).

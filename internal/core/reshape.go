@@ -1,0 +1,168 @@
+// BasicBlocker block reshaping: the compile-side shaping pass of the
+// basicblocker backend (Thoma et al., "ISA Redesign to Make Spectre-Immune
+// CPUs Faster"). Where the paper's enlarger grows atomic blocks by forking
+// conditional variants, BasicBlocker keeps conventional semantics and only
+// straightens linear chains: a block that unconditionally transfers (jmp or
+// fall-through) to a block with no other way in is merged with it, dropping
+// the jmp and one block-length header. Bigger blocks behind one header mean
+// fewer fetch serialization points — the backend's front end never
+// speculates, so every block boundary whose transfer resolves at execute is
+// a stall.
+package core
+
+import (
+	"fmt"
+
+	"bsisa/internal/isa"
+)
+
+// ReshapeLinear merges linear chains of a basicblocker program in place.
+// maxOps caps the merged block's operation count (0 = 16, the machine's
+// issue width, so merged blocks still fetch in one cycle); blocks already
+// longer than the cap are left alone but never grown. The program is laid
+// out and validated before returning. The returned Stats reuse the
+// enlarger's fields: UncondMerges counts merges, Provenance carries the
+// chain trail (with UncondEdges set) for internal/check.Reshape.
+func ReshapeLinear(p *isa.Program, maxOps int) (*Stats, error) {
+	if p.Kind != isa.BasicBlocker {
+		return nil, fmt.Errorf("core: linear reshaping requires a basicblocker program, got %s", p.Kind)
+	}
+	if maxOps <= 0 {
+		maxOps = 16
+	}
+	p.Layout()
+	st := &Stats{OpsBefore: p.StaticOps(), BytesBefore: p.CodeBytes()}
+
+	// Pinned blocks can be reached by means other than a predecessor's
+	// successor list, so merging them away would dangle a reference:
+	// function entries (call targets), call continuations (return targets),
+	// and jump-table targets (block IDs in rodata).
+	pinned := map[isa.BlockID]bool{}
+	library := map[isa.BlockID]bool{}
+	for _, f := range p.Funcs {
+		pinned[f.Entry] = true
+	}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		if t := b.Terminator(); t != nil && t.Opcode == isa.CALL {
+			pinned[b.Cont] = true
+		}
+		if p.Funcs[b.Func].Library {
+			library[b.ID] = true
+		}
+	}
+	for _, w := range p.Rodata {
+		if bb := p.Block(isa.BlockID(w)); bb != nil {
+			pinned[bb.ID] = true
+		}
+	}
+
+	// Predecessor counts over successor lists: a merge candidate must have
+	// exactly one way in (its unconditional predecessor).
+	npreds := map[isa.BlockID]int{}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		seen := map[isa.BlockID]bool{}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				npreds[s]++
+			}
+		}
+	}
+
+	// Provenance: the original unconditional edges (for the audit) and the
+	// chain each surviving block absorbed.
+	prov := &Provenance{
+		Chains:      map[isa.BlockID][]isa.BlockID{},
+		Library:     library,
+		UncondEdges: map[[2]isa.BlockID]bool{},
+	}
+	chain := map[isa.BlockID][]isa.BlockID{}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		chain[b.ID] = []isa.BlockID{b.ID}
+		if u, ok := uncondSucc(b); ok {
+			prov.UncondEdges[[2]isa.BlockID{b.ID, u}] = true
+		}
+	}
+
+	// Straighten chains: each block keeps absorbing its unique-predecessor
+	// unconditional successor until the cap, a pin, or real control flow
+	// stops it. Processing in ID order with re-checks after every merge
+	// collapses whole chains onto their heads in one walk.
+	for _, b := range p.Blocks {
+		if b == nil || library[b.ID] {
+			continue
+		}
+		for {
+			sid, ok := uncondSucc(b)
+			if !ok {
+				break
+			}
+			s := p.Block(sid)
+			if s == nil || sid == b.ID || s.Func != b.Func ||
+				pinned[sid] || library[sid] || npreds[sid] != 1 {
+				break
+			}
+			merged := len(b.Ops) + len(s.Ops)
+			if t := b.Terminator(); t != nil {
+				merged-- // the jmp disappears
+			}
+			if merged > maxOps {
+				break
+			}
+			mergeLinear(b, s)
+			chain[b.ID] = append(chain[b.ID], chain[sid]...)
+			delete(chain, sid)
+			p.Blocks[sid] = nil
+			st.UncondMerges++
+			st.BlocksRemoved++
+		}
+	}
+
+	for id, c := range chain {
+		prov.Chains[id] = c
+	}
+	st.Provenance = prov
+	p.Layout()
+	st.OpsAfter = p.StaticOps()
+	st.BytesAfter = p.CodeBytes()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: reshaping produced invalid program: %w", err)
+	}
+	return st, nil
+}
+
+// uncondSucc returns b's sole successor when control transfers to it
+// unconditionally (jmp terminator or fall-through) — the only edges linear
+// reshaping may merge across.
+func uncondSucc(b *isa.Block) (isa.BlockID, bool) {
+	if len(b.Succs) != 1 {
+		return isa.NoBlock, false
+	}
+	t := b.Terminator()
+	if t != nil && t.Opcode != isa.JMP {
+		return isa.NoBlock, false
+	}
+	return b.Succs[0], true
+}
+
+// mergeLinear appends s's operations to b, dropping b's jmp terminator, and
+// adopts s's outgoing control flow.
+func mergeLinear(b, s *isa.Block) {
+	if t := b.Terminator(); t != nil {
+		b.Ops = b.Ops[:len(b.Ops)-1]
+	}
+	b.Ops = append(b.Ops, s.Ops...)
+	b.Succs = append(b.Succs[:0], s.Succs...)
+	b.TakenCount = s.TakenCount
+	b.HistBits = s.HistBits
+	b.Cont = s.Cont
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"bsisa/internal/compile"
+	"bsisa/internal/isa"
+)
+
+// compileBB compiles MiniC to a basicblocker program. Optimization is off:
+// the optimizing middle end already emits maximal basic blocks, and these
+// tests need linear chains left over for the reshaper to merge.
+func compileBB(t *testing.T, src string, optimize bool) *isa.Program {
+	t.Helper()
+	p, err := compile.Compile(src, "t", compile.Options{Kind: isa.BasicBlocker, Optimize: optimize})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// checkReshapePreservesSemantics runs src before and after ReshapeLinear and
+// requires identical output, returning the reshaped program and stats.
+func checkReshapePreservesSemantics(t *testing.T, src string, maxOps int) (*isa.Program, *Stats) {
+	t.Helper()
+	p := compileBB(t, src, false)
+	before := runProg(t, p)
+	stats, err := ReshapeLinear(p, maxOps)
+	if err != nil {
+		t.Fatalf("reshape: %v", err)
+	}
+	after := runProg(t, p)
+	if len(before.Output) != len(after.Output) {
+		t.Fatalf("output length changed: %d -> %d", len(before.Output), len(after.Output))
+	}
+	for i := range before.Output {
+		if before.Output[i] != after.Output[i] {
+			t.Fatalf("output[%d] changed: %d -> %d", i, before.Output[i], after.Output[i])
+		}
+	}
+	if before.ReturnValue != after.ReturnValue {
+		t.Fatalf("return value changed: %d -> %d", before.ReturnValue, after.ReturnValue)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("reshaped program invalid: %v", err)
+	}
+	return p, stats
+}
+
+func TestReshapeMergesLinearChains(t *testing.T) {
+	p, stats := checkReshapePreservesSemantics(t, branchy, 0)
+	if stats.UncondMerges == 0 {
+		t.Fatal("unoptimized branchy code left no linear chains to merge")
+	}
+	if stats.BlocksRemoved != stats.UncondMerges {
+		t.Errorf("removed %d blocks for %d merges; linear merging removes exactly one per merge",
+			stats.BlocksRemoved, stats.UncondMerges)
+	}
+	// Provenance must cover every live block and record the merged edges.
+	if stats.Provenance == nil || stats.Provenance.UncondEdges == nil {
+		t.Fatal("reshape published no provenance")
+	}
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		if len(stats.Provenance.Chains[b.ID]) == 0 {
+			t.Errorf("B%d has no provenance chain", b.ID)
+		}
+	}
+}
+
+func TestReshapeRespectsMaxOps(t *testing.T) {
+	const cap = 4
+	p, stats := checkReshapePreservesSemantics(t, branchy, cap)
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		if len(stats.Provenance.Chains[b.ID]) > 1 && len(b.Ops) > cap {
+			t.Errorf("merged block B%d has %d ops, cap is %d", b.ID, len(b.Ops), cap)
+		}
+	}
+}
+
+func TestReshapeIdempotentOnMaximalBlocks(t *testing.T) {
+	// The optimizing middle end already merges linear chains, so reshape on
+	// optimized output must be a no-op — bb's structure then differs from the
+	// conventional ISA only by the block-length header.
+	p := compileBB(t, branchy, true)
+	blocks := p.NumLiveBlocks()
+	stats, err := ReshapeLinear(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UncondMerges != 0 || p.NumLiveBlocks() != blocks {
+		t.Errorf("reshape on optimized code merged %d chains (%d -> %d blocks), want none",
+			stats.UncondMerges, blocks, p.NumLiveBlocks())
+	}
+}
+
+func TestReshapeDropsJumpOnMerge(t *testing.T) {
+	// Merging across an explicit JMP edge must delete the jump operation:
+	// after the merge the successor is sequential within the block.
+	p, _ := checkReshapePreservesSemantics(t, branchy, 0)
+	for _, b := range p.Blocks {
+		if b == nil {
+			continue
+		}
+		for i, op := range b.Ops {
+			if op.Opcode == isa.JMP && i != len(b.Ops)-1 {
+				t.Errorf("B%d keeps an interior JMP at %d after merging", b.ID, i)
+			}
+		}
+	}
+}
+
+func TestReshapeRejectsWrongKind(t *testing.T) {
+	p, err := compile.Compile(branchy, "t", compile.Options{Kind: isa.Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReshapeLinear(p, 0); err == nil {
+		t.Fatal("reshape accepted a conventional program")
+	}
+}

@@ -200,7 +200,7 @@ func (e *Emulator) execBlock(start *isa.Block, ev *BlockEvent) (*isa.Block, isa.
 // (next, NoBlock, nil) on commit or (NoBlock, faultTarget, nil) if a fault
 // fired.
 func (e *Emulator) tryBlock(b *isa.Block, ev *BlockEvent) (isa.BlockID, isa.BlockID, error) {
-	atomic := e.prog.Kind == isa.BlockStructured
+	atomic := e.prog.Kind.Atomic()
 	regs := &e.regs
 	if atomic {
 		e.stRegs = e.regs

@@ -113,8 +113,11 @@ func parseProgramHeader(line string, p *Program) error {
 			p.Name = line[i+1 : i+1+j]
 		}
 	}
-	if strings.Contains(line, "isa=block-structured") {
-		p.Kind = BlockStructured
+	for k := Kind(1); k < NumKinds; k++ {
+		if strings.Contains(line, "isa="+k.String()) {
+			p.Kind = k
+			break
+		}
 	}
 	if i := strings.Index(line, "globals="); i >= 0 {
 		fields := strings.Fields(line[i:])

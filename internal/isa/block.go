@@ -141,35 +141,70 @@ func (b *Block) RecomputeHistBits() {
 }
 
 // EncodedSize returns the block's encoded size in bytes for the given ISA
-// kind: atomic blocks pay a header, conventional basic blocks are raw code.
+// kind: kinds with a block header (the block-structured ISA's descriptor,
+// BasicBlocker's block-length header) pay it per block, conventional basic
+// blocks are raw code.
 func (b *Block) EncodedSize(kind Kind) uint32 {
-	sz := uint32(len(b.Ops)) * OpBytes
-	if kind == BlockStructured {
-		sz += HeaderBytes
-	}
-	return sz
+	return uint32(len(b.Ops))*OpBytes + kind.HeaderBytes()
 }
 
 func (b *Block) String() string {
 	return fmt.Sprintf("B%d(%d ops, %d succs)", b.ID, len(b.Ops), len(b.Succs))
 }
 
-// Kind distinguishes the two ISAs.
+// Kind distinguishes the ISA backends a program can be compiled for. The
+// fetch policy, shaping pass and provenance audit each kind implies live in
+// internal/backend; this package only encodes the structural rules (which
+// opcodes are legal, whether blocks pay an encoded header).
 type Kind uint8
 
 const (
 	// Conventional is the baseline load/store ISA.
 	Conventional Kind = iota
-	// BlockStructured is the block-structured ISA.
+	// BlockStructured is the paper's block-structured ISA: atomic blocks
+	// with TRAP terminators, FAULT operations and enlarged variant sets.
 	BlockStructured
+	// BasicBlocker keeps conventional semantics but encodes each basic
+	// block behind a block-length header so fetch knows the block extent up
+	// front; fetch proceeds without speculation inside a block and control
+	// transfers resolve at block boundaries (Thoma et al.).
+	BasicBlocker
+	// MacroFused is the conventional ISA with a decode-time macro-op fusion
+	// pass: adjacent dependent pairs issue as one internal operation
+	// (Celio et al.), reducing effective window/FU pressure.
+	MacroFused
 )
 
+// NumKinds bounds the Kind enum; Decode rejects container bytes at or above
+// it.
+const NumKinds = 4
+
 func (k Kind) String() string {
-	if k == BlockStructured {
+	switch k {
+	case BlockStructured:
 		return "block-structured"
+	case BasicBlocker:
+		return "basicblocker"
+	case MacroFused:
+		return "fused"
 	}
 	return "conventional"
 }
+
+// HeaderBytes returns the per-block encoded header size for the kind: the
+// block-structured ISA's block descriptor and BasicBlocker's block-length
+// header both cost HeaderBytes; the conventional and fused ISAs encode raw
+// code.
+func (k Kind) HeaderBytes() uint32 {
+	if k == BlockStructured || k == BasicBlocker {
+		return HeaderBytes
+	}
+	return 0
+}
+
+// Atomic reports whether blocks of this kind commit all-or-nothing (the
+// emulator stages registers, stores and output until the block completes).
+func (k Kind) Atomic() bool { return k == BlockStructured }
 
 // Func is a program function.
 type Func struct {
@@ -354,14 +389,15 @@ func (p *Program) validateBlock(b *Block) error {
 	if b.HistBits != want {
 		return fmt.Errorf("isa: B%d HistBits %d, want %d for %d successors", b.ID, b.HistBits, want, len(b.Succs))
 	}
-	// Faults may not appear in conventional programs; traps may not appear
-	// either.
+	// Faults and traps exist only in the block-structured ISA; every other
+	// kind (conventional, basicblocker, fused) branches with BR, which the
+	// block-structured ISA in turn bans.
 	for i := range b.Ops {
 		op := &b.Ops[i]
 		switch op.Opcode {
 		case FAULT, TRAP:
-			if p.Kind == Conventional {
-				return fmt.Errorf("isa: B%d has %s in conventional program", b.ID, op.Opcode)
+			if p.Kind != BlockStructured {
+				return fmt.Errorf("isa: B%d has %s in %s program", b.ID, op.Opcode, p.Kind)
 			}
 		case BR:
 			if p.Kind == BlockStructured {

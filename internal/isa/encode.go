@@ -236,6 +236,9 @@ func Decode(data []byte) (*Program, error) {
 	}
 	p := &Program{}
 	p.Kind = Kind(r.u8())
+	if p.Kind >= NumKinds {
+		return nil, fmt.Errorf("isa: unknown program kind %d", p.Kind)
+	}
 	p.Name = r.str()
 	p.EntryFunc = FuncID(r.u32())
 	p.GlobalWords = int32(r.u32())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bsisa/internal/backend"
 	"bsisa/internal/bpred"
 	"bsisa/internal/cache"
 	"bsisa/internal/core"
@@ -44,10 +45,11 @@ type Plan struct {
 	Timeout time.Duration
 }
 
-// Kind returns the plan's target ISA.
+// Kind returns the plan's target ISA kind via the backend registry (the
+// plan's ISA is already the canonical backend name).
 func (p *Plan) Kind() isa.Kind {
-	if p.Program.ISA == isaBlockStructured {
-		return isa.BlockStructured
+	if be, err := backend.Get(p.Program.ISA); err == nil {
+		return be.Kind()
 	}
 	return isa.Conventional
 }
@@ -62,7 +64,9 @@ func (p *Plan) EnlargeParams() core.Params {
 	return core.Params{MaxOps: e.MaxOps, MaxFaults: e.MaxFaults, MaxSuccs: e.MaxSuccs}
 }
 
-// Canonical ISA names (aliases "conv" and "bsa" normalize to these).
+// Canonical names of the two original ISAs, kept for tests and call sites
+// that predate the backend registry (normalizeProgram resolves every
+// registered name and alias through backend.Get).
 const (
 	isaConventional    = "conventional"
 	isaBlockStructured = "block-structured"
@@ -222,72 +226,27 @@ func buildSweep(plan *Plan, sw *SweepSpec) error {
 	return nil
 }
 
-// buildPredSweep expands a PredSweepSpec into the plan's configuration grid:
-// the cross product of the swept predictor axes over the shared base
-// machine, in axis-major order (history outermost, then PHT entries, then
-// BTB sets). Every point must validate as a machine configuration; a perfect
-// branch predictor in the base is rejected since it would make every point
-// identical.
+// buildPredSweep accepts the deprecated PredSweepSpec by normalizing it onto
+// the unified sweep path: a predictor sweep is exactly a SweepSpec with no
+// icache axis, so the spec is re-expressed as one and handed to buildSweep.
+// Only the response flavor differs — the plan is flagged PredSweep, not
+// Sweep, so the rendered table keeps its historical predictor-sweep shape.
+// Responses are field-for-field identical to the pre-fold dedicated
+// expansion (the compat test in config_test.go pins this).
 func buildPredSweep(plan *Plan, ps *PredSweepSpec) error {
 	if len(ps.HistoryBits) == 0 && len(ps.PHTEntries) == 0 && len(ps.BTBSets) == 0 {
 		return fmt.Errorf("%w: predictor sweep sets no axis", ErrBadSweep)
 	}
-	base := ConfigSpec{}
-	if ps.Base != nil {
-		base = *ps.Base
+	sw := &SweepSpec{
+		HistoryBits: ps.HistoryBits,
+		PHTEntries:  ps.PHTEntries,
+		BTBSets:     ps.BTBSets,
+		Base:        ps.Base,
 	}
-	if base.PerfectBP {
-		return fmt.Errorf("%w: perfect_bp in the base makes every predictor point identical", ErrBadSweep)
+	if err := buildSweep(plan, sw); err != nil {
+		return err
 	}
-	for _, ax := range []struct {
-		name string
-		vals []int
-	}{{"history_bits", ps.HistoryBits}, {"pht_entries", ps.PHTEntries}, {"btb_sets", ps.BTBSets}} {
-		for _, v := range ax.vals {
-			if v < 0 {
-				return fmt.Errorf("%w: negative %s %d", ErrBadSweep, ax.name, v)
-			}
-		}
-	}
-	basePred := PredictorSpec{}
-	if base.Predictor != nil {
-		basePred = *base.Predictor
-	}
-	// An unset axis contributes the base value as its single point; the
-	// sentinel -1 marks "keep base" so an explicit 0 (the paper's default)
-	// stays distinguishable.
-	axis := func(vals []int) []int {
-		if len(vals) == 0 {
-			return []int{-1}
-		}
-		return vals
-	}
-	for _, hist := range axis(ps.HistoryBits) {
-		for _, pht := range axis(ps.PHTEntries) {
-			for _, btb := range axis(ps.BTBSets) {
-				pred := basePred
-				if hist >= 0 {
-					pred.HistoryBits = hist
-				}
-				if pht >= 0 {
-					pred.PHTEntries = pht
-				}
-				if btb >= 0 {
-					pred.BTBSets = btb
-				}
-				spec := base
-				p := pred
-				spec.Predictor = &p
-				cfg := spec.toUarch()
-				if err := cfg.Validate(); err != nil {
-					return fmt.Errorf("%w: point hist=%d pht=%d btb=%d: %v", ErrBadSweep, hist, pht, btb, err)
-				}
-				plan.Configs = append(plan.Configs, cfg)
-				plan.ICacheBytes = append(plan.ICacheBytes, cfg.ICache.SizeBytes)
-				plan.Predictors = append(plan.Predictors, &p)
-			}
-		}
-	}
+	plan.Sweep = false
 	plan.PredSweep = true
 	return nil
 }
@@ -321,18 +280,17 @@ func normalizeProgram(p ProgramSpec) (ProgramSpec, error) {
 	} else if p.Scale != 0 {
 		return p, fmt.Errorf("%w: scale is only valid with a workload program", ErrBadProgram)
 	}
-	switch p.ISA {
-	case isaConventional, "conv":
-		p.ISA = isaConventional
-	case isaBlockStructured, "bsa":
-		p.ISA = isaBlockStructured
-	default:
-		return p, fmt.Errorf("%w: unknown ISA %q (want %q or %q)",
-			ErrBadProgram, p.ISA, isaConventional, isaBlockStructured)
+	be, err := backend.Get(p.ISA)
+	if err != nil {
+		// backend.Get's message already lists every registered backend and
+		// alias, so the failure is self-describing.
+		return p, fmt.Errorf("%w: %v", ErrBadProgram, err)
 	}
+	p.ISA = be.Name()
 	if p.Enlarge != nil {
-		if p.ISA != isaBlockStructured {
-			return p, fmt.Errorf("%w: enlargement parameters require the block-structured ISA", ErrBadProgram)
+		if !be.AcceptsParams() {
+			return p, fmt.Errorf("%w: enlargement parameters require the block-structured ISA (backend %q has no parameterized shaping pass)",
+				ErrBadProgram, be.Name())
 		}
 		e := p.Enlarge
 		if e.MaxOps < 0 || e.MaxFaults < -1 || e.MaxSuccs < 0 {

@@ -1,6 +1,9 @@
 package svc
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // Typed request-validation errors. Every failure DecodeRequest or
 // BuildConfig reports wraps exactly one of the specific sentinels below, and
@@ -36,4 +39,34 @@ func newBadRequest(msg string) error { return &badRequestError{msg: msg} }
 func (e *badRequestError) Error() string { return "svc: " + e.msg }
 func (e *badRequestError) Is(target error) bool {
 	return target == ErrBadRequest
+}
+
+// ErrorCode classifies a failure into the machine-readable code carried in
+// SimResponse.ErrorCode, derived from the errors.Is taxonomy above (plus the
+// server's availability sentinels and context outcomes). The specific
+// sentinels are tested before the ErrBadRequest root so the code is as
+// precise as the taxonomy allows. Returns "" for nil.
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBadVersion):
+		return "bad_version"
+	case errors.Is(err, ErrBadProgram):
+		return "bad_program"
+	case errors.Is(err, ErrBadGeometry):
+		return "bad_geometry"
+	case errors.Is(err, ErrBadSweep):
+		return "bad_sweep"
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, errDraining), errors.Is(err, errQueueFull):
+		return "unavailable"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "internal"
+	}
 }

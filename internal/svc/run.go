@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bsisa/internal/backend"
 	"bsisa/internal/compile"
 	"bsisa/internal/core"
 	"bsisa/internal/emu"
@@ -24,7 +25,7 @@ const (
 // builtProgram is the program artifact cached across requests.
 type builtProgram struct {
 	prog    *isa.Program
-	enlarge *core.Stats // nil for conventional programs
+	enlarge *core.Stats // backend shaping-pass stats; nil for shapeless backends
 }
 
 // cachedTrace is the trace artifact cached across requests: the trace itself
@@ -59,7 +60,10 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	}
 
 	fail := func(err error) (*SimResponse, error) {
+		// The code is stamped here, not in the HTTP layer: the coalescer
+		// shares this envelope with followers, which must never mutate it.
 		resp.Error = err.Error()
+		resp.ErrorCode = ErrorCode(err)
 		resp.WallMs = time.Since(start).Milliseconds()
 		s.cfg.Logger.Warn("job failed",
 			"job", j.id, "id", j.req.ID, "experiment", resp.Experiment,
@@ -121,6 +125,7 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	// job has workers to spend (no sweep to fan out over).
 	engine, stage := engineMany, stageReplay
 	sweepable, _ := uarch.CanSweep(plan.Configs)
+	sweepable = sweepable && uarch.CanSweepKind(plan.Kind())
 	switch {
 	case len(plan.Configs) > 1 && sweepable:
 		engine, stage = engineSweep, stageSweep
@@ -206,10 +211,11 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	return resp, nil
 }
 
-// buildProgram compiles (and, for the block-structured ISA, enlarges) the
-// plan's program. Jobs waiting on the same artifact share this build, so it
-// deliberately takes no context: a canceled first requester must not abort
-// an artifact that other requests are queued on.
+// buildProgram compiles the plan's program and runs its backend's shaping
+// pass (the enlarger for block-structured, the linear reshaper for
+// basicblocker, nothing for the others). Jobs waiting on the same artifact
+// share this build, so it deliberately takes no context: a canceled first
+// requester must not abort an artifact that other requests are queued on.
 func buildProgram(plan *Plan) (*builtProgram, error) {
 	p := plan.Program
 	var src, name string
@@ -230,22 +236,21 @@ func buildProgram(plan *Plan) (*builtProgram, error) {
 		}
 		name = p.Workload
 	}
-	kind := plan.Kind()
-	prog, err := compile.Compile(src, name, compile.DefaultOptions(kind))
+	be, err := backend.Get(p.ISA)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
+	}
+	prog, err := compile.Compile(src, name, compile.DefaultOptions(be.Kind()))
 	if err != nil {
 		// The program came from the request, so a compile failure is a
 		// client error.
 		return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
 	}
-	bp := &builtProgram{prog: prog}
-	if kind == isa.BlockStructured {
-		st, err := core.Enlarge(prog, plan.EnlargeParams())
-		if err != nil {
-			return nil, err
-		}
-		bp.enlarge = st
+	st, err := be.Shape(prog, plan.EnlargeParams())
+	if err != nil {
+		return nil, err
 	}
-	return bp, nil
+	return &builtProgram{prog: prog, enlarge: st}, nil
 }
 
 // renderTable renders the human-oriented table for a service response,

@@ -71,8 +71,10 @@ type ProgramSpec struct {
 	// Scale multiplies the workload's dynamic size (default 1.0; only valid
 	// with Workload).
 	Scale float64 `json:"scale,omitempty"`
-	// ISA is "conventional" or "block-structured" ("conv" and "bsa" are
-	// accepted aliases).
+	// ISA names a registered backend: "conventional", "block-structured",
+	// "basicblocker", or "fused" (aliases "conv", "bsa", "bb", "mof",
+	// "macro-op-fusion" are accepted). Validation is registry-driven — an
+	// unknown name's error lists every registered backend.
 	ISA string `json:"isa"`
 	// Enlarge overrides block-enlargement parameters (block-structured
 	// only; nil means the paper's defaults).
@@ -151,6 +153,11 @@ type SweepSpec struct {
 // the base configuration's value for that knob, so a single-axis sweep is
 // just {"history_bits": [2, 4, 8]}. A zero in an axis selects the paper's
 // default for that knob.
+//
+// Deprecated: pred_sweep is a proper subset of Sweep (a SweepSpec with no
+// icache_sizes). It is still accepted and answers identically — requests are
+// normalized onto the unified sweep path internally — but new clients should
+// send "sweep" with predictor axes instead.
 type PredSweepSpec struct {
 	// HistoryBits sweeps the branch-history register length consumed by the
 	// PHT index (0..32).
@@ -182,6 +189,11 @@ type SimResponse struct {
 	WallMs int64 `json:"wall_ms"`
 	// Error is set (and Results/Table unset) when the job failed.
 	Error string `json:"error,omitempty"`
+	// ErrorCode is the machine-readable class of Error: "bad_version",
+	// "bad_program", "bad_geometry", "bad_sweep", "bad_request",
+	// "unavailable", "timeout", "canceled", or "internal". Empty on success
+	// (schema-additive; classify with it instead of parsing Error text).
+	ErrorCode string `json:"error_code,omitempty"`
 	// Engine reports which timing path ran: "sweep" (the unified multi-axis
 	// single-pass engine), "replay-segmented" (the segment-parallel
 	// single-config engine), or "simulate-many" (one replay per config).
@@ -256,24 +268,32 @@ type SimResult struct {
 	FetchStallICache int64 `json:"fetch_stall_icache"`
 	FetchStallWindow int64 `json:"fetch_stall_window"`
 	RecoveryStall    int64 `json:"recovery_stall"`
+	// FetchStallControl counts cycles fetch serialized on unresolved control
+	// transfers (basicblocker backend; schema-additive, omitted when zero).
+	FetchStallControl int64 `json:"fetch_stall_control,omitempty"`
+	// FusedPairs counts macro-op pairs fused at decode (fused backend;
+	// schema-additive, omitted when zero).
+	FusedPairs int64 `json:"fused_pairs,omitempty"`
 }
 
 // ResultOf converts a uarch.Result for the configuration's icache size.
 func ResultOf(icacheBytes int, r *uarch.Result) SimResult {
 	return SimResult{
-		ICacheBytes:      icacheBytes,
-		Cycles:           r.Cycles,
-		Ops:              r.Ops,
-		Blocks:           r.Blocks,
-		IPC:              r.IPC(),
-		TrapMispredicts:  r.TrapMispredicts,
-		FaultMispredicts: r.FaultMispredicts,
-		Misfetches:       r.Misfetches,
-		ICache:           CacheStatsJSON{Accesses: r.ICache.Accesses, Misses: r.ICache.Misses},
-		DCache:           CacheStatsJSON{Accesses: r.DCache.Accesses, Misses: r.DCache.Misses},
-		FetchStallICache: r.FetchStallICache,
-		FetchStallWindow: r.FetchStallWindow,
-		RecoveryStall:    r.RecoveryStall,
+		ICacheBytes:       icacheBytes,
+		Cycles:            r.Cycles,
+		Ops:               r.Ops,
+		Blocks:            r.Blocks,
+		IPC:               r.IPC(),
+		TrapMispredicts:   r.TrapMispredicts,
+		FaultMispredicts:  r.FaultMispredicts,
+		Misfetches:        r.Misfetches,
+		ICache:            CacheStatsJSON{Accesses: r.ICache.Accesses, Misses: r.ICache.Misses},
+		DCache:            CacheStatsJSON{Accesses: r.DCache.Accesses, Misses: r.DCache.Misses},
+		FetchStallICache:  r.FetchStallICache,
+		FetchStallWindow:  r.FetchStallWindow,
+		RecoveryStall:     r.RecoveryStall,
+		FetchStallControl: r.FetchStallControl,
+		FusedPairs:        r.FusedPairs,
 	}
 }
 

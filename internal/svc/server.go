@@ -360,7 +360,7 @@ func statusForCtx(err error) int {
 func (s *Server) reject(w http.ResponseWriter, id string, status int, err error) {
 	s.metrics.jobsRejected.Add(1)
 	s.cfg.Logger.Warn("request rejected", "id", id, "status", status, "err", err.Error())
-	writeJSON(w, status, &SimResponse{Version: SchemaVersion, ID: id, Error: err.Error()})
+	writeJSON(w, status, &SimResponse{Version: SchemaVersion, ID: id, Error: err.Error(), ErrorCode: ErrorCode(err)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, resp *SimResponse) {

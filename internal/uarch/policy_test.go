@@ -1,0 +1,245 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+
+	"bsisa/internal/backend"
+	"bsisa/internal/cache"
+	"bsisa/internal/compile"
+	"bsisa/internal/core"
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/testgen"
+)
+
+// op builds a three-register ALU op for the fusion-pattern table.
+func op(opc isa.Opcode, rd, rs1, rs2 isa.Reg) isa.Op {
+	return isa.Op{Opcode: opc, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+// TestFusePairsPatterns pins the decode-time fusion patterns (Celio et al.):
+// each fusible pair requires the second op to read the first's non-zero
+// destination.
+func TestFusePairsPatterns(t *testing.T) {
+	r1, r2, r3 := isa.Reg(5), isa.Reg(6), isa.Reg(7)
+	cases := []struct {
+		name string
+		ops  []isa.Op
+		want []int
+	}{
+		{"compare-branch", []isa.Op{
+			op(isa.SLT, r1, r2, r3),
+			{Opcode: isa.BR, Rs1: r1, Target: 1},
+		}, []int{0}},
+		{"load-immediate", []isa.Op{
+			{Opcode: isa.LUI, Rd: r1, Imm: 4096},
+			{Opcode: isa.ADDI, Rd: r1, Rs1: r1, Imm: 12},
+		}, []int{0}},
+		{"address-gen-load", []isa.Op{
+			op(isa.ADD, r1, r2, r3),
+			{Opcode: isa.LD, Rd: r2, Rs1: r1},
+		}, []int{0}},
+		{"shift-add-index", []isa.Op{
+			{Opcode: isa.SHLI, Rd: r1, Rs1: r2, Imm: 3},
+			op(isa.ADD, r3, r1, r2),
+		}, []int{0}},
+		{"no dependency", []isa.Op{
+			op(isa.SLT, r1, r2, r3),
+			{Opcode: isa.BR, Rs1: r2, Target: 1},
+		}, nil},
+		{"zero-reg dest never fuses", []isa.Op{
+			op(isa.SLT, isa.RegZero, r2, r3),
+			{Opcode: isa.BR, Rs1: isa.RegZero, Target: 1},
+		}, nil},
+		{"greedy non-overlapping", []isa.Op{
+			{Opcode: isa.LUI, Rd: r1, Imm: 1},
+			{Opcode: isa.ADDI, Rd: r1, Rs1: r1, Imm: 2}, // fuses with 0
+			{Opcode: isa.ADDI, Rd: r2, Rs1: r1, Imm: 3}, // 1 is taken; no pair
+			{Opcode: isa.LD, Rd: r3, Rs1: r2},           // fuses with 2
+		}, []int{0, 2}},
+	}
+	for _, tc := range cases {
+		got := fusePairs(tc.ops)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: pairs %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: pairs %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// policyProgram compiles one randomized program for a backend's kind and runs
+// its shaping pass.
+func policyProgram(t *testing.T, seed int64, kind isa.Kind) *isa.Program {
+	t.Helper()
+	prog, err := compile.Compile(testgen.Program(seed), "policy", compile.DefaultOptions(kind))
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	be, ok := backend.ForKind(kind)
+	if !ok {
+		t.Fatalf("no backend for %v", kind)
+	}
+	if _, err := be.Shape(prog, core.Params{}); err != nil {
+		t.Fatalf("seed %d: shape: %v", seed, err)
+	}
+	return prog
+}
+
+// TestPolicyPredictorSelection: the Sim's predictor follows the backend
+// policy — two-level for conv/fused, the BSA predictor for bsa, none for bb.
+func TestPolicyPredictorSelection(t *testing.T) {
+	for _, tc := range []struct {
+		kind     isa.Kind
+		wantPred bool
+	}{
+		{isa.Conventional, true},
+		{isa.BlockStructured, true},
+		{isa.BasicBlocker, false},
+		{isa.MacroFused, true},
+	} {
+		prog := policyProgram(t, 900, tc.kind)
+		s, err := New(prog, Config{})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if (s.pred != nil) != tc.wantPred {
+			t.Errorf("%v: predictor present = %v, want %v", tc.kind, s.pred != nil, tc.wantPred)
+		}
+		if s.policy != backend.PolicyFor(tc.kind) {
+			t.Errorf("%v: sim policy %+v, want backend policy", tc.kind, s.policy)
+		}
+	}
+}
+
+// TestSerializedFetchStalls: a basicblocker run with a real front end must
+// pay control-serialization stalls (and only then — perfect prediction
+// models an oracle front end and pays none), and the serialized machine can
+// never beat the speculative conventional one on the same source.
+func TestSerializedFetchStalls(t *testing.T) {
+	seed := int64(901)
+	bb := policyProgram(t, seed, isa.BasicBlocker)
+	real, _, err := RunProgram(bb, Config{}, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.FetchStallControl == 0 {
+		t.Error("real front end paid no control-serialization stalls")
+	}
+	perfect, _, err := RunProgram(bb, Config{PerfectBP: true}, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.FetchStallControl != 0 {
+		t.Errorf("perfect front end paid %d serialization stalls", perfect.FetchStallControl)
+	}
+	if real.Cycles < perfect.Cycles {
+		t.Errorf("serialized fetch (%d cycles) beat the oracle front end (%d)", real.Cycles, perfect.Cycles)
+	}
+}
+
+// TestFusionIsArchitecturallyInvisible: the fused backend must retire exactly
+// the operation and block counts the emulator commits — fusion changes
+// timing, never architecture — while actually fusing pairs.
+func TestFusionIsArchitecturallyInvisible(t *testing.T) {
+	seed := int64(902)
+	prog := policyProgram(t, seed, isa.MacroFused)
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTrace(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FusedPairs == 0 {
+		t.Error("fused backend fused no pairs")
+	}
+	emuStats := tr.EmuResult().Stats
+	if res.Ops != emuStats.Ops || res.Blocks != emuStats.Blocks {
+		t.Errorf("retired %d ops/%d blocks, emulator committed %d/%d",
+			res.Ops, res.Blocks, emuStats.Ops, emuStats.Blocks)
+	}
+	if res.FusedPairs*2 > res.Ops {
+		t.Errorf("%d fused pairs exceed half of %d retired ops", res.FusedPairs, res.Ops)
+	}
+}
+
+// TestSegmentedMatchesReplayPolicyBackends extends the segmented-equivalence
+// property to the two policy-bearing backends: the serialization-stall splice
+// and the architectural fused-pair sum must make ReplayTraceSegmented bitwise
+// identical to the sequential replay for basicblocker and fused programs.
+func TestSegmentedMatchesReplayPolicyBackends(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(7500); seed < 7500+int64(seeds); seed++ {
+		for _, kind := range []isa.Kind{isa.BasicBlocker, isa.MacroFused} {
+			prog := policyProgram(t, seed, kind)
+			tr, err := emu.Record(prog, emu.Config{MaxOps: 80_000_000})
+			if err != nil {
+				t.Fatalf("seed %d %s: record: %v", seed, kind, err)
+			}
+			for _, cfg := range []Config{
+				{ICache: cache.Config{SizeBytes: 2048, Ways: 4}},
+				{},
+			} {
+				want, err := ReplayTrace(tr, cfg)
+				if err != nil {
+					t.Fatalf("seed %d %s: replay: %v", seed, kind, err)
+				}
+				for _, opt := range []SegmentOptions{
+					{Workers: 2},
+					{Workers: 4, Segments: 7},
+				} {
+					got, err := ReplayTraceSegmented(tr, cfg, opt)
+					if err != nil {
+						t.Fatalf("seed %d %s opt %+v: segmented: %v", seed, kind, opt, err)
+					}
+					if *got != *want {
+						t.Errorf("seed %d %s opt %+v: segmented differs\nsegmented:  %+v\nsequential: %+v",
+							seed, kind, opt, *got, *want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepRejectsNonSweepableKind: the fused multi-axis engine's timing
+// lanes bake the speculative fetch pipeline, so non-sweepable backends must
+// be refused with a self-describing error rather than silently mis-timed.
+func TestSweepRejectsNonSweepableKind(t *testing.T) {
+	if !CanSweepKind(isa.Conventional) || !CanSweepKind(isa.BlockStructured) {
+		t.Fatal("conv/bsa must stay sweepable")
+	}
+	if CanSweepKind(isa.BasicBlocker) || CanSweepKind(isa.MacroFused) {
+		t.Fatal("bb/fused must not be sweepable")
+	}
+	prog := policyProgram(t, 903, isa.BasicBlocker)
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{ICache: cache.Config{SizeBytes: 2048, Ways: 4}},
+		{ICache: cache.Config{SizeBytes: 4096, Ways: 4}},
+	}
+	if ok, _ := CanSweep(cfgs); !ok {
+		t.Fatal("grid itself should be sweepable")
+	}
+	if _, err := Sweep(tr, cfgs, 0); err == nil || !strings.Contains(err.Error(), "not sweepable") {
+		t.Fatalf("Sweep on a basicblocker trace: err = %v, want a not-sweepable rejection", err)
+	}
+	// The per-config engine still serves the same grid.
+	if _, err := SimulateMany(tr, cfgs, 0); err != nil {
+		t.Fatalf("SimulateMany fallback: %v", err)
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"runtime"
 	"time"
 
+	"bsisa/internal/backend"
 	"bsisa/internal/bpred"
 	"bsisa/internal/cache"
 	"bsisa/internal/emu"
@@ -246,19 +247,21 @@ func ReplayTraceSegmentedContext(ctx context.Context, t *emu.Trace, cfg Config, 
 	res := lanes[0].res
 	front := lanes[0].front
 	for i := 1; i < segs; i++ {
-		fsw, rs, next, err := stitchSegment(ctx, t, cfg, bounds[i], bounds[i+1], &ckpts[i], &front, lanes[i])
+		fsw, rs, fsc, next, err := stitchSegment(ctx, t, cfg, bounds[i], bounds[i+1], &ckpts[i], &front, lanes[i])
 		if err != nil {
 			return nil, fmt.Errorf("uarch: stitch at segment %d: %w", i, err)
 		}
 		l := lanes[i]
 		res.Ops += l.res.Ops
 		res.Blocks += l.res.Blocks
+		res.FusedPairs += l.res.FusedPairs
 		res.TrapMispredicts += l.res.TrapMispredicts
 		res.FaultMispredicts += l.res.FaultMispredicts
 		res.Misfetches += l.res.Misfetches
 		res.FetchStallICache += l.res.FetchStallICache
 		res.FetchStallWindow += fsw
 		res.RecoveryStall += rs
+		res.FetchStallControl += fsc
 		front = next
 	}
 	// The last lane's restored models ran to the end of the trace, so its
@@ -292,9 +295,12 @@ func warmCheckpoints(ctx context.Context, t *emu.Trace, cfg Config, bounds []int
 	}
 	var pred bpred.Predictor
 	if !cfg.PerfectBP {
-		if prog.Kind == isa.BlockStructured {
+		switch backend.PolicyFor(prog.Kind).Predictor {
+		case backend.PredBSA:
 			pred = bpred.NewBSA(cfg.Predictor)
-		} else {
+		case backend.PredNone:
+			// Non-speculative front end: no predictor state to warm.
+		default:
 			pred = bpred.NewTwoLevel(cfg.Predictor)
 		}
 	}
@@ -407,9 +413,10 @@ func runSegmentLane(ctx context.Context, t *emu.Trace, cfg Config, lo, hi int, c
 
 // stitchSegment reconciles lane's canonical-start replay of events [lo, hi)
 // with the true machine frontier f at lo. It returns the segment's true
-// FetchStallWindow and RecoveryStall contributions and the true frontier at
-// hi. See the package comment for the argument.
-func stitchSegment(ctx context.Context, t *emu.Trace, cfg Config, lo, hi int, ck *archCheckpoint, f *frontier, lane *segLane) (fsw, rs int64, out frontier, err error) {
+// FetchStallWindow, RecoveryStall and FetchStallControl contributions — the
+// three frontier-dependent stall counters — and the true frontier at hi. See
+// the package comment for the argument.
+func stitchSegment(ctx context.Context, t *emu.Trace, cfg Config, lo, hi int, ck *archCheckpoint, f *frontier, lane *segLane) (fsw, rs, fsc int64, out frontier, err error) {
 	mk := func() (*Sim, error) {
 		s, err := New(t.Program(), cfg)
 		if err != nil {
@@ -419,23 +426,23 @@ func stitchSegment(ctx context.Context, t *emu.Trace, cfg Config, lo, hi int, ck
 	}
 	a, err := mk()
 	if err != nil {
-		return 0, 0, out, err
+		return 0, 0, 0, out, err
 	}
 	restoreFrontier(a, f)
 	b, err := mk()
 	if err != nil {
-		return 0, 0, out, err
+		return 0, 0, 0, out, err
 	}
 	cur := t.CursorAt(lo)
 	for i := lo; i < hi; i++ {
 		if (i-lo)&(segChunk-1) == 0 {
 			if err := ctx.Err(); err != nil {
-				return 0, 0, out, err
+				return 0, 0, 0, out, err
 			}
 		}
 		ev := cur.Next()
 		if err := a.OnBlock(ev); err != nil {
-			return 0, 0, out, err
+			return 0, 0, 0, out, err
 		}
 		if b == nil {
 			continue
@@ -443,15 +450,16 @@ func stitchSegment(ctx context.Context, t *emu.Trace, cfg Config, lo, hi int, ck
 		// b deterministically replicates the lane's own replay, so its state
 		// after this event IS the lane's state at the same point.
 		if err := b.OnBlock(ev); err != nil {
-			return 0, 0, out, err
+			return 0, 0, 0, out, err
 		}
 		if frontiersConverge(a, b) {
 			d := a.nextFetch - b.nextFetch
 			fsw = a.res.FetchStallWindow + (lane.res.FetchStallWindow - b.res.FetchStallWindow)
 			rs = a.res.RecoveryStall + (lane.res.RecoveryStall - b.res.RecoveryStall)
+			fsc = a.res.FetchStallControl + (lane.res.FetchStallControl - b.res.FetchStallControl)
 			out = lane.front
 			out.shift(d)
-			return fsw, rs, out, nil
+			return fsw, rs, fsc, out, nil
 		}
 		if i-lo+1 >= segMatchLimit {
 			b = nil
@@ -459,7 +467,7 @@ func stitchSegment(ctx context.Context, t *emu.Trace, cfg Config, lo, hi int, ck
 	}
 	// No convergence within the segment: a re-timed all of it from the true
 	// frontier — the sequential fallback, exact by construction.
-	return a.res.FetchStallWindow, a.res.RecoveryStall, captureFrontier(a), nil
+	return a.res.FetchStallWindow, a.res.RecoveryStall, a.res.FetchStallControl, captureFrontier(a), nil
 }
 
 // frontier is a raw copy of a Sim's timing state: everything OnBlock reads

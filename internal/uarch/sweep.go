@@ -977,6 +977,9 @@ func SweepPredecoded(ctx context.Context, t *emu.Trace, cfgs []Config, workers i
 	}
 	base := norm[0]
 	prog := t.Program()
+	if !CanSweepKind(prog.Kind) {
+		return nil, fmt.Errorf("uarch: sweep: %s programs are not sweepable (fetch policy outside the lane pipeline); use SimulateMany", prog.Kind)
+	}
 
 	// Predictor classes: one Bank lane (and one pollution stream) per
 	// distinct Predictor config, in first-appearance order. Perfect

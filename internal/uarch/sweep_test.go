@@ -222,12 +222,12 @@ func TestSweepConfigValidation(t *testing.T) {
 	good := [][]Config{
 		{ic(1024), ic(2048)},
 		{ic(0), ic(1024), ic(4096)},
-		{ic(2048), ic(2048)},           // duplicates are fine
-		{ic(2048)},                     // degenerate one-point grid
-		{ic(0), ic(0)},                 // all perfect: no profiler, lanes still run
-		{ic(1024), withPred},           // icache × predictor cross
-		{ic(1024), narrow, withPred},   // three axes at once
-		{predGrid(1024)[0], ic(1024)},  // predictor grid point with plain point
+		{ic(2048), ic(2048)},          // duplicates are fine
+		{ic(2048)},                    // degenerate one-point grid
+		{ic(0), ic(0)},                // all perfect: no profiler, lanes still run
+		{ic(1024), withPred},          // icache × predictor cross
+		{ic(1024), narrow, withPred},  // three axes at once
+		{predGrid(1024)[0], ic(1024)}, // predictor grid point with plain point
 	}
 	for i, cfgs := range good {
 		if ok, reason := CanSweep(cfgs); !ok {
@@ -250,9 +250,9 @@ func TestSweepConfigValidation(t *testing.T) {
 	manyFUs.NumFUs = 300
 	bad := [][]Config{
 		{},
-		{ic(1024), tc},        // trace cache observes per-config timing
-		{ic(1024), mb},        // multi-block fetch ditto
-		{ic(1024), ic(3000)},  // invalid geometry
+		{ic(1024), tc},       // trace cache observes per-config timing
+		{ic(1024), mb},       // multi-block fetch ditto
+		{ic(1024), ic(3000)}, // invalid geometry
 		{ic(1024), {ICache: cache.Config{SizeBytes: 2048, Ways: 8}}}, // ways differ
 		{ic(1024), perfect},   // perfect-BP mode must be shared
 		{ic(1024), dcDiffers}, // dcache must be shared

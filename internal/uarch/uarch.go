@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 
+	"bsisa/internal/backend"
 	"bsisa/internal/bpred"
 	"bsisa/internal/cache"
 	"bsisa/internal/emu"
@@ -174,9 +175,12 @@ type Result struct {
 	Trace  TraceCacheStats
 	Multi  MultiBlockStats
 
-	FetchStallICache int64 // cycles fetch stalled on icache misses
-	FetchStallWindow int64 // cycles fetch stalled on window capacity
-	RecoveryStall    int64 // cycles fetch stalled on misprediction recovery
+	FetchStallICache  int64 // cycles fetch stalled on icache misses
+	FetchStallWindow  int64 // cycles fetch stalled on window capacity
+	RecoveryStall     int64 // cycles fetch stalled on misprediction recovery
+	FetchStallControl int64 // cycles fetch serialized on unresolved control (basicblocker)
+
+	FusedPairs int64 // macro-op pairs fused at decode (fused backend)
 }
 
 // IPC returns retired operations per cycle.
@@ -203,11 +207,13 @@ func (r *Result) Mispredicts() int64 {
 
 // Sim consumes a committed block stream and accumulates timing.
 type Sim struct {
-	cfg  Config
-	prog *isa.Program
-	pred bpred.Predictor
-	ic   *cache.Cache
-	dc   *cache.Cache
+	cfg    Config
+	prog   *isa.Program
+	policy backend.Policy
+	pred   bpred.Predictor
+	ic     *cache.Cache
+	dc     *cache.Cache
+	fuse   map[isa.BlockID][]int // per-block macro-op fusion memo (policy.go)
 
 	cycle          int64 // current fetch cycle
 	nextFetch      int64
@@ -282,8 +288,9 @@ func (r *fuRing) grow(cycle int64) {
 	r.counts, r.mask = nc, nm
 }
 
-// New builds a timing simulator for the program. The predictor kind follows
-// the program's ISA.
+// New builds a timing simulator for the program. The fetch policy —
+// predictor family, serialization, fusion — follows the backend registered
+// for the program's ISA kind.
 func New(prog *isa.Program, cfg Config) (*Sim, error) {
 	cfg = cfg.withDefaults()
 	ic, err := cache.New(cfg.ICache)
@@ -295,20 +302,24 @@ func New(prog *isa.Program, cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("uarch: dcache: %w", err)
 	}
 	s := &Sim{
-		cfg:  cfg,
-		prog: prog,
-		ic:   ic,
-		dc:   dc,
-		fu:   newFURing(),
+		cfg:    cfg,
+		prog:   prog,
+		policy: backend.PolicyFor(prog.Kind),
+		ic:     ic,
+		dc:     dc,
+		fu:     newFURing(),
 		// The pop-before-push discipline in OnBlock keeps at most
 		// WindowBlocks entries in flight; one spare slot keeps the ring
 		// arithmetic simple.
 		win: make([]windowEntry, cfg.WindowBlocks+1),
 	}
 	if !cfg.PerfectBP {
-		if prog.Kind == isa.BlockStructured {
+		switch s.policy.Predictor {
+		case backend.PredBSA:
 			s.pred = bpred.NewBSA(cfg.Predictor)
-		} else {
+		case backend.PredNone:
+			// Non-speculative front end: no predictor at all.
+		default:
 			s.pred = bpred.NewTwoLevel(cfg.Predictor)
 		}
 	}
@@ -362,11 +373,16 @@ func (s *Sim) fetchCycles(b *isa.Block) int64 {
 func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 	b := ev.Block
 
+	// Macro-op fusion shrinks the block's window and FU footprint; retired
+	// operation counts stay architectural.
+	pairs := s.fusionPairs(b)
+	winOps := len(b.Ops) - len(pairs)
+
 	// Fetch: wait for window capacity, then access the icache.
 	fetch := s.nextFetch
 	for s.winLen > 0 {
 		head := s.win[s.winHead].retire
-		if s.winLen >= s.cfg.WindowBlocks || s.winOps+len(b.Ops) > s.cfg.WindowOps {
+		if s.winLen >= s.cfg.WindowBlocks || s.winOps+winOps > s.cfg.WindowOps {
 			if head > fetch {
 				s.res.FetchStallWindow += head - fetch
 				fetch = head
@@ -429,9 +445,10 @@ func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 		retire = s.lastRetire + 1
 	}
 	s.lastRetire = retire
-	s.pushWindow(windowEntry{retire: retire, ops: len(b.Ops)})
+	s.pushWindow(windowEntry{retire: retire, ops: winOps})
 	s.res.Ops += int64(len(b.Ops))
 	s.res.Blocks++
+	s.res.FusedPairs += int64(len(pairs))
 
 	if s.tc != nil {
 		s.tc.retire(b)
@@ -443,7 +460,7 @@ func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 	if covered {
 		nextFetch = fetch
 	}
-	if ev.Next != isa.NoBlock && !s.cfg.PerfectBP {
+	if ev.Next != isa.NoBlock && s.pred != nil {
 		predicted := s.pred.Predict(b)
 		s.pred.Update(b, ev.Next, ev.Taken, ev.SuccIdx)
 		if predicted != ev.Next {
@@ -460,6 +477,19 @@ func (s *Sim) OnBlock(ev *emu.BlockEvent) error {
 			}
 			if restart > nextFetch {
 				s.res.RecoveryStall += restart - nextFetch
+				nextFetch = restart
+			}
+		}
+	}
+	// Non-speculative fetch (BasicBlocker): a transfer that only resolves at
+	// execute serializes the front end — fetch waits for the terminator and
+	// refills the pipeline, on every such block. PerfectBP idealizes the
+	// whole front end and lifts the serialization too.
+	if s.policy.SerializeControl && !s.cfg.PerfectBP && ev.Next != isa.NoBlock {
+		if serializesFetch(b.Terminator()) {
+			restart := trapResolve + int64(s.cfg.FrontEndDepth)
+			if restart > nextFetch {
+				s.res.FetchStallControl += restart - nextFetch
 				nextFetch = restart
 			}
 		}
@@ -501,9 +531,12 @@ type schedTimes struct {
 // is a shadow (wrong-path) issue that only consumes FU slots.
 func (s *Sim) scheduleOps(b *isa.Block, memAddrs []uint32, issue int64, regReady *[isa.NumRegs]int64, commit bool) schedTimes {
 	memIdx := 0
+	pairs := s.fusionPairs(b)
+	pi := 0
 	st := schedTimes{done: issue, term: issue + 1}
-	for i := range b.Ops {
+	for i := 0; i < len(b.Ops); i++ {
 		op := &b.Ops[i]
+		fused := pi < len(pairs) && pairs[pi] == i
 		ready := issue
 		reads, nr := op.ReadRegs()
 		for k := 0; k < nr; k++ {
@@ -511,9 +544,35 @@ func (s *Sim) scheduleOps(b *isa.Block, memAddrs []uint32, issue int64, regReady
 				ready = regReady[r]
 			}
 		}
+		var op2 *isa.Op
+		if fused {
+			// The pair issues as one macro-op: the second op's sources gate
+			// readiness too, except the intra-pair dependency the fused
+			// datapath satisfies internally.
+			op2 = &b.Ops[i+1]
+			rd1, _ := op.Writes()
+			reads2, nr2 := op2.ReadRegs()
+			for k := 0; k < nr2; k++ {
+				if r := reads2[k]; r != isa.RegZero && r != rd1 && regReady[r] > ready {
+					ready = regReady[r]
+				}
+			}
+			pi++
+			i++
+		}
 		start := s.allocFU(ready)
 		lat := int64(op.Opcode.Latency())
-		switch op.Opcode {
+		memOp := op
+		if fused {
+			// The macro-op takes the slower half's latency.
+			if l2 := int64(op2.Opcode.Latency()); l2 > lat {
+				lat = l2
+			}
+			if op2.Opcode == isa.LD || op2.Opcode == isa.ST {
+				memOp = op2
+			}
+		}
+		switch memOp.Opcode {
 		case isa.LD:
 			if commit {
 				if memIdx < len(memAddrs) {
@@ -535,13 +594,20 @@ func (s *Sim) scheduleOps(b *isa.Block, memAddrs []uint32, issue int64, regReady
 		if rd, ok := op.Writes(); ok && rd != isa.RegZero {
 			regReady[rd] = done
 		}
-		if op.Opcode == isa.CALL {
+		last := op
+		if fused {
+			if rd, ok := op2.Writes(); ok && rd != isa.RegZero {
+				regReady[rd] = done
+			}
+			last = op2
+		}
+		if last.Opcode == isa.CALL {
 			regReady[isa.RegLR] = done
 		}
-		if op.Opcode.IsBlockEnd() {
+		if last.Opcode.IsBlockEnd() {
 			st.term = done
 		}
-		if op.Opcode == isa.FAULT && st.firstFault == 0 {
+		if last.Opcode == isa.FAULT && st.firstFault == 0 {
 			st.firstFault = done
 		}
 		if done > st.done {
