@@ -7,6 +7,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -439,4 +441,104 @@ func BenchmarkTimingSim(b *testing.B) {
 		ops += res.Ops
 	}
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// mappedLiTrace writes the li trace in v3 form and maps it back, the load
+// path a bsimd store hit takes.
+func mappedLiTrace(tb testing.TB) *emu.TraceMapping {
+	tb.Helper()
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	path := filepath.Join(tb.TempDir(), "li.bstr")
+	if err := os.WriteFile(path, tr.EncodeBytes(nil), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	m, err := emu.OpenTraceFile(path, prog)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// TestMappedReplayZeroAlloc pins the zero-decode contract's second half:
+// once a v3 trace is mapped, walking every event — the loop under every
+// sweep and replay engine — allocates nothing. The event struct itself is
+// hoisted outside the measured region by warmup; what this guards is any
+// per-event or per-chunk allocation creeping into the mapped columns' path.
+func TestMappedReplayZeroAlloc(t *testing.T) {
+	m := mappedLiTrace(t)
+	defer m.Release()
+	if !m.ZeroCopy() {
+		t.Skip("platform mapped the file into the heap; zero-copy contract does not apply")
+	}
+	tr := m.Trace()
+	var sink int64
+	handler := func(ev *emu.BlockEvent) error {
+		sink += int64(ev.SuccIdx) + int64(len(ev.MemAddrs))
+		return nil
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := tr.Replay(handler); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("mapped replay allocated %.1f objects per full walk (%d events), want 0",
+			allocs, tr.NumEvents())
+	}
+	_ = sink
+}
+
+// BenchmarkTraceLoadDecode measures the legacy store-hit path: decoding the
+// varint trace form into freshly allocated heap columns.
+func BenchmarkTraceLoadDecode(b *testing.B) {
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := tr.EncodeBytesLegacy(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := emu.DecodeTrace(blob, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceLoadMmap measures the v3 store-hit path: mapping the file
+// and aliasing its fixed-stride columns in place (checksum validation is the
+// only per-byte work).
+func BenchmarkTraceLoadMmap(b *testing.B) {
+	prog, err := compile.Compile(liSource(), "li", compile.DefaultOptions(isa.Conventional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := emu.Record(prog, emu.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "li.bstr")
+	if err := os.WriteFile(path, tr.EncodeBytes(nil), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := emu.OpenTraceFile(path, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+	}
 }

@@ -8,8 +8,8 @@
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 headtohead mispredicts
 // ablate-size ablate-faults ablate-superblock ablate-history ablate-minbias
-// sweepspeed segspeed predsweep xsweep predsens tracestore summary all
-// (default: the paper's tables and figures).
+// sweepspeed segspeed predsweep xsweep predsens tracestore mmapreplay
+// summary all (default: the paper's tables and figures).
 //
 // -json additionally writes each experiment's results to BENCH_<name>.json
 // using the same versioned svc.SimResponse envelope the bsimd service
@@ -84,7 +84,7 @@ func main() {
 	extra := []string{"mispredicts", "ablate-size", "ablate-faults", "ablate-superblock",
 		"ablate-history", "ablate-minbias", "ablate-tracecache", "ablate-ifconvert",
 		"ablate-inline", "ablate-hotlayout", "ablate-multiblock", "sweepspeed", "segspeed",
-		"predsweep", "xsweep", "predsens", "tracestore", "summary"}
+		"predsweep", "xsweep", "predsens", "tracestore", "mmapreplay", "summary"}
 
 	var names []string
 	switch *exps {
@@ -184,10 +184,12 @@ func run(h *harness.Harness, name string) (*stats.Table, error) {
 		return h.PredictorSensitivity()
 	case "tracestore":
 		return h.TraceStoreSpeed()
+	case "mmapreplay":
+		return h.MmapReplaySpeed()
 	case "summary":
 		return h.Summary()
 	default:
-		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 headtohead mispredicts ablate-* sweepspeed segspeed predsweep xsweep predsens tracestore summary)")
+		return nil, fmt.Errorf("unknown experiment (try table1 table2 fig3..fig7 headtohead mispredicts ablate-* sweepspeed segspeed predsweep xsweep predsens tracestore mmapreplay summary)")
 	}
 }
 

@@ -8,7 +8,8 @@
 //
 //	bsimd [-addr :8023] [-workers N] [-queue N] [-job-workers N]
 //	      [-timeout D] [-cache-programs N] [-cache-traces N]
-//	      [-cache-predecodes N] [-store DIR] [-log text|json] [-smoke]
+//	      [-cache-predecodes N] [-store DIR] [-store-max-bytes N]
+//	      [-log text|json] [-smoke]
 //
 // Endpoints:
 //
@@ -30,8 +31,16 @@
 // written through to DIR, and a restarted daemon pointed at the same DIR
 // serves them back without re-recording — hit/miss/corruption counts and
 // byte traffic appear on /metrics as bsimd_store_events_total and
-// bsimd_store_bytes_total. Corrupt or truncated files are detected by
-// checksum, quarantined aside as *.corrupt, and rebuilt.
+// bsimd_store_bytes_total. Store hits on fixed-stride v3 trace files are
+// mmapped read-only and replayed straight out of the page cache (zero
+// decode, zero steady-state allocation); legacy v1/v2 files are rewritten
+// to v3 on first touch. Mapping traffic and resident bytes appear as
+// bsimd_store_mmap_events_total and bsimd_store_mmap_resident_bytes.
+// Corrupt or truncated files are detected by checksum, quarantined aside
+// as *.corrupt, and rebuilt. -store-max-bytes caps the directory's total
+// *.bstr size: after each write the least-recently-used files (by atime)
+// are evicted until the cap holds, never touching a file an in-flight
+// replay still has mapped (evictions count on bsimd_store_events_total).
 //
 // -smoke runs the self-check the CI service-smoke stage uses: it starts a
 // server on an ephemeral port (pool shape pinned: one worker, four job
@@ -41,9 +50,11 @@
 // every registered ISA backend (plus an unknown-ISA rejection carrying the
 // machine-readable error_code), and a 32-way identical load that
 // must coalesce onto one pass — then verifies cache hits, the coalesced
-// count, and segment activity on /metrics, and finally restarts against the
-// same trace store (the -store directory, or a temporary one) to prove a
-// fresh process answers the sweep with zero trace recordings.
+// count, and segment activity on /metrics, seeds the store with a
+// legacy-format trace file to prove first touch rewrites it to v3, and
+// finally restarts against the same trace store (the -store directory, or a
+// temporary one) to prove a fresh process answers the sweep from mmapped v3
+// files with zero trace recordings and zero full decodes.
 package main
 
 import (
@@ -70,6 +81,8 @@ func main() {
 	cacheTraces := flag.Int("cache-traces", 0, "recorded-trace cache entries (0 = default)")
 	cachePre := flag.Int("cache-predecodes", 0, "predecoded-op-table cache entries (0 = default)")
 	storeDir := flag.String("store", "", "persistent trace store directory (empty = in-memory only)")
+	storeMax := flag.Int64("store-max-bytes", 0,
+		"evict least-recently-used store files once the directory exceeds this many bytes (0 = unbounded)")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	smoke := flag.Bool("smoke", false, "run the self-check against an ephemeral server and exit")
 	flag.Parse()
@@ -102,8 +115,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bsimd:", err)
 			os.Exit(1)
 		}
+		if *storeMax > 0 {
+			store.SetMaxBytes(*storeMax)
+		}
 		cfg.Store = store
-		logger.Info("trace store open", "dir", *storeDir)
+		logger.Info("trace store open", "dir", *storeDir, "max_bytes", *storeMax)
 	}
 
 	if *smoke {

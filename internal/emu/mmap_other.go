@@ -1,0 +1,13 @@
+//go:build !unix
+
+package emu
+
+import "os"
+
+// mapFile on platforms without mmap reads the file into the heap; callers
+// see mapped=false and skip the unmap lifecycle entirely.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	return readFallback(f, size)
+}
+
+func unmapFile(data []byte, mapped bool) {}

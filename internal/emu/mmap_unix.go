@@ -1,0 +1,28 @@
+//go:build unix
+
+package emu
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only, reporting mapped=true on success.
+// Any mmap failure degrades to the heap-read fallback — mapping is an
+// optimization, never a requirement.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFallback(f, size)
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapFile mapping; a heap fallback needs no release.
+func unmapFile(data []byte, mapped bool) {
+	if mapped && data != nil {
+		// The mapping is read-only and private to this process's view, so the
+		// only failure modes are programming errors; there is no remedy.
+		_ = syscall.Munmap(data)
+	}
+}

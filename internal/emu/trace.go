@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"bsisa/internal/isa"
 )
@@ -31,8 +32,18 @@ type Trace struct {
 	mem     []uint32 // LD/ST addresses of every event, concatenated
 	memCnt  []int32  // static LD/ST count per block ID
 
+	// borrowed marks a trace whose event columns alias the buffer DecodeTrace
+	// was handed (the v3 zero-copy path) instead of owning heap slices.
+	borrowed bool
+
 	result *Result
 }
+
+// Borrowed reports whether the trace's event columns alias the decode
+// buffer rather than owning their storage. A borrowed trace is only valid
+// while that buffer stays immutable and mapped — TraceMapping's refcount is
+// the lifecycle that guarantees it.
+func (t *Trace) Borrowed() bool { return t.borrowed }
 
 // Record runs the functional emulator once and captures the committed block
 // stream. The recorded trace replays the exact event sequence the run
@@ -87,6 +98,21 @@ func (t *Trace) Replay(handler Handler) error {
 // within microseconds. Power of two so the check is a mask, not a modulo.
 const replayChunk = 4096
 
+// replayEventPool recycles the one BlockEvent header a replay walks the
+// stream through. Handlers are dynamic calls, so a stack-local event would
+// escape and cost one heap allocation per replay; pooling it keeps the
+// steady-state mapped-trace walk at zero allocations (pinned by the root
+// TestMappedReplayZeroAlloc). Safe because the delivered event must not be
+// retained past the handler anyway.
+var replayEventPool = sync.Pool{New: func() any { return new(BlockEvent) }}
+
+// putReplayEvent clears the event (so a pooled header cannot pin a trace's
+// memory slices alive) and returns it to the pool.
+func putReplayEvent(ev *BlockEvent) {
+	*ev = BlockEvent{}
+	replayEventPool.Put(ev)
+}
+
 // ReplayContext is Replay with cooperative cancellation: between chunks of
 // replayChunk events it checks ctx and stops with ctx.Err() as soon as the
 // context is done. A nil ctx replays to completion.
@@ -97,7 +123,8 @@ func (t *Trace) ReplayContext(ctx context.Context, handler Handler) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var ev BlockEvent
+	ev := replayEventPool.Get().(*BlockEvent)
+	defer putReplayEvent(ev)
 	memPos := 0
 	for i, id := range t.blocks {
 		if i&(replayChunk-1) == 0 {
@@ -116,7 +143,7 @@ func (t *Trace) ReplayContext(ctx context.Context, handler Handler) error {
 		} else {
 			ev.Next = isa.NoBlock
 		}
-		if err := handler(&ev); err != nil {
+		if err := handler(ev); err != nil {
 			return err
 		}
 	}

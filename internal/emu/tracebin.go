@@ -11,50 +11,74 @@ import (
 	"bsisa/internal/isa"
 )
 
-// Binary trace format ("BSTR", version 2). A recorded committed-block trace
-// serializes to a compact byte stream so a persistent store can amortize one
+// Binary trace format ("BSTR"). A recorded committed-block trace serializes
+// to a checksummed byte stream so a persistent store can amortize one
 // recording across every future replay — the same economics the paper claims
 // for block enlargement, applied to the simulator's own artifacts.
 //
-// Layout:
+// Two layouts are understood:
+//
+// Version 3 (canonical write format) — fixed-stride columns, built for mmap:
+//
+//	header   64 bytes: magic "BSTR" · version u8 · flags u8 · reserved ×2 ·
+//	         emulation budget i64 · event count u64 · block count u64 ·
+//	         memory-address count u64 · body offset u64 (= 4096) ·
+//	         tail offset u64 · reserved u32 · CRC-32C of bytes [0,60)
+//	body     at the page-aligned body offset, five little-endian fixed-width
+//	         column arrays, each 64-byte aligned, padding zeroed:
+//	         blocks (i32/event) · succIdx (i16/event) · taken (u8/event) ·
+//	         mem (u32/address) · memCnt (u32/block)
+//	tail     result varints · optional aux sections (flagAux) · one CRC-32C
+//	         per column (5 × u32) · CRC-32C of the tail itself
+//
+//	The columns are bit-for-bit the flat slices Record builds and Replay
+//	walks, so decoding a v3 file is pointer-and-stride bookkeeping: on a
+//	little-endian host the returned Trace aliases the input buffer directly
+//	(Borrowed reports this), and a memory-mapped file replays with zero
+//	decode and zero steady-state allocation. Every byte of the file is
+//	covered by a checksum or an explicit must-be-zero padding rule.
+//
+// Version 2 (legacy, still decoded; see EncodeBytesLegacy) — varint streams:
 //
 //	header   magic "BSTR" (4B) · version u8 · flags u8 · reserved u16
-//	body     emulation budget (varint)
-//	         block count, event count (uvarint)
-//	         memCnt:  static LD/ST count per block (uvarint each)
-//	         blocks:  committed block IDs, delta-zigzag varint
-//	         succIdx: successor indices, zigzag varint
-//	         taken:   branch outcomes, LSB-first bitset
-//	         mem:     LD/ST byte addresses, delta-zigzag varint
-//	         result:  emulator stats, program output, return value
-//	aux      optional tagged sections (flagAux): uvarint section count, then
-//	         per section uvarint tag · uvarint length · bytes, tags strictly
-//	         increasing; the store puts one predecoded-op-table blob (uarch)
-//	         here per issue width, tagged by the width
+//	body     emulation budget (varint); block count, event count (uvarint);
+//	         memCnt uvarints; blocks delta-zigzag varints; succIdx zigzag
+//	         varints; taken LSB-first bitset; mem delta-zigzag varints;
+//	         result; optional aux sections (flagAux)
 //	trailer  CRC-32C (Castagnoli) of everything above, little-endian
 //
-// Version 1 carried at most one untagged aux section; v1 files decode to
-// ErrBadTrace and the store re-records, the ordinary cache-tier remedy.
+// Version 1 is version 2 without the aux capability: a v1 file with zero
+// flags decodes on the v2 path, and the store transparently rewrites it as
+// v3 on first touch. A v1 file claiming aux sections is rejected.
 //
-// Encoding is deterministic, so Encode∘Decode∘Encode is byte-identical, and
-// decoding reconstructs the exact flat slices Record builds: replay walks
-// them with zero per-event deserialization. Every decode failure — bad
-// magic, unknown version, checksum mismatch, truncation, or a stream that
-// does not match the supplied program — wraps ErrBadTrace; corrupt bytes
-// never panic and never yield a partially filled trace.
+// Aux sections are opaque tagged payloads with strictly increasing tags; the
+// store puts one predecoded-op-table blob (uarch) here per issue width,
+// tagged by the width. Encoding is deterministic, so Encode∘Decode∘Encode is
+// byte-identical. Every decode failure — bad magic, unknown version,
+// checksum mismatch, truncation, or a stream that does not match the
+// supplied program — wraps ErrBadTrace; corrupt bytes never panic and never
+// yield a partially filled trace.
 
 // ErrBadTrace is wrapped by every DecodeTrace failure, so stores classify
 // corrupt-vs-mismatched files with errors.Is instead of parsing messages.
 var ErrBadTrace = errors.New("emu: bad trace encoding")
 
 const (
-	traceMagic   = "BSTR"
-	traceVersion = 2
+	traceMagic    = "BSTR"
+	traceVersion1 = 1
+	traceVersion2 = 2
+	traceVersion3 = 3
+
+	// TraceFormatVersion is the version EncodeBytes writes; files carrying an
+	// older version still decode but miss the zero-copy fast path, which is
+	// how a store decides to rewrite them.
+	TraceFormatVersion = traceVersion3
 
 	// flagAux marks the presence of the optional aux sections.
 	flagAux = 1 << 0
 
-	// traceHeaderLen and traceTrailerLen bound the fixed-size framing.
+	// traceHeaderLen and traceTrailerLen bound the fixed-size framing shared
+	// by every version (v3's header extends the common 8-byte prefix).
 	traceHeaderLen  = 8
 	traceTrailerLen = 4
 )
@@ -72,9 +96,18 @@ type AuxSection struct {
 }
 
 // EncodeBytes serializes the trace (and any aux sections) into a fresh
-// checksummed buffer. Section tags must be strictly increasing — the
-// canonical form DecodeTrace enforces; Store.AttachAux maintains it.
+// checksummed buffer in the canonical v3 fixed-stride layout. Section tags
+// must be strictly increasing — the canonical form DecodeTrace enforces;
+// Store.AttachAux maintains it.
 func (t *Trace) EncodeBytes(aux []AuxSection) []byte {
+	return t.encodeBytesV3(aux)
+}
+
+// EncodeBytesLegacy serializes the trace in the superseded v2 varint layout.
+// It exists for the decode-vs-mmap benchmarks and for tests that exercise
+// the store's transparent legacy-file upgrade; new files should always be
+// written with EncodeBytes.
+func (t *Trace) EncodeBytesLegacy(aux []AuxSection) []byte {
 	auxLen := 0
 	for _, s := range aux {
 		auxLen += len(s.Data) + 2*binary.MaxVarintLen64
@@ -86,7 +119,7 @@ func (t *Trace) EncodeBytes(aux []AuxSection) []byte {
 		flags |= flagAux
 	}
 	buf = append(buf, traceMagic...)
-	buf = append(buf, traceVersion, flags, 0, 0)
+	buf = append(buf, traceVersion2, flags, 0, 0)
 
 	buf = binary.AppendVarint(buf, t.cfg.MaxOps)
 	buf = binary.AppendUvarint(buf, uint64(len(t.memCnt)))
@@ -115,28 +148,9 @@ func (t *Trace) EncodeBytes(aux []AuxSection) []byte {
 		prevAddr = int64(a)
 	}
 
-	if t.result == nil {
-		buf = binary.AppendUvarint(buf, 0)
-	} else {
-		buf = binary.AppendUvarint(buf, 1)
-		st := t.result.Stats
-		for _, v := range []int64{st.Ops, st.Blocks, st.Loads, st.Stores, st.Branches, st.Taken, st.FaultRetries} {
-			buf = binary.AppendVarint(buf, v)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(t.result.Output)))
-		for _, v := range t.result.Output {
-			buf = binary.AppendVarint(buf, v)
-		}
-		buf = binary.AppendVarint(buf, t.result.ReturnValue)
-	}
-
+	buf = appendTraceResult(buf, t.result)
 	if len(aux) > 0 {
-		buf = binary.AppendUvarint(buf, uint64(len(aux)))
-		for _, s := range aux {
-			buf = binary.AppendUvarint(buf, s.Tag)
-			buf = binary.AppendUvarint(buf, uint64(len(s.Data)))
-			buf = append(buf, s.Data...)
-		}
+		buf = appendTraceAux(buf, aux)
 	}
 
 	sum := crc32.Checksum(buf, crcTable)
@@ -147,6 +161,36 @@ func (t *Trace) EncodeBytes(aux []AuxSection) []byte {
 func (t *Trace) Encode(w io.Writer, aux []AuxSection) error {
 	_, err := w.Write(t.EncodeBytes(aux))
 	return err
+}
+
+// appendTraceResult appends the result encoding shared by every version:
+// a presence uvarint, then stats, output, and return value as varints.
+func appendTraceResult(buf []byte, res *Result) []byte {
+	if res == nil {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, 1)
+	st := res.Stats
+	for _, v := range []int64{st.Ops, st.Blocks, st.Loads, st.Stores, st.Branches, st.Taken, st.FaultRetries} {
+		buf = binary.AppendVarint(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(res.Output)))
+	for _, v := range res.Output {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return binary.AppendVarint(buf, res.ReturnValue)
+}
+
+// appendTraceAux appends the aux-section encoding shared by every version:
+// a section count, then per section tag · length · bytes.
+func appendTraceAux(buf []byte, aux []AuxSection) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(aux)))
+	for _, s := range aux {
+		buf = binary.AppendUvarint(buf, s.Tag)
+		buf = binary.AppendUvarint(buf, uint64(len(s.Data)))
+		buf = append(buf, s.Data...)
+	}
+	return buf
 }
 
 // traceReader walks an encoded body with bounds-checked varint reads.
@@ -182,12 +226,96 @@ func (r *traceReader) bytes(n int) ([]byte, error) {
 	return b, nil
 }
 
+// readResult parses the shared result encoding. Aux data is always copied
+// out of the input buffer, never aliased, so results and aux sections stay
+// valid after a mapped buffer is unmapped.
+func (r *traceReader) readResult() (*Result, error) {
+	present, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if present > 1 {
+		return nil, fmt.Errorf("%w: result-presence flag %d", ErrBadTrace, present)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	res := &Result{}
+	for _, dst := range []*int64{
+		&res.Stats.Ops, &res.Stats.Blocks, &res.Stats.Loads, &res.Stats.Stores,
+		&res.Stats.Branches, &res.Stats.Taken, &res.Stats.FaultRetries,
+	} {
+		if *dst, err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	nOut, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nOut > uint64(len(r.data)) {
+		return nil, fmt.Errorf("%w: output length %d exceeds the encoding's capacity", ErrBadTrace, nOut)
+	}
+	res.Output = make([]int64, nOut)
+	for i := range res.Output {
+		if res.Output[i], err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	if res.ReturnValue, err = r.varint(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// readAux parses the shared aux-section encoding (canonical form: a nonzero
+// count, strictly increasing tags). Section data is copied, never aliased.
+func (r *traceReader) readAux() ([]AuxSection, error) {
+	cnt, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// The flag without sections is non-canonical, and every section costs
+	// at least two body bytes, so both bounds reject malformed counts.
+	if cnt == 0 || cnt > uint64(len(r.data)) {
+		return nil, fmt.Errorf("%w: aux section count %d", ErrBadTrace, cnt)
+	}
+	aux := make([]AuxSection, 0, cnt)
+	prevTag := uint64(0)
+	for i := uint64(0); i < cnt; i++ {
+		tag, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && tag <= prevTag {
+			return nil, fmt.Errorf("%w: aux tag %d after %d (tags must strictly increase)",
+				ErrBadTrace, tag, prevTag)
+		}
+		prevTag = tag
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		aux = append(aux, AuxSection{Tag: tag, Data: append([]byte(nil), raw...)})
+	}
+	return aux, nil
+}
+
 // DecodeTrace reconstructs a trace recorded from prog out of one encoded
 // buffer, returning the aux sections in tag order (nil when absent). The
 // decoded trace replays field-for-field identically to the trace EncodeBytes
 // was called on. The stream is validated against prog — block IDs, successor
 // indices, and static memory-operation counts must all match — so a file
 // keyed to the wrong program decodes to an error, never to a wrong answer.
+//
+// A v3 buffer on a little-endian host decodes by aliasing: the returned
+// trace's event columns point into data (Borrowed reports true), so data
+// must stay immutable and mapped for the trace's lifetime. Older versions,
+// misaligned buffers, and big-endian hosts decode into fresh heap slices.
 func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []AuxSection, error) {
 	if prog == nil {
 		return nil, nil, fmt.Errorf("%w: nil program", ErrBadTrace)
@@ -198,9 +326,23 @@ func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []AuxSection, error) {
 	if string(data[:4]) != traceMagic {
 		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, data[:4])
 	}
-	if data[4] != traceVersion {
-		return nil, nil, fmt.Errorf("%w: format version %d, want %d", ErrBadTrace, data[4], traceVersion)
+	switch data[4] {
+	case traceVersion1:
+		if data[5] != 0 {
+			return nil, nil, fmt.Errorf("%w: v1 flags %#02x (v1 has no aux capability)", ErrBadTrace, data[5])
+		}
+		return decodeTraceV2(data, prog)
+	case traceVersion2:
+		return decodeTraceV2(data, prog)
+	case traceVersion3:
+		return decodeTraceV3(data, prog)
+	default:
+		return nil, nil, fmt.Errorf("%w: format version %d, want ≤ %d", ErrBadTrace, data[4], traceVersion3)
 	}
+}
+
+// decodeTraceV2 decodes the legacy varint layout (versions 1 and 2).
+func decodeTraceV2(data []byte, prog *isa.Program) (*Trace, []AuxSection, error) {
 	flags := data[5]
 	if flags&^byte(flagAux) != 0 {
 		return nil, nil, fmt.Errorf("%w: unknown flags %#02x", ErrBadTrace, flags)
@@ -240,14 +382,7 @@ func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []AuxSection, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		want := int32(0)
-		if b := prog.Blocks[id]; b != nil {
-			for i := range b.Ops {
-				if op := b.Ops[i].Opcode; op == isa.LD || op == isa.ST {
-					want++
-				}
-			}
-		}
+		want := staticMemCount(prog.Blocks[id])
 		if n != uint64(want) {
 			return nil, nil, fmt.Errorf("%w: B%d records %d memory operations, program has %d (trace/program mismatch)",
 				ErrBadTrace, id, n, want)
@@ -309,78 +444,33 @@ func DecodeTrace(data []byte, prog *isa.Program) (*Trace, []AuxSection, error) {
 		t.mem[i] = uint32(prevAddr)
 	}
 
-	present, err := r.uvarint()
-	if err != nil {
+	if t.result, err = r.readResult(); err != nil {
 		return nil, nil, err
-	}
-	if present > 1 {
-		return nil, nil, fmt.Errorf("%w: result-presence flag %d", ErrBadTrace, present)
-	}
-	if present == 1 {
-		res := &Result{}
-		for _, dst := range []*int64{
-			&res.Stats.Ops, &res.Stats.Blocks, &res.Stats.Loads, &res.Stats.Stores,
-			&res.Stats.Branches, &res.Stats.Taken, &res.Stats.FaultRetries,
-		} {
-			if *dst, err = r.varint(); err != nil {
-				return nil, nil, err
-			}
-		}
-		nOut, err := r.uvarint()
-		if err != nil {
-			return nil, nil, err
-		}
-		if nOut > uint64(len(body)) {
-			return nil, nil, fmt.Errorf("%w: output length %d exceeds the encoding's capacity", ErrBadTrace, nOut)
-		}
-		res.Output = make([]int64, nOut)
-		for i := range res.Output {
-			if res.Output[i], err = r.varint(); err != nil {
-				return nil, nil, err
-			}
-		}
-		if res.ReturnValue, err = r.varint(); err != nil {
-			return nil, nil, err
-		}
-		t.result = res
 	}
 
 	var aux []AuxSection
 	if flags&flagAux != 0 {
-		cnt, err := r.uvarint()
-		if err != nil {
+		if aux, err = r.readAux(); err != nil {
 			return nil, nil, err
-		}
-		// The flag without sections is non-canonical, and every section costs
-		// at least two body bytes, so both bounds reject malformed counts.
-		if cnt == 0 || cnt > uint64(len(body)) {
-			return nil, nil, fmt.Errorf("%w: aux section count %d", ErrBadTrace, cnt)
-		}
-		aux = make([]AuxSection, 0, cnt)
-		prevTag := uint64(0)
-		for i := uint64(0); i < cnt; i++ {
-			tag, err := r.uvarint()
-			if err != nil {
-				return nil, nil, err
-			}
-			if i > 0 && tag <= prevTag {
-				return nil, nil, fmt.Errorf("%w: aux tag %d after %d (tags must strictly increase)",
-					ErrBadTrace, tag, prevTag)
-			}
-			prevTag = tag
-			n, err := r.uvarint()
-			if err != nil {
-				return nil, nil, err
-			}
-			raw, err := r.bytes(int(n))
-			if err != nil {
-				return nil, nil, err
-			}
-			aux = append(aux, AuxSection{Tag: tag, Data: append([]byte(nil), raw...)})
 		}
 	}
 	if r.pos != len(body) {
 		return nil, nil, fmt.Errorf("%w: %d trailing bytes after the last section", ErrBadTrace, len(body)-r.pos)
 	}
 	return t, aux, nil
+}
+
+// staticMemCount is the program-constant number of LD/ST operations in b
+// (0 for a nil block slot).
+func staticMemCount(b *isa.Block) int32 {
+	if b == nil {
+		return 0
+	}
+	n := int32(0)
+	for i := range b.Ops {
+		if op := b.Ops[i].Opcode; op == isa.LD || op == isa.ST {
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"bsisa/internal/emu"
+	"bsisa/internal/isa"
+	"bsisa/internal/stats"
+	"bsisa/internal/uarch"
+)
+
+// MmapReplaySpeed times the two ways a bsimd process can turn a store file
+// into a replayable trace: decoding the legacy varint form into the heap
+// versus memory-mapping the fixed-stride v3 form and aliasing its column
+// arrays in place (emu.OpenTraceFile). Both paths are measured from bytes on
+// disk to a trace a replay engine will accept — the v3 path's cost is one
+// checksum-and-validate pass with no per-event work — and each mapped trace
+// is then replayed and checked field-for-field against the decoded one, so
+// the speedup never comes at the price of a divergent answer. The alloc
+// columns are the per-request heap bill: the decode path pays for every
+// column array, the mapped path only for bookkeeping, which is what lets a
+// loaded bsimd serve large sweeps without decode allocations at all.
+func (h *Harness) MmapReplaySpeed() (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Mmap replay speed: legacy heap decode vs mapping the fixed-stride v3 form",
+		Columns: []string{"Benchmark", "ISA", "Events", "Bytes",
+			"Decode (us)", "Map (us)", "Speedup", "Dec alloc (KB)", "Map alloc (KB)"},
+		Note: "Mapped traces replay field-for-field identical to decoded ones (checked per row).",
+	}
+	dir, err := os.MkdirTemp("", "bsisa-mmapreplay-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := baseConfig(LargeICache, false)
+	var decodeTotal, mapTotal time.Duration
+	var decAllocTotal, mapAllocTotal int64
+	for _, b := range h.Benches {
+		for _, side := range []struct {
+			tag  string
+			prog *isa.Program
+		}{{"conv", b.Conv}, {"bsa", b.BSA}} {
+			tr, traced, err := h.Trace(side.prog)
+			if err != nil {
+				return nil, err
+			}
+			if !traced {
+				return nil, fmt.Errorf("harness: mmapreplay: %s/%s has no trace slot", b.Profile.Name, side.tag)
+			}
+			h.Opts.progress("mmapreplay %-8s %s", b.Profile.Name, side.tag)
+			legacy := tr.EncodeBytesLegacy(nil)
+			v3 := tr.EncodeBytes(nil)
+			path := filepath.Join(dir, fmt.Sprintf("%s-%s.bstr", b.Profile.Name, side.tag))
+			if err := os.WriteFile(path, v3, 0o644); err != nil {
+				return nil, err
+			}
+
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			before := ms.TotalAlloc
+			start := time.Now()
+			dec, _, err := emu.DecodeTrace(legacy, side.prog)
+			if err != nil {
+				return nil, fmt.Errorf("harness: mmapreplay: %s/%s: decode: %w", b.Profile.Name, side.tag, err)
+			}
+			decodeDur := time.Since(start)
+			runtime.ReadMemStats(&ms)
+			decAlloc := int64(ms.TotalAlloc - before)
+
+			runtime.ReadMemStats(&ms)
+			before = ms.TotalAlloc
+			start = time.Now()
+			m, err := emu.OpenTraceFile(path, side.prog)
+			if err != nil {
+				return nil, fmt.Errorf("harness: mmapreplay: %s/%s: open: %w", b.Profile.Name, side.tag, err)
+			}
+			mapDur := time.Since(start)
+			runtime.ReadMemStats(&ms)
+			mapAlloc := int64(ms.TotalAlloc - before)
+
+			rd, err := uarch.ReplayTrace(dec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rm, err := uarch.ReplayTrace(m.Trace(), cfg)
+			if err != nil {
+				return nil, err
+			}
+			zero := m.ZeroCopy()
+			m.Release()
+			if *rd != *rm {
+				return nil, fmt.Errorf("harness: mmapreplay: %s/%s: mapped replay diverges from decoded replay",
+					b.Profile.Name, side.tag)
+			}
+			tag := side.tag
+			if !zero {
+				// Non-unix fallback read the file into the heap; the row is
+				// still a fair load-path comparison, just not zero-copy.
+				tag += "*"
+			}
+
+			decodeTotal += decodeDur
+			mapTotal += mapDur
+			decAllocTotal += decAlloc
+			mapAllocTotal += mapAlloc
+			t.AddRow(b.Profile.Name, tag, tr.NumEvents(), len(v3),
+				decodeDur.Microseconds(), mapDur.Microseconds(),
+				fmt.Sprintf("%.2fx", float64(decodeDur)/float64(mapDur)),
+				decAlloc/1024, mapAlloc/1024)
+		}
+	}
+	t.AddRow("TOTAL", "", "", "",
+		decodeTotal.Microseconds(), mapTotal.Microseconds(),
+		fmt.Sprintf("%.2fx", float64(decodeTotal)/float64(mapTotal)),
+		decAllocTotal/1024, mapAllocTotal/1024)
+	return t, nil
+}

@@ -1,0 +1,18 @@
+//go:build linux
+
+package svc
+
+import (
+	"io/fs"
+	"syscall"
+	"time"
+)
+
+// atimeOf reads the true access time from the inode, so LRU eviction orders
+// by last read (Store.touch keeps it current even on relatime mounts).
+func atimeOf(fi fs.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package svc
+
+import (
+	"io/fs"
+	"time"
+)
+
+// atimeOf falls back to the modification time where access times are not
+// portably available; eviction then approximates LRU by write order.
+func atimeOf(fi fs.FileInfo) time.Time {
+	return fi.ModTime()
+}

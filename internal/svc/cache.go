@@ -26,6 +26,12 @@ import (
 // transient failure does not poison the key, waiters that joined the failed
 // build retry it instead of inheriting the error, and only successful joins
 // count as hits.
+//
+// Values backed by resources the garbage collector cannot reclaim (mmapped
+// traces) implement refcounted; the cache holds one reference for as long as
+// the entry is resident, every do() return hands the caller a reference of
+// its own, and eviction only ever drops the cache's reference — the pages
+// live until the last in-flight user releases.
 type artifactCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -40,6 +46,29 @@ type cacheEntry struct {
 	ready chan struct{} // closed once val/err are set
 	val   any
 	err   error
+}
+
+// refcounted is implemented by cache values whose lifetime must outlast
+// their cache residency (a mapped trace must stay mapped while any replay
+// walks it). tryRef takes a reference, failing only once the value has fully
+// closed; unref drops one.
+type refcounted interface {
+	tryRef() bool
+	unref()
+}
+
+// tryRefVal takes a reference on refcounted values; plain values (compiled
+// programs, predecode tables — ordinary GC-managed heap) always succeed.
+func tryRefVal(v any) bool {
+	r, ok := v.(refcounted)
+	return !ok || r.tryRef()
+}
+
+// unrefVal drops a reference taken by tryRefVal; a no-op for plain values.
+func unrefVal(v any) {
+	if r, ok := v.(refcounted); ok {
+		r.unref()
+	}
 }
 
 func newArtifactCache(capacity int) *artifactCache {
@@ -64,6 +93,10 @@ func newArtifactCache(capacity int) *artifactCache {
 // loops and retries the lookup, becoming the next builder (or waiting on
 // one) now that the failed entry has been dropped. Only a caller's own build
 // failure is returned to it.
+//
+// Every successful return carries a reference the caller owns (see
+// refcounted): callers of keys that may cache refcounted values must
+// unrefVal the value when they are done with it.
 func (c *artifactCache) do(key string, build func() (any, error)) (val any, hit bool, err error) {
 	for {
 		c.mu.Lock()
@@ -74,6 +107,18 @@ func (c *artifactCache) do(key string, build func() (any, error)) (val any, hit 
 			<-e.ready
 			if e.err != nil {
 				continue // joined a failed build: retry rather than inherit
+			}
+			if !tryRefVal(e.val) {
+				// The value fully closed between eviction and this lookup (its
+				// last in-flight user released). Drop the dead entry if it is
+				// somehow still resident, then rebuild.
+				c.mu.Lock()
+				if cur, ok := c.entries[key]; ok && cur == el {
+					c.order.Remove(el)
+					delete(c.entries, key)
+				}
+				c.mu.Unlock()
+				continue
 			}
 			c.mu.Lock()
 			c.hits++
@@ -87,13 +132,15 @@ func (c *artifactCache) do(key string, build func() (any, error)) (val any, hit 
 		for c.order.Len() > c.cap {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			old := oldest.Value.(*cacheEntry)
+			delete(c.entries, old.key)
 			c.evictions++
+			c.releaseEvicted(old)
 		}
 		c.mu.Unlock()
 
-		e.val, e.err = build()
-		if e.err != nil {
+		val, err := build()
+		if err != nil {
 			// Drop the failed entry before releasing waiters, so a retrying
 			// waiter's next lookup cannot land on this entry again.
 			c.mu.Lock()
@@ -101,10 +148,39 @@ func (c *artifactCache) do(key string, build func() (any, error)) (val any, hit 
 				c.order.Remove(el)
 				delete(c.entries, key)
 			}
+			e.err = err
+			close(e.ready)
 			c.mu.Unlock()
+			return nil, false, err
+		}
+		// Publish under the lock: the builder's reference (taken by the build
+		// itself) becomes the cache's; the caller takes its own on top. If a
+		// burst of new keys evicted this entry mid-build, the evictor saw an
+		// unready entry and skipped it — the cache's reference is dropped
+		// here instead, and only the caller's survives.
+		c.mu.Lock()
+		e.val = val
+		tryRefVal(val) // cannot fail: the build's own reference is still held
+		if cur, ok := c.entries[key]; !ok || cur != el {
+			unrefVal(val)
 		}
 		close(e.ready)
-		return e.val, false, e.err
+		c.mu.Unlock()
+		return val, false, nil
+	}
+}
+
+// releaseEvicted drops the cache's reference on an evicted entry. Called
+// under c.mu; ready-state reads are race-free because ready is only closed
+// under the same lock. An unready (still building) entry is left alone — its
+// builder detects the orphaning at publish time and drops the reference.
+func (c *artifactCache) releaseEvicted(old *cacheEntry) {
+	select {
+	case <-old.ready:
+		if old.err == nil {
+			unrefVal(old.val)
+		}
+	default:
 	}
 }
 
@@ -139,6 +215,18 @@ func programKey(p ProgramSpec) string {
 // budget (the committed stream depends on both, and nothing else).
 func traceKey(progKey string, emuMaxOps int64) string {
 	return fmt.Sprintf("%s/emu=%d", progKey, emuMaxOps)
+}
+
+// TraceKeyFor derives the persistent-store trace key a request resolves to,
+// by normalizing it exactly as the job pipeline would (BuildConfig). Tools
+// that pre-seed or inspect a store (the smoke harness's upgrade phase) use
+// it to address the same file the service will touch.
+func TraceKeyFor(req *SimRequest) (string, error) {
+	plan, err := BuildConfig(req)
+	if err != nil {
+		return "", err
+	}
+	return traceKey(programKey(plan.Program), plan.EmuCfg.MaxOps), nil
 }
 
 // predecodeKey derives the predecoded-op-table artifact key: the program plus

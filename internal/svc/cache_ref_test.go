@@ -1,0 +1,150 @@
+package svc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeRef is a refcounted cache value that records when its last reference
+// drains, standing in for a mapped trace.
+type fakeRef struct {
+	refs atomic.Int64
+	dead atomic.Bool
+}
+
+func newFakeRef() *fakeRef {
+	f := &fakeRef{}
+	f.refs.Store(1) // the builder's reference, as OpenTraceFile hands out
+	return f
+}
+
+func (f *fakeRef) tryRef() bool {
+	for {
+		n := f.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if f.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (f *fakeRef) unref() {
+	if f.refs.Add(-1) == 0 {
+		f.dead.Store(true)
+	}
+}
+
+// TestCacheRefcountLifecycle walks the protocol end to end: the build's
+// reference becomes the cache's, every do() return hands the caller one of
+// its own, and the value only dies when the cache has evicted it AND every
+// caller has released.
+func TestCacheRefcountLifecycle(t *testing.T) {
+	c := newArtifactCache(1)
+	v := newFakeRef()
+	got, hit, err := c.do("a", func() (any, error) { return v, nil })
+	if err != nil || hit || got != v {
+		t.Fatalf("build: got %v hit %v err %v", got, hit, err)
+	}
+	if v.refs.Load() != 2 {
+		t.Fatalf("after build: refs = %d, want 2 (cache + caller)", v.refs.Load())
+	}
+	got2, hit2, err := c.do("a", func() (any, error) { t.Fatal("rebuilt a cached key"); return nil, nil })
+	if err != nil || !hit2 || got2 != v {
+		t.Fatalf("hit: got %v hit %v err %v", got2, hit2, err)
+	}
+	if v.refs.Load() != 3 {
+		t.Fatalf("after hit: refs = %d, want 3", v.refs.Load())
+	}
+
+	// Eviction by a new key drops only the cache's reference.
+	w := newFakeRef()
+	if _, _, err := c.do("b", func() (any, error) { return w, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v.refs.Load() != 2 || v.dead.Load() {
+		t.Fatalf("after eviction: refs = %d dead %v, want 2 in-flight callers alive", v.refs.Load(), v.dead.Load())
+	}
+	unrefVal(got)
+	unrefVal(got2)
+	if !v.dead.Load() {
+		t.Fatal("value alive after eviction and every caller released")
+	}
+	if w.dead.Load() {
+		t.Fatal("resident value died")
+	}
+}
+
+// TestCacheHitRetriesDeadValue covers the defensive corner: a resident
+// entry whose value fully closed (its references were force-drained) must
+// not be served — the lookup drops the dead entry and rebuilds.
+func TestCacheHitRetriesDeadValue(t *testing.T) {
+	c := newArtifactCache(2)
+	v := newFakeRef()
+	got, _, err := c.do("a", func() (any, error) { return v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrefVal(got)
+	v.unref() // force-drain the cache's reference: the value is now dead
+
+	fresh := newFakeRef()
+	got2, hit, err := c.do("a", func() (any, error) { return fresh, nil })
+	if err != nil || got2 != fresh {
+		t.Fatalf("got %v (hit %v, err %v), want a rebuilt value", got2, hit, err)
+	}
+	if hit {
+		t.Fatal("serving a dead value counted as a hit")
+	}
+	unrefVal(got2)
+	if fresh.dead.Load() {
+		t.Fatal("rebuilt value died while cached")
+	}
+}
+
+// TestCacheOrphanedBuildReleases pins the evicted-mid-build hand-off: when
+// a burst of new keys evicts an entry whose build is still running, the
+// builder — not the evictor — must drop the cache's reference at publish
+// time, leaving exactly the caller's reference alive.
+func TestCacheOrphanedBuildReleases(t *testing.T) {
+	c := newArtifactCache(1)
+	v := newFakeRef()
+	buildStarted := make(chan struct{})
+	finishBuild := make(chan struct{})
+	var got any
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var err error
+		got, _, err = c.do("slow", func() (any, error) {
+			close(buildStarted)
+			<-finishBuild
+			return v, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-buildStarted
+	// Evict the in-flight entry with fresh keys while it builds.
+	for _, k := range []string{"x", "y"} {
+		if _, _, err := c.do(k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(finishBuild)
+	wg.Wait()
+	if got != v {
+		t.Fatalf("orphaned build returned %v, want the built value", got)
+	}
+	if n := v.refs.Load(); n != 1 {
+		t.Fatalf("after orphaned publish: refs = %d, want 1 (caller only)", n)
+	}
+	unrefVal(got)
+	if !v.dead.Load() {
+		t.Fatal("orphaned value leaked after its caller released")
+	}
+}

@@ -223,8 +223,12 @@ func TestServerSegmentedEngine(t *testing.T) {
 // TestServerCoalescesIdenticalRequests is the deterministic N→1 check: one
 // pool worker, a slower occupier job holding it, then N identical requests —
 // exactly one leads (queued behind the occupier), the rest share its pass.
+// The occupier runs at full scale so the worker stays held (and the leader's
+// flight stays open) until every follower's request has joined; a fast
+// occupier lets the flight close under late followers, which then lead
+// flights of their own.
 func TestServerCoalescesIdenticalRequests(t *testing.T) {
-	if _, ok := workload.ProfileByName("compress", 0.25); !ok {
+	if _, ok := workload.ProfileByName("compress", 1.0); !ok {
 		t.Skip("no compress profile")
 	}
 	cfg := quietConfig()
@@ -237,7 +241,7 @@ func TestServerCoalescesIdenticalRequests(t *testing.T) {
 		defer close(occDone)
 		status, resp := post(t, ts, &SimRequest{
 			Version: SchemaVersion,
-			Program: ProgramSpec{Workload: "compress", Scale: 0.25, ISA: "conv"},
+			Program: ProgramSpec{Workload: "compress", Scale: 1.0, ISA: "conv"},
 			Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192, 16384}},
 		})
 		if status != http.StatusOK {
@@ -320,7 +324,7 @@ func flightCount(s *Server) int {
 // the fix every follower re-ran the pass in turn; now the doomed outcome is
 // shared and the pool sees exactly two jobs (occupier + leader).
 func TestFollowersSharePlanDeadlineOutcome(t *testing.T) {
-	if _, ok := workload.ProfileByName("compress", 0.5); !ok {
+	if _, ok := workload.ProfileByName("compress", 1.0); !ok {
 		t.Skip("no compress profile")
 	}
 	cfg := quietConfig()
@@ -333,7 +337,7 @@ func TestFollowersSharePlanDeadlineOutcome(t *testing.T) {
 		defer close(occDone)
 		status, resp := post(t, ts, &SimRequest{
 			Version: SchemaVersion,
-			Program: ProgramSpec{Workload: "compress", Scale: 0.5, ISA: "conv"},
+			Program: ProgramSpec{Workload: "compress", Scale: 1.0, ISA: "conv"},
 			Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192, 16384}},
 		})
 		if status != http.StatusOK {
@@ -423,7 +427,7 @@ func TestFollowersSharePlanDeadlineOutcome(t *testing.T) {
 // disconnects), a follower must NOT inherit that outcome — it retries, leads
 // its own flight, and gets the real answer.
 func TestFollowerRetriesLeaderLifetimeOutcome(t *testing.T) {
-	if _, ok := workload.ProfileByName("compress", 0.5); !ok {
+	if _, ok := workload.ProfileByName("compress", 1.0); !ok {
 		t.Skip("no compress profile")
 	}
 	cfg := quietConfig()
@@ -436,7 +440,7 @@ func TestFollowerRetriesLeaderLifetimeOutcome(t *testing.T) {
 		defer close(occDone)
 		status, resp := post(t, ts, &SimRequest{
 			Version: SchemaVersion,
-			Program: ProgramSpec{Workload: "compress", Scale: 0.5, ISA: "conv"},
+			Program: ProgramSpec{Workload: "compress", Scale: 1.0, ISA: "conv"},
 			Sweep:   &SweepSpec{ICacheSizes: []int{0, 8192}},
 		})
 		if status != http.StatusOK {

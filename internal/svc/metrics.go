@@ -121,13 +121,23 @@ func (m *metrics) writeProm(w io.Writer, programs, traces, predecodes cacheCount
 		for _, e := range []struct {
 			event string
 			v     int64
-		}{{"hit", store.Hits}, {"miss", store.Misses}, {"write", store.Writes}, {"corrupt", store.Corruptions}} {
+		}{
+			{"hit", store.Hits}, {"miss", store.Misses}, {"write", store.Writes},
+			{"corrupt", store.Corruptions}, {"evict", store.Evictions}, {"fulldecode", store.FullDecodes},
+		} {
 			fmt.Fprintf(w, "bsimd_store_events_total{event=%q} %d\n", e.event, e.v)
 		}
 		fmt.Fprintf(w, "# HELP bsimd_store_bytes_total Persistent trace store traffic by direction.\n")
 		fmt.Fprintf(w, "# TYPE bsimd_store_bytes_total counter\n")
 		fmt.Fprintf(w, "bsimd_store_bytes_total{dir=\"read\"} %d\n", store.BytesRead)
 		fmt.Fprintf(w, "bsimd_store_bytes_total{dir=\"written\"} %d\n", store.BytesWritten)
+		fmt.Fprintf(w, "# HELP bsimd_store_mmap_events_total Trace-store mmap tier lifecycle events.\n")
+		fmt.Fprintf(w, "# TYPE bsimd_store_mmap_events_total counter\n")
+		fmt.Fprintf(w, "bsimd_store_mmap_events_total{event=\"map\"} %d\n", store.MmapMaps)
+		fmt.Fprintf(w, "bsimd_store_mmap_events_total{event=\"unmap\"} %d\n", store.MmapUnmaps)
+		fmt.Fprintf(w, "bsimd_store_mmap_events_total{event=\"rewrite\"} %d\n", store.Rewrites)
+		gauge("bsimd_store_mmap_resident_bytes",
+			"Bytes of trace files currently mmapped by in-flight or cached replays.", store.ResidentBytes)
 	}
 
 	fmt.Fprintf(w, "# HELP bsimd_artifact_cache_events_total Artifact cache hits/misses/evictions by cache.\n")

@@ -33,11 +33,28 @@ type builtProgram struct {
 // (encoded predecoded-op-tables, one per issue width a previous process
 // attached, tagged by width). Immutable after construction — the predecode
 // write-through updates the file, not this struct, so readers never race.
+//
+// A store-mapped trace (mapped != nil) aliases read-only mmapped pages; the
+// refcounted hooks forward to the mapping so the artifact cache and every
+// in-flight job each hold a reference, and the file is unmapped only after
+// the last of them releases.
 type cachedTrace struct {
 	tr        *emu.Trace
 	aux       []emu.AuxSection
 	fromStore bool
+	mapped    *MappedTrace // non-nil when served from the store's mmap tier
 }
+
+func (ct *cachedTrace) tryRef() bool { return ct.mapped == nil || ct.mapped.Acquire() }
+
+func (ct *cachedTrace) unref() {
+	if ct.mapped != nil {
+		ct.mapped.Release()
+	}
+}
+
+// zeroCopy reports whether the trace replays straight off mmapped pages.
+func (ct *cachedTrace) zeroCopy() bool { return ct.mapped != nil && ct.mapped.ZeroCopy() }
 
 // execute runs one job end to end: program (cached) → trace (cached) →
 // timing engine, with the same routing rule as the CLI tools — the unified
@@ -96,8 +113,8 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 	tKey := traceKey(progKey, plan.EmuCfg.MaxOps)
 	tv, traceHit, err := s.traces.do(tKey, func() (any, error) {
 		if st := s.cfg.Store; st != nil {
-			if tr, aux, ok := st.LoadTrace(tKey, bp.prog, plan.EmuCfg); ok {
-				return &cachedTrace{tr: tr, aux: aux, fromStore: true}, nil
+			if mt, ok := st.LoadTraceMapped(tKey, bp.prog, plan.EmuCfg); ok {
+				return &cachedTrace{tr: mt.Trace(), aux: mt.Aux(), fromStore: true, mapped: mt}, nil
 			}
 		}
 		t0 := time.Now()
@@ -118,6 +135,10 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 		return fail(err)
 	}
 	ct := tv.(*cachedTrace)
+	// The do() return handed this job its own reference on the mapped trace;
+	// hold it until the timing engines below have fully drained, so cache
+	// turnover or store eviction can never unmap pages mid-replay.
+	defer ct.unref()
 	tr := ct.tr
 
 	// Timing: same routing as harness.runMany / bsim -sweep-icache, plus the
@@ -168,7 +189,10 @@ func (s *Server) execute(j *job) (*SimResponse, error) {
 			pre, preHit = prv.(*uarch.Predecoded), hit
 		}
 	}
-	resp.ArtifactCache = &ArtifactHits{Program: progHit, Trace: traceHit, Predecode: preHit, Store: ct.fromStore}
+	resp.ArtifactCache = &ArtifactHits{
+		Program: progHit, Trace: traceHit, Predecode: preHit,
+		Store: ct.fromStore, Mmap: ct.zeroCopy(),
+	}
 
 	t0 := time.Now()
 	var results []*uarch.Result

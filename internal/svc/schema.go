@@ -217,12 +217,15 @@ type SimResponse struct {
 // meaningful on jobs routed to a fused sweep engine (the only consumers of
 // predecoded tables). Store marks a trace that came off the persistent store
 // rather than being recorded by this process (schema-additive; always false
-// when the server runs without a store).
+// when the server runs without a store). Mmap further marks a store-served
+// trace that replays zero-copy off read-only mmapped pages of a v3 file
+// instead of a private decoded heap (schema-additive).
 type ArtifactHits struct {
 	Program   bool `json:"program"`
 	Trace     bool `json:"trace"`
 	Predecode bool `json:"predecode,omitempty"`
 	Store     bool `json:"store,omitempty"`
+	Mmap      bool `json:"mmap,omitempty"`
 }
 
 // Table is the JSON form of a rendered stats.Table.

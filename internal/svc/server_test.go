@@ -259,7 +259,7 @@ func TestServerJobTimeout(t *testing.T) {
 	_, ts := testServer(t, quietConfig())
 	req := &SimRequest{
 		Version:   SchemaVersion,
-		Program:   ProgramSpec{Workload: "compress", Scale: 0.05, ISA: "conv"},
+		Program:   ProgramSpec{Workload: "compress", Scale: 0.5, ISA: "conv"},
 		Sweep:     &SweepSpec{ICacheSizes: []int{0, 2048, 4096, 8192}},
 		TimeoutMs: 1,
 	}

@@ -3,10 +3,15 @@ package svc
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"bsisa/internal/emu"
 	"bsisa/internal/isa"
@@ -18,18 +23,37 @@ import (
 // can be shared across restarts — and across processes — and a key can only
 // ever resolve to bytes written for that exact program + emulation budget.
 //
-// The store is strictly a cache tier: every read is re-validated (checksum
+// The store is strictly a cache tier: every read is re-validated (checksums
 // and program shape, via emu.DecodeTrace) before it is served, a file that
 // fails validation is quarantined and reported as a miss so the caller
-// rebuilds from source, and every write goes through a temp file + rename so
-// readers and concurrent writers never observe a partial file. Corruption is
-// therefore never fatal and never poisons a key: the worst a flipped bit
-// costs is one re-record.
+// rebuilds from source, and every write goes through a temp file + fsync +
+// rename + directory fsync so readers, concurrent writers, and fleet peers
+// reading after a crash never observe a partial or zero-length committed
+// file. Corruption is therefore never fatal and never poisons a key: the
+// worst a flipped bit costs is one re-record.
+//
+// Reads prefer the mmap tier (LoadTraceMapped): a v3 fixed-stride file is
+// mapped read-only and served as a borrowed zero-copy trace, legacy v1/v2
+// files are decoded once and transparently rewritten as v3 so every later
+// touch maps. With SetMaxBytes the store garbage-collects itself, evicting
+// least-recently-used files — but never a file an in-flight replay still has
+// mapped.
 type Store struct {
-	dir string
+	dir      string
+	maxBytes atomic.Int64
 
 	hits, misses, writes, corruptions atomic.Int64
 	bytesRead, bytesWritten           atomic.Int64
+
+	mmapMaps, mmapUnmaps  atomic.Int64
+	rewrites, fullDecodes atomic.Int64
+	evictions             atomic.Int64
+	residentBytes         atomic.Int64
+
+	mu   sync.Mutex
+	live map[string]*emu.TraceMapping // path → mapping with refs in flight
+
+	gcMu sync.Mutex // serializes garbage-collection sweeps
 }
 
 // NewStore opens (creating if needed) a trace store rooted at dir.
@@ -37,11 +61,19 @@ func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("svc: store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, live: make(map[string]*emu.TraceMapping)}, nil
 }
 
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetMaxBytes caps the total size of the store's *.bstr files; every write
+// (and this call itself) triggers an LRU sweep down to the cap. Zero or
+// negative disables collection.
+func (s *Store) SetMaxBytes(n int64) {
+	s.maxBytes.Store(n)
+	s.maybeGC()
+}
 
 // path maps an artifact key to its file. Keys are hashed so the filename is
 // fixed-width and never leaks key syntax into the filesystem.
@@ -50,11 +82,19 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".bstr")
 }
 
+// FilePath reports the file a key resolves to — for tooling and tests that
+// inspect or seed store contents (the smoke harness's upgrade phase checks
+// the on-disk format version through it).
+func (s *Store) FilePath(key string) string { return s.path(key) }
+
 // LoadTrace returns the stored trace (and its aux sections, if any) for key,
-// or ok=false on a miss. A file that exists but fails validation — bad
-// checksum, truncation, wrong format version, or a stream that does not match
-// prog/cfg — is quarantined (renamed aside with a .corrupt suffix, for post
-// mortems) and reported as a miss, so the caller falls through to a rebuild.
+// or ok=false on a miss, decoding the file into the heap. A file that exists
+// but fails validation — bad checksum, truncation, unknown format version,
+// or a stream that does not match prog/cfg — is quarantined (renamed aside
+// with a .corrupt suffix, for post mortems) and reported as a miss, so the
+// caller falls through to a rebuild. LoadTraceMapped is the zero-copy path
+// the service serves from; this entry point remains for callers that want an
+// unbounded-lifetime heap trace.
 func (s *Store) LoadTrace(key string, prog *isa.Program, cfg emu.Config) (tr *emu.Trace, aux []emu.AuxSection, ok bool) {
 	p := s.path(key)
 	data, err := os.ReadFile(p)
@@ -75,34 +115,251 @@ func (s *Store) LoadTrace(key string, prog *isa.Program, cfg emu.Config) (tr *em
 	}
 	s.hits.Add(1)
 	s.bytesRead.Add(int64(len(data)))
+	s.touch(p)
 	return tr, aux, true
 }
 
-// SaveTrace writes the trace (and any aux sections) for key atomically: a
-// reader concurrent with this write sees either the old complete file or the
-// new complete file, never a prefix. Concurrent writers of one key are safe —
-// each rename is atomic and both sides wrote equivalent content.
+// LoadTraceMapped returns the stored trace for key as a reference-counted
+// mapping, or ok=false on a miss. A v3 file is memory-mapped read-only and
+// served zero-copy; a legacy v1/v2 file is fully decoded once, rewritten in
+// place as v3, and the rewrite is then mapped — so any file is upgraded on
+// first touch and every subsequent load across the fleet is an mmap.
+// Validation failures quarantine exactly like LoadTrace.
+//
+// The returned MappedTrace carries one reference owned by the caller, who
+// must Release it when the last replay using the trace has drained; the
+// underlying pages stay mapped until then, so eviction or cache turnover can
+// never unmap under an active replay.
+func (s *Store) LoadTraceMapped(key string, prog *isa.Program, cfg emu.Config) (*MappedTrace, bool) {
+	p := s.path(key)
+	ver, err := emu.ReadTraceFileVersion(p)
+	if err != nil {
+		if errors.Is(err, emu.ErrBadTrace) {
+			s.quarantine(p)
+			s.corruptions.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	if ver != emu.TraceFormatVersion {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			s.misses.Add(1)
+			return nil, false
+		}
+		tr, aux, derr := emu.DecodeTrace(data, prog)
+		if derr != nil || tr.EmuConfig() != cfg {
+			s.quarantine(p)
+			s.corruptions.Add(1)
+			s.misses.Add(1)
+			return nil, false
+		}
+		s.fullDecodes.Add(1)
+		s.bytesRead.Add(int64(len(data)))
+		if serr := s.SaveTrace(key, tr, aux); serr != nil {
+			// Can't rewrite (disk trouble): still a hit, served from the heap
+			// decode we already paid for.
+			s.hits.Add(1)
+			return &MappedTrace{tr: tr, aux: aux}, true
+		}
+		s.rewrites.Add(1)
+	}
+	m, err := emu.OpenTraceFile(p, prog)
+	if err != nil || m.Trace().EmuConfig() != cfg {
+		if err == nil {
+			m.Release()
+		}
+		if err == nil || errors.Is(err, emu.ErrBadTrace) {
+			s.quarantine(p)
+			s.corruptions.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(m.SizeBytes())
+	if m.ZeroCopy() {
+		sz := m.SizeBytes()
+		s.mmapMaps.Add(1)
+		s.residentBytes.Add(sz)
+		s.mu.Lock()
+		s.live[p] = m
+		s.mu.Unlock()
+		m.OnRelease(func() {
+			s.mmapUnmaps.Add(1)
+			s.residentBytes.Add(-sz)
+			s.mu.Lock()
+			if s.live[p] == m {
+				delete(s.live, p)
+			}
+			s.mu.Unlock()
+		})
+	}
+	s.touch(p)
+	return &MappedTrace{m: m, tr: m.Trace(), aux: m.Aux()}, true
+}
+
+// MappedTrace is a store-served trace handle: either a zero-copy view over a
+// reference-counted file mapping, or (when mapping was impossible — a failed
+// rewrite, say) a plain heap decode with a no-op lifecycle. Acquire/Release
+// bracket every use; the trace is valid only between them.
+type MappedTrace struct {
+	m   *emu.TraceMapping // nil when served from a heap decode
+	tr  *emu.Trace
+	aux []emu.AuxSection
+}
+
+// Trace returns the trace; it aliases mapped pages when ZeroCopy is true.
+func (mt *MappedTrace) Trace() *emu.Trace { return mt.tr }
+
+// Aux returns the file's aux sections (always heap copies).
+func (mt *MappedTrace) Aux() []emu.AuxSection { return mt.aux }
+
+// ZeroCopy reports whether the trace aliases a read-only file mapping.
+func (mt *MappedTrace) ZeroCopy() bool { return mt.m != nil && mt.m.ZeroCopy() }
+
+// Acquire takes an additional reference; false means the mapping already
+// fully closed and the caller must reload from the store.
+func (mt *MappedTrace) Acquire() bool { return mt.m == nil || mt.m.Acquire() }
+
+// Release drops one reference; the final release unmaps.
+func (mt *MappedTrace) Release() {
+	if mt.m != nil {
+		mt.m.Release()
+	}
+}
+
+// SaveTrace writes the trace (and any aux sections) for key atomically and
+// durably: the temp file is fsynced before the rename and the directory
+// after it, so a reader concurrent with this write sees either the old
+// complete file or the new complete file — never a prefix, and (even across
+// a crash) never a committed zero-length entry. Concurrent writers of one
+// key are safe — each rename is atomic and both sides wrote equivalent
+// content.
 func (s *Store) SaveTrace(key string, tr *emu.Trace, aux []emu.AuxSection) error {
 	blob := tr.EncodeBytes(aux)
+	if err := s.writeAtomic(s.path(key), blob); err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(blob)))
+	s.maybeGC()
+	return nil
+}
+
+// PutRaw installs pre-encoded bytes under key with the same atomic+durable
+// discipline as SaveTrace, bypassing encoding and the write counters. It
+// exists for tooling and tests that seed a store with files in a specific
+// (possibly legacy) format; the bytes are validated on the next load like
+// any other file.
+func (s *Store) PutRaw(key string, blob []byte) error {
+	return s.writeAtomic(s.path(key), blob)
+}
+
+func (s *Store) writeAtomic(path string, blob []byte) error {
 	tmp, err := os.CreateTemp(s.dir, ".bstr-tmp-*")
 	if err != nil {
 		return fmt.Errorf("svc: store: %w", err)
 	}
 	_, werr := tmp.Write(blob)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp.Name(), s.path(key))
+		werr = os.Rename(tmp.Name(), path)
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("svc: store: %w", werr)
 	}
-	s.writes.Add(1)
-	s.bytesWritten.Add(int64(len(blob)))
+	syncDir(s.dir)
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort: filesystems that cannot sync directories lose only the
+// durability guarantee, not correctness, so errors are ignored.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}
+
+// touch bumps the file's access time so LRU eviction sees store hits, not
+// just writes. Best-effort — on failure the file just looks colder than it
+// is. The modification time is preserved.
+func (s *Store) touch(path string) {
+	if s.maxBytes.Load() <= 0 {
+		return // nothing orders by atime, skip the stat+utimes round trip
+	}
+	if fi, err := os.Stat(path); err == nil {
+		_ = os.Chtimes(path, time.Now(), fi.ModTime())
+	}
+}
+
+// maybeGC sweeps the store down to the configured byte cap, evicting
+// least-recently-used *.bstr files first. A file whose mapping still has
+// replays in flight is never evicted — it is skipped and reconsidered on
+// the next sweep, after its last reference drains.
+func (s *Store) maybeGC() {
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type cand struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	var cands []cand
+	total := int64(0)
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".bstr") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{filepath.Join(s.dir, de.Name()), fi.Size(), atimeOf(fi)})
+		total += fi.Size()
+	}
+	if total <= max {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].atime.Before(cands[j].atime) })
+	for _, c := range cands {
+		if total <= max {
+			break
+		}
+		if s.isLive(c.path) {
+			continue
+		}
+		if os.Remove(c.path) == nil {
+			s.evictions.Add(1)
+			total -= c.size
+		}
+	}
+}
+
+func (s *Store) isLive(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.live[path]
+	return ok
 }
 
 // AttachAux upserts one tagged aux section into key's trace file: the current
@@ -110,8 +367,10 @@ func (s *Store) SaveTrace(key string, tr *emu.Trace, aux []emu.AuxSection) error
 // since our load survives), the same-tag section is replaced, every other tag
 // is preserved, and the merged file is rewritten atomically. A missing or
 // invalid file degrades to writing the trace with just this section — the
-// attach never fails harder than a plain SaveTrace. This is what fixes the
-// old "last width wins" behavior: with one untagged section, attaching a
+// attach never fails harder than a plain SaveTrace. Replays still mapped onto
+// the replaced file are unaffected: the rename swaps the directory entry, and
+// their pages stay live until the last reference drains. This is what fixes
+// the old "last width wins" behavior: with one untagged section, attaching a
 // predecode table for a second issue width clobbered the first width's table,
 // and the two widths then thrashed each other's write-through forever.
 func (s *Store) AttachAux(key string, tr *emu.Trace, sec emu.AuxSection) error {
@@ -155,15 +414,25 @@ func (s *Store) quarantine(path string) {
 type storeCounters struct {
 	Hits, Misses, Writes, Corruptions int64
 	BytesRead, BytesWritten           int64
+	MmapMaps, MmapUnmaps              int64
+	Rewrites, FullDecodes             int64
+	Evictions                         int64
+	ResidentBytes                     int64
 }
 
 func (s *Store) counters() storeCounters {
 	return storeCounters{
-		Hits:         s.hits.Load(),
-		Misses:       s.misses.Load(),
-		Writes:       s.writes.Load(),
-		Corruptions:  s.corruptions.Load(),
-		BytesRead:    s.bytesRead.Load(),
-		BytesWritten: s.bytesWritten.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Writes:        s.writes.Load(),
+		Corruptions:   s.corruptions.Load(),
+		BytesRead:     s.bytesRead.Load(),
+		BytesWritten:  s.bytesWritten.Load(),
+		MmapMaps:      s.mmapMaps.Load(),
+		MmapUnmaps:    s.mmapUnmaps.Load(),
+		Rewrites:      s.rewrites.Load(),
+		FullDecodes:   s.fullDecodes.Load(),
+		Evictions:     s.evictions.Load(),
+		ResidentBytes: s.residentBytes.Load(),
 	}
 }

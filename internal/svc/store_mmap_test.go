@@ -1,0 +1,264 @@
+package svc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"bsisa/internal/emu"
+)
+
+// legacyBlob renders tr in the v1 on-disk form: the v2 varint layout with
+// the version byte rolled back and the whole-body checksum re-sealed.
+func legacyBlob(t *testing.T, tr *emu.Trace) []byte {
+	t.Helper()
+	b := append([]byte(nil), tr.EncodeBytesLegacy(nil)...)
+	b[4] = 1
+	binary.LittleEndian.PutUint32(b[len(b)-4:],
+		crc32.Checksum(b[:len(b)-4], crc32.MakeTable(crc32.Castagnoli)))
+	return b
+}
+
+// TestStoreMappedHitAndRelease covers the v3 fast path: a stored trace is
+// served as a zero-copy mapping, resident bytes track the mapping's
+// lifetime, and the release ordering (unmap only after the last reference)
+// holds.
+func TestStoreMappedHitAndRelease(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, tr := storeTrace(t, 5150)
+	key := traceKey("prog-m", 0)
+	if _, ok := st.LoadTraceMapped(key, prog, emu.Config{}); ok {
+		t.Fatal("cold store claims a mapped hit")
+	}
+	if err := st.SaveTrace(key, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, ok := st.LoadTraceMapped(key, prog, emu.Config{})
+	if !ok {
+		t.Fatal("stored v3 trace not served")
+	}
+	if !mt.ZeroCopy() {
+		t.Skip("platform mapped the file into the heap; mmap-tier accounting does not apply")
+	}
+	cc := st.counters()
+	if cc.MmapMaps != 1 || cc.ResidentBytes <= 0 || cc.Rewrites != 0 || cc.FullDecodes != 0 {
+		t.Fatalf("counters after v3 hit = %+v", cc)
+	}
+	if !reflect.DeepEqual(mt.Trace().BlockIDs(), tr.BlockIDs()) {
+		t.Fatal("mapped trace's event stream diverges")
+	}
+	if !mt.Acquire() {
+		t.Fatal("live mapping refused an Acquire")
+	}
+	mt.Release()
+	if got := st.counters(); got.MmapUnmaps != 0 || got.ResidentBytes != cc.ResidentBytes {
+		t.Fatalf("early release unmapped: %+v", got)
+	}
+	mt.Release()
+	if got := st.counters(); got.MmapUnmaps != 1 || got.ResidentBytes != 0 {
+		t.Fatalf("final release did not unmap: %+v", got)
+	}
+}
+
+// TestStoreRewritesLegacyToV3 is the upgrade contract: a v1 file is served
+// on first touch via one full decode, rewritten in place as v3, and the
+// second load maps the rewritten file with no further decode.
+func TestStoreRewritesLegacyToV3(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, tr := storeTrace(t, 5151)
+	key := traceKey("prog-l", 0)
+	if err := st.PutRaw(key, legacyBlob(t, tr)); err != nil {
+		t.Fatal(err)
+	}
+	if ver, err := emu.ReadTraceFileVersion(st.FilePath(key)); err != nil || ver != 1 {
+		t.Fatalf("seeded file version = %d, %v, want 1", ver, err)
+	}
+
+	mt, ok := st.LoadTraceMapped(key, prog, emu.Config{})
+	if !ok {
+		t.Fatal("legacy file not served")
+	}
+	if !reflect.DeepEqual(mt.Trace().BlockIDs(), tr.BlockIDs()) {
+		t.Fatal("upgraded trace's event stream diverges")
+	}
+	cc := st.counters()
+	if cc.FullDecodes != 1 || cc.Rewrites != 1 || cc.Hits != 1 {
+		t.Fatalf("counters after upgrade = %+v, want 1 fulldecode / 1 rewrite / 1 hit", cc)
+	}
+	if ver, err := emu.ReadTraceFileVersion(st.FilePath(key)); err != nil || ver != emu.TraceFormatVersion {
+		t.Fatalf("file version after first touch = %d, %v, want %d", ver, err, emu.TraceFormatVersion)
+	}
+	mt.Release()
+
+	mt2, ok := st.LoadTraceMapped(key, prog, emu.Config{})
+	if !ok {
+		t.Fatal("rewritten file not served")
+	}
+	defer mt2.Release()
+	if cc := st.counters(); cc.FullDecodes != 1 {
+		t.Fatalf("second load decoded again: %+v", cc)
+	}
+	if mt2.ZeroCopy() {
+		if cc := st.counters(); cc.MmapMaps < 2 {
+			t.Fatalf("second load did not map: %+v", cc)
+		}
+	}
+
+	// A corrupt legacy file quarantines like any other corruption.
+	bad := legacyBlob(t, tr)
+	bad[len(bad)/2] ^= 0x10
+	key2 := traceKey("prog-l2", 0)
+	if err := st.PutRaw(key2, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.LoadTraceMapped(key2, prog, emu.Config{}); ok {
+		t.Fatal("corrupt legacy file served")
+	}
+	if cc := st.counters(); cc.Corruptions != 1 {
+		t.Fatalf("corrupt legacy file not quarantined: %+v", cc)
+	}
+	if _, err := os.Stat(st.FilePath(key2) + ".corrupt"); err != nil {
+		t.Fatalf("no quarantine file: %v", err)
+	}
+}
+
+// TestStoreGCEvictsLRU pins the size cap's two rules: eviction walks files
+// in access-time order (coldest first), and a file whose mapping still has
+// a replay in flight is never evicted no matter how cold it looks.
+func TestStoreGCEvictsLRU(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, tr := storeTrace(t, 5152)
+	blobSize := int64(len(tr.EncodeBytes(nil)))
+
+	keys := []string{traceKey("gc-a", 0), traceKey("gc-b", 0), traceKey("gc-c", 0)}
+	for _, k := range keys {
+		if err := st.SaveTrace(k, tr, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age the files oldest-first so LRU order is deterministic, then cap the
+	// store at two files and trigger a sweep with a fourth write: the coldest
+	// file (gc-a) must go, and only as many as needed.
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		if err := os.Chtimes(st.FilePath(k), base.Add(time.Duration(i)*time.Minute), base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.SetMaxBytes(3*blobSize + blobSize/2)
+	if err := st.SaveTrace(traceKey("gc-d", 0), tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.FilePath(keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("coldest file survived the sweep: %v", err)
+	}
+	for _, k := range append(keys[1:], traceKey("gc-d", 0)) {
+		if _, err := os.Stat(st.FilePath(k)); err != nil {
+			t.Fatalf("warm file %s evicted: %v", k, err)
+		}
+	}
+	if cc := st.counters(); cc.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", cc.Evictions)
+	}
+
+	// Map the now-coldest file and shrink the cap to force a full sweep: the
+	// live mapping must survive, everything else may go.
+	mt, ok := st.LoadTraceMapped(keys[1], prog, emu.Config{})
+	if !ok {
+		t.Fatal("gc-b not served")
+	}
+	if !mt.ZeroCopy() {
+		mt.Release()
+		t.Skip("platform mapped the file into the heap; liveness protection does not apply")
+	}
+	if err := os.Chtimes(st.FilePath(keys[1]), base, base); err != nil {
+		t.Fatal(err)
+	}
+	st.SetMaxBytes(1)
+	if err := st.SaveTrace(traceKey("gc-e", 0), tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.FilePath(keys[1])); err != nil {
+		t.Fatalf("live-mapped file evicted under active use: %v", err)
+	}
+	if !reflect.DeepEqual(mt.Trace().BlockIDs(), tr.BlockIDs()) {
+		t.Fatal("mapped trace corrupted by the sweep")
+	}
+	mt.Release()
+	// With the reference drained the file is fair game on the next sweep.
+	if err := st.SaveTrace(traceKey("gc-f", 0), tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.FilePath(keys[1])); !os.IsNotExist(err) {
+		t.Fatalf("drained file survived the next sweep: %v", err)
+	}
+}
+
+// TestStoreGCNeverUnmapsActiveReplay drives concurrent mapped replays
+// against a store being written (and so swept) hard enough that every
+// unprotected file is evicted continuously. Run under -race, this is the
+// eviction-vs-replay ordering proof: replays see consistent streams to the
+// end, because eviction only deletes directory entries and the mapping's
+// pages survive until its last reference drains.
+func TestStoreGCNeverUnmapsActiveReplay(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, tr := storeTrace(t, 5153)
+	key := traceKey("gc-race", 0)
+	if err := st.SaveTrace(key, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.SetMaxBytes(1) // every sweep wants to evict everything
+
+	want := tr.BlockIDs()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: keep triggering sweeps
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = st.SaveTrace(traceKey("gc-chaff", int64(i%4)), tr, nil)
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				mt, ok := st.LoadTraceMapped(key, prog, emu.Config{})
+				if !ok {
+					// The file can be evicted between replays; re-seed and go on.
+					_ = st.SaveTrace(key, tr, nil)
+					continue
+				}
+				if !reflect.DeepEqual(mt.Trace().BlockIDs(), want) {
+					t.Error("replay observed a torn trace")
+				}
+				mt.Release()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
